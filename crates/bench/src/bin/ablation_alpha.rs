@@ -1,0 +1,44 @@
+//! Ablation: the significance level α of the §IV-A mergeability t-tests.
+//!
+//! A *small* α merges aggressively (the null of equal means is rejected
+//! only on overwhelming evidence); a *large* α keeps more states apart.
+//! The paper leaves α as "an arbitrary percentage of error" — this sweep
+//! shows what the choice costs on each benchmark.
+
+use psm_bench::{flow, header, ip, long_ts, row, short_ts, BENCHMARKS};
+use psm_core::MergePolicy;
+use psm_ips::behavioural_trace;
+
+fn main() {
+    println!("# Ablation — t-test significance level α\n");
+    header(&["IP", "α", "States", "MRE", "WSP"]);
+    for name in BENCHMARKS {
+        for alpha in [0.01, 0.1, 0.3, 0.6] {
+            let mut pipeline = flow(name);
+            pipeline.merge = MergePolicy::new(pipeline.merge.epsilon(), alpha);
+            let mut core = ip(name);
+            let model = pipeline
+                .train(core.as_mut(), &[short_ts(name)])
+                .expect("training succeeds");
+            let workload = long_ts(name);
+            let functional =
+                behavioural_trace(core.as_mut(), &workload).expect("workload fits");
+            let outcome = pipeline.estimate_from_trace(&model, &functional);
+            let reference = pipeline
+                .reference_power(core.as_ref(), &workload)
+                .expect("capture succeeds");
+            let mre = psm_stats::mean_relative_error(
+                outcome.estimate.as_slice(),
+                reference.as_slice(),
+            )
+            .expect("non-empty traces");
+            row(&[
+                name.to_owned(),
+                format!("{alpha}"),
+                model.stats.states.to_string(),
+                format!("{:.2} %", mre * 100.0),
+                format!("{:.2} %", outcome.wsp_rate() * 100.0),
+            ]);
+        }
+    }
+}

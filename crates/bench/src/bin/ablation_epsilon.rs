@@ -1,0 +1,45 @@
+//! Ablation: the designer's ε merge tolerance (paper §IV-A case 1).
+//!
+//! Sweeps ε and reports, per benchmark, how aggressively states merge and
+//! what it costs in accuracy. Small ε leaves near-duplicate states apart
+//! (bigger models, marginally better fits); large ε collapses genuinely
+//! different power levels (smaller models, exploding MRE).
+
+use psm_bench::{flow, header, ip, long_ts, row, short_ts, BENCHMARKS};
+use psm_core::MergePolicy;
+use psm_ips::behavioural_trace;
+
+fn main() {
+    println!("# Ablation — merge tolerance ε\n");
+    header(&["IP", "ε (mW)", "States", "Trans.", "MRE", "WSP"]);
+    for name in BENCHMARKS {
+        for eps in [0.0125, 0.05, 0.2, 0.8] {
+            let mut pipeline = flow(name);
+            pipeline.merge = MergePolicy::new(eps, pipeline.merge.alpha());
+            let mut core = ip(name);
+            let model = pipeline
+                .train(core.as_mut(), &[short_ts(name)])
+                .expect("training succeeds");
+            let workload = long_ts(name);
+            let functional =
+                behavioural_trace(core.as_mut(), &workload).expect("workload fits");
+            let outcome = pipeline.estimate_from_trace(&model, &functional);
+            let reference = pipeline
+                .reference_power(core.as_ref(), &workload)
+                .expect("capture succeeds");
+            let mre = psm_stats::mean_relative_error(
+                outcome.estimate.as_slice(),
+                reference.as_slice(),
+            )
+            .expect("non-empty traces");
+            row(&[
+                name.to_owned(),
+                format!("{eps}"),
+                model.stats.states.to_string(),
+                model.stats.transitions.to_string(),
+                format!("{:.2} %", mre * 100.0),
+                format!("{:.2} %", outcome.wsp_rate() * 100.0),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation: the Hamming-distance regression calibration (paper §IV).
+//!
+//! Compares every benchmark with calibration enabled (the paper's flow)
+//! and disabled (constant μ per state). The data-dependent IPs — RAM above
+//! all — should degrade sharply without it; the paper's §VI discussion of
+//! RAM's "very low MRE" rests on exactly this mechanism.
+
+use psm_bench::{flow, header, ip, long_ts, row, short_ts, BENCHMARKS};
+use psm_core::CalibrationConfig;
+use psm_ips::behavioural_trace;
+
+fn main() {
+    println!("# Ablation — regression calibration on/off\n");
+    header(&["IP", "Calibration", "Calibrated states", "MRE"]);
+    for name in BENCHMARKS {
+        for enabled in [true, false] {
+            let mut pipeline = flow(name);
+            if !enabled {
+                // An impossible correlation bar disables all calibration.
+                pipeline.calibration = CalibrationConfig::default().with_min_abs_r(1.0);
+            }
+            let mut core = ip(name);
+            let model = pipeline
+                .train(core.as_mut(), &[short_ts(name)])
+                .expect("training succeeds");
+            let workload = long_ts(name);
+            let functional =
+                behavioural_trace(core.as_mut(), &workload).expect("workload fits");
+            let outcome = pipeline.estimate_from_trace(&model, &functional);
+            let reference = pipeline
+                .reference_power(core.as_ref(), &workload)
+                .expect("capture succeeds");
+            let mre = psm_stats::mean_relative_error(
+                outcome.estimate.as_slice(),
+                reference.as_slice(),
+            )
+            .expect("non-empty traces");
+            row(&[
+                name.to_owned(),
+                if enabled { "on" } else { "off" }.to_owned(),
+                model.stats.calibrated_states.to_string(),
+                format!("{:.2} %", mre * 100.0),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Table I** — characteristics of benchmarks.
+//!
+//! The paper reports Verilog line counts, PI/PO widths, DesignCompiler
+//! synthesis time and gate-level memory elements. Our analogues: PI/PO
+//! widths of the same interfaces, the synthesis time of our netlist
+//! builder, and the cell statistics of the resulting netlists.
+
+use psm_bench::{header, ip, row, BENCHMARKS};
+use psm_rtl::{logic_depth, optimize};
+use std::time::Instant;
+
+fn main() {
+    println!("# Table I — characteristics of benchmarks\n");
+    header(&[
+        "IP",
+        "PIs",
+        "POs",
+        "Syn. time (s)",
+        "Cells",
+        "Cells (opt.)",
+        "Logic depth",
+        "Memory elements",
+    ]);
+    for name in BENCHMARKS {
+        let core = ip(name);
+        let signals = core.signals();
+        let t0 = Instant::now();
+        let netlist = core.netlist().expect("benchmark netlists build");
+        let syn_time = t0.elapsed();
+        let stats = netlist.stats();
+        let depth = logic_depth(&netlist).expect("benchmark netlists are acyclic");
+        let (optimised, _) = optimize(&netlist).expect("optimisation succeeds");
+        row(&[
+            name.to_owned(),
+            signals.input_width().to_string(),
+            signals.output_width().to_string(),
+            format!("{:.3}", syn_time.as_secs_f64()),
+            stats.combinational.to_string(),
+            optimised.stats().combinational.to_string(),
+            depth.to_string(),
+            stats.memory_elements.to_string(),
+        ]);
+    }
+    println!("\npaper reference (PIs/POs/mem): RAM 44/32/8192, MultSum 49/32/225,");
+    println!("AES 260/129/670, Camellia 262/129/397");
+}

@@ -1,0 +1,89 @@
+//! Regenerates the paper's **Table III** — simulation times and accuracy.
+//!
+//! PSMs are generated from *short-TS* and then simulated against the
+//! *long-TS* workload:
+//!
+//! * `IP sim.` — wall-clock of the behavioural functional simulation alone;
+//! * `IP+PSMs` — the same plus concurrent PSM/HMM power estimation;
+//! * `Overhead` — the relative cost of the power model;
+//! * `PX (s)` — the golden gate-level power simulation of the same
+//!   workload, for the headline speedup;
+//! * `MRE` / `WSP` — accuracy of the short-TS-trained PSMs on the unseen
+//!   long workload.
+
+use psm_bench::{flow, header, ip, long_ts, long_ts_cycles, row, short_ts, BENCHMARKS};
+use psm_ips::behavioural_trace;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "# Table III — simulation times and accuracy ({} instants)\n",
+        long_ts_cycles()
+    );
+    header(&[
+        "IP",
+        "IP sim. (s)",
+        "IP+PSMs (s)",
+        "Overhead",
+        "PX (s)",
+        "Speedup vs PX",
+        "MRE",
+        "P95 rel. err.",
+        "WSP",
+    ]);
+    for name in BENCHMARKS {
+        let pipeline = flow(name);
+        let mut core = ip(name);
+        let training = short_ts(name);
+        let model = pipeline
+            .train(core.as_mut(), &[training])
+            .expect("training succeeds");
+
+        let workload = long_ts(name);
+
+        // Functional simulation alone.
+        let t0 = Instant::now();
+        let functional =
+            behavioural_trace(core.as_mut(), &workload).expect("workload fits the interface");
+        let ip_sim = t0.elapsed();
+
+        // Functional simulation + concurrent PSM power estimation.
+        let t0 = Instant::now();
+        let functional2 =
+            behavioural_trace(core.as_mut(), &workload).expect("workload fits the interface");
+        let outcome = pipeline.estimate_from_trace(&model, &functional2);
+        let ip_psm = t0.elapsed();
+
+        // The golden path (PrimeTime-PX role).
+        let t0 = Instant::now();
+        let reference = pipeline
+            .reference_power(core.as_ref(), &workload)
+            .expect("gate-level capture succeeds");
+        let px = t0.elapsed();
+
+        let mre =
+            psm_stats::mean_relative_error(outcome.estimate.as_slice(), reference.as_slice())
+                .expect("non-empty traces");
+        let errs = psm_stats::relative_errors(outcome.estimate.as_slice(), reference.as_slice())
+            .expect("aligned traces");
+        let p95 = psm_stats::quantile(&errs, 0.95).expect("non-empty");
+        let overhead = (ip_psm.as_secs_f64() - ip_sim.as_secs_f64()) / ip_sim.as_secs_f64();
+        let speedup = px.as_secs_f64() / ip_psm.as_secs_f64();
+
+        row(&[
+            name.to_owned(),
+            format!("{:.2}", ip_sim.as_secs_f64()),
+            format!("{:.2}", ip_psm.as_secs_f64()),
+            format!("{:.1} %", overhead * 100.0),
+            format!("{:.2}", px.as_secs_f64()),
+            format!("{speedup:.1}x"),
+            format!("{:.2} %", mre * 100.0),
+            format!("{:.2} %", p95 * 100.0),
+            format!("{:.2} %", outcome.wsp_rate() * 100.0),
+        ]);
+        let _ = functional;
+    }
+    println!("\npaper reference: overhead 3.5-26.4 %, PSM estimation up to two orders");
+    println!("of magnitude faster than PrimeTime PX; MRE RAM 0.29 %, MultSum 3.97 %,");
+    println!("AES 3.11 %, Camellia 32.64 %; WSP 0 % everywhere except Camellia (20 %)");
+}

@@ -1,0 +1,79 @@
+//! Shared plumbing for the table-regeneration binaries and benches.
+//!
+//! Every binary in this crate regenerates one table (or ablation) of
+//! Danese et al. (DATE 2016); see `DESIGN.md` for the experiment index.
+//! Trace lengths are scaled down by default so the whole suite runs in
+//! minutes — set `PSM_BENCH_CYCLES` (long-TS length, default 60 000;
+//! the paper uses 500 000) to change the budget.
+
+use psm_ips::{ip_by_name, testbench, Ip};
+use psm_rtl::Stimulus;
+use psmgen::flow::PsmFlow;
+
+/// The Table I benchmark names, in paper order.
+pub const BENCHMARKS: [&str; 4] = ["RAM", "MultSum", "AES", "Camellia"];
+
+/// Instantiates a benchmark IP.
+///
+/// # Panics
+///
+/// Panics on unknown names — the binaries iterate over [`BENCHMARKS`].
+pub fn ip(name: &str) -> Box<dyn Ip> {
+    ip_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"))
+}
+
+/// The per-IP tuned pipeline (mirrors the paper's per-design knobs).
+pub fn flow(name: &str) -> PsmFlow {
+    PsmFlow::for_ip(name)
+}
+
+/// The verification-style training set (paper *short-TS*).
+pub fn short_ts(name: &str) -> Stimulus {
+    testbench::short_ts(name, 1).expect("benchmark names are valid")
+}
+
+/// The long randomised testset (paper *long-TS*), sized by
+/// `PSM_BENCH_CYCLES`.
+pub fn long_ts(name: &str) -> Stimulus {
+    testbench::long_ts(name, 7, long_ts_cycles()).expect("benchmark names are valid")
+}
+
+/// Long-TS cycle budget: `PSM_BENCH_CYCLES` or 60 000.
+pub fn long_ts_cycles() -> usize {
+    std::env::var("PSM_BENCH_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000)
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header (with separator line).
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_resolve() {
+        for name in BENCHMARKS {
+            assert_eq!(ip(name).name(), name);
+            assert!(!short_ts(name).is_empty());
+        }
+    }
+
+    #[test]
+    fn cycle_budget_default() {
+        assert!(long_ts_cycles() >= 1000);
+    }
+}

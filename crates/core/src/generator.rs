@@ -1,0 +1,182 @@
+//! `PSMGenerator` (paper Fig. 4): proposition + power trace → chain PSM.
+
+use crate::attrs::PowerAttributes;
+use crate::psm::{ChainAssertion, PowerState, Psm, SourceWindow};
+use crate::xu::mine_xu_assertions;
+use crate::CoreError;
+use psm_mining::PropositionTrace;
+use psm_trace::PowerTrace;
+
+/// Generates a power state machine from one proposition trace Γ and its
+/// reference power trace Δ — the paper's `PSMGenerator(Γ, Δ, PSM)`.
+///
+/// For every temporal assertion recognised by the XU automaton:
+///
+/// 1. `getPowerAttributes` collects ⟨μ, σ, n⟩ over the assertion's interval
+///    of Δ;
+/// 2. `createPowerState`/`addState` appends a state whose output function
+///    is the constant μ;
+/// 3. `createTransition`/`addTransition` links the previous state to the
+///    new one, guarded by the previous assertion's exit proposition.
+///
+/// The result is a chain of states; the first state is marked initial.
+/// `trace_index` records which training trace the windows refer to (needed
+/// later by the calibration step).
+///
+/// # Errors
+///
+/// * [`CoreError::TraceLengthMismatch`] when Γ and Δ differ in length;
+/// * [`CoreError::NoBehaviours`] when the trace exposes no temporal
+///   pattern (fewer than two distinct-proposition instants).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn generate_psm(
+    gamma: &PropositionTrace,
+    delta: &PowerTrace,
+    trace_index: usize,
+) -> Result<Psm, CoreError> {
+    if gamma.len() != delta.len() {
+        return Err(CoreError::TraceLengthMismatch {
+            propositions: gamma.len(),
+            power: delta.len(),
+        });
+    }
+    let mined = mine_xu_assertions(gamma);
+    if mined.is_empty() {
+        return Err(CoreError::NoBehaviours);
+    }
+
+    let mut psm = Psm::new();
+    let mut prev = None;
+    for m in mined {
+        let attrs = PowerAttributes::from_window(delta, m.start, m.stop);
+        let state = PowerState::new(
+            ChainAssertion::single(m.assertion),
+            SourceWindow {
+                trace: trace_index,
+                start: m.start,
+                stop: m.stop,
+            },
+            attrs,
+        );
+        let id = psm.add_state(state);
+        if let Some(prev_id) = prev {
+            // The enabling function is the proposition observed when the
+            // previous pattern completed — its exit proposition, which is
+            // also the entry proposition of the new state.
+            let guard = psm.state(prev_id).chains()[0].exit_proposition();
+            psm.add_transition(prev_id, id, guard);
+        }
+        prev = Some(id);
+    }
+    psm.add_initial(crate::psm::StateId(0));
+    Ok(psm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psm::{OutputFunction, StateId};
+    use psm_mining::PropositionId;
+
+    fn fig3_inputs() -> (PropositionTrace, PowerTrace) {
+        let gamma = PropositionTrace::from_indices(&[0, 0, 0, 1, 1, 1, 2, 3]);
+        let delta: PowerTrace = [3.349, 3.339, 3.353, 1.902, 1.906, 1.944, 3.350, 3.343]
+            .into_iter()
+            .collect();
+        (gamma, delta)
+    }
+
+    #[test]
+    fn fig5_psm_structure() {
+        let (gamma, delta) = fig3_inputs();
+        let psm = generate_psm(&gamma, &delta, 0).unwrap();
+        assert_eq!(psm.state_count(), 3);
+        assert_eq!(psm.transition_count(), 2);
+        assert_eq!(psm.initials(), &[(StateId(0), 1)]);
+        assert!(psm.is_deterministic());
+
+        // Guards: s0 →(p_b)→ s1 →(p_c)→ s2, as in the paper's Fig. 5.
+        let t: Vec<_> = psm.transitions().to_vec();
+        assert_eq!(t[0].guard, PropositionId::from_index(1));
+        assert_eq!(t[1].guard, PropositionId::from_index(2));
+    }
+
+    #[test]
+    fn fig5_power_attributes() {
+        let (gamma, delta) = fig3_inputs();
+        let psm = generate_psm(&gamma, &delta, 0).unwrap();
+        let s0 = psm.state(StateId(0));
+        assert_eq!(s0.attrs().n(), 3);
+        assert!((s0.attrs().mu() - (3.349 + 3.339 + 3.353) / 3.0).abs() < 1e-12);
+        let s1 = psm.state(StateId(1));
+        assert_eq!(s1.attrs().n(), 3);
+        assert!((s1.attrs().mu() - (1.902 + 1.906 + 1.944) / 3.0).abs() < 1e-12);
+        let s2 = psm.state(StateId(2));
+        assert_eq!(s2.attrs().n(), 1);
+        assert_eq!(s2.attrs().mu(), 3.350);
+        assert!(s2.is_next_state());
+    }
+
+    #[test]
+    fn output_defaults_to_constant_mu() {
+        let (gamma, delta) = fig3_inputs();
+        let psm = generate_psm(&gamma, &delta, 0).unwrap();
+        for (_, s) in psm.states() {
+            match s.output() {
+                OutputFunction::Constant(mu) => assert_eq!(mu, s.attrs().mu()),
+                other => panic!("expected constant output, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn windows_record_trace_index() {
+        let (gamma, delta) = fig3_inputs();
+        let psm = generate_psm(&gamma, &delta, 7).unwrap();
+        for (_, s) in psm.states() {
+            assert!(s.windows().iter().all(|w| w.trace == 7));
+        }
+        assert_eq!(psm.state(StateId(1)).windows()[0].start, 3);
+        assert_eq!(psm.state(StateId(1)).windows()[0].stop, 5);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let gamma = PropositionTrace::from_indices(&[0, 1]);
+        let delta: PowerTrace = [1.0].into_iter().collect();
+        assert!(matches!(
+            generate_psm(&gamma, &delta, 0),
+            Err(CoreError::TraceLengthMismatch {
+                propositions: 2,
+                power: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn featureless_trace_rejected() {
+        let gamma = PropositionTrace::from_indices(&[5, 5, 5]);
+        let delta: PowerTrace = [1.0, 1.0, 1.0].into_iter().collect();
+        assert!(matches!(
+            generate_psm(&gamma, &delta, 0),
+            Err(CoreError::NoBehaviours)
+        ));
+    }
+
+    #[test]
+    fn chain_property_every_state_one_successor() {
+        let (gamma, delta) = fig3_inputs();
+        let psm = generate_psm(&gamma, &delta, 0).unwrap();
+        for (id, _) in psm.states() {
+            let succ = psm.successors(id).count();
+            if id.index() + 1 == psm.state_count() {
+                assert_eq!(succ, 0, "last state has no successor");
+            } else {
+                assert_eq!(succ, 1, "chain states have a unique successor");
+            }
+        }
+    }
+}

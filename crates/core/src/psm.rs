@@ -1,0 +1,641 @@
+//! The power state machine data structure.
+
+use crate::attrs::PowerAttributes;
+use psm_mining::{PropositionId, PropositionTable, TemporalAssertion};
+use std::fmt;
+
+/// Identifier of a state within one [`Psm`].
+///
+/// Ids are dense indices; merging states (via [`simplify`](crate::simplify)
+/// or [`join`](crate::join)) compacts the id space, so ids must not be held
+/// across merge operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// Dense index of this state.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw index (e.g. when mapping HMM hidden states
+    /// back onto PSM states). The index is validated at first use against
+    /// the PSM it is applied to.
+    pub fn from_index(index: usize) -> Self {
+        StateId(index)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Provenance of a state's power attributes: the inclusive interval of one
+/// training trace where the state's assertion held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SourceWindow {
+    /// Index of the training trace (position in the mining input set).
+    pub trace: usize,
+    /// First instant of the interval.
+    pub start: usize,
+    /// Last instant (inclusive).
+    pub stop: usize,
+}
+
+/// A *sequence* of temporal assertions `{p_i; p_{i+1}; …}` characterising a
+/// state (paper §IV): produced by `simplify` merging adjacent states. A
+/// freshly generated state holds a chain of length one.
+///
+/// # Examples
+///
+/// ```
+/// use psm_core::ChainAssertion;
+/// use psm_mining::{PropositionId, TemporalAssertion, TemporalPattern};
+///
+/// let p = |i| PropositionId::from_index(i);
+/// let a = ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, p(0), p(1)));
+/// let b = ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, p(1), p(2)));
+/// let seq = a.concat(&b);
+/// assert_eq!(seq.len(), 2);
+/// assert_eq!(seq.entry_proposition(), p(0));
+/// assert_eq!(seq.exit_proposition(), p(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChainAssertion {
+    parts: Vec<TemporalAssertion>,
+}
+
+impl ChainAssertion {
+    /// A chain of one assertion.
+    pub fn single(assertion: TemporalAssertion) -> Self {
+        ChainAssertion {
+            parts: vec![assertion],
+        }
+    }
+
+    /// Concatenates two chains: first all of `self`, then all of `other`.
+    pub fn concat(&self, other: &ChainAssertion) -> Self {
+        let mut parts = self.parts.clone();
+        parts.extend(other.parts.iter().copied());
+        ChainAssertion { parts }
+    }
+
+    /// The assertions in cascade order.
+    pub fn parts(&self) -> &[TemporalAssertion] {
+        &self.parts
+    }
+
+    /// Number of cascaded assertions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// A chain is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The proposition observed when the state is entered.
+    pub fn entry_proposition(&self) -> PropositionId {
+        self.parts[0].left()
+    }
+
+    /// The proposition whose appearance exits the state (labels the
+    /// outgoing transition).
+    pub fn exit_proposition(&self) -> PropositionId {
+        self.parts[self.parts.len() - 1].right()
+    }
+
+    /// Renders with full proposition formulas, e.g.
+    /// `{(…) U (…); (…) X (…)}`.
+    pub fn render(&self, table: &PropositionTable) -> String {
+        let parts: Vec<String> = self.parts.iter().map(|a| a.render(table)).collect();
+        if parts.len() == 1 {
+            parts.into_iter().next().expect("chains are non-empty")
+        } else {
+            format!("{{{}}}", parts.join("; "))
+        }
+    }
+}
+
+impl fmt::Display for ChainAssertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.len() == 1 {
+            write!(f, "{}", self.parts[0])
+        } else {
+            let parts: Vec<String> = self.parts.iter().map(|a| a.to_string()).collect();
+            write!(f, "{{{}}}", parts.join("; "))
+        }
+    }
+}
+
+/// The power output function ω of a state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OutputFunction {
+    /// The constant μ of the state's power attributes (the paper's default).
+    Constant(f64),
+    /// Data-dependent calibration (paper §IV): power predicted from the
+    /// Hamming distance of consecutive input values,
+    /// `power = slope · hamming + intercept`.
+    Regression {
+        /// mW per toggling input bit.
+        slope: f64,
+        /// mW at zero input activity.
+        intercept: f64,
+    },
+}
+
+impl OutputFunction {
+    /// Evaluates the function for one instant; `input_hamming` is the
+    /// Hamming distance between this instant's and the previous instant's
+    /// primary-input values (ignored by [`OutputFunction::Constant`]).
+    pub fn evaluate(&self, input_hamming: f64) -> f64 {
+        match self {
+            OutputFunction::Constant(mu) => *mu,
+            OutputFunction::Regression { slope, intercept } => slope * input_hamming + intercept,
+        }
+    }
+
+    /// `true` when this is a regression (calibrated) output.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, OutputFunction::Regression { .. })
+    }
+}
+
+/// One power state: its characterising assertions, the training windows
+/// backing it, its power attributes and its output function.
+///
+/// A state generated by `PSMGenerator` has exactly one chain of length one;
+/// `simplify` lengthens chains, `join` adds *alternative* chains
+/// (`{p_i ‖ p_j ‖ …}`).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerState {
+    chains: Vec<ChainAssertion>,
+    windows: Vec<SourceWindow>,
+    attrs: PowerAttributes,
+    output: OutputFunction,
+}
+
+impl PowerState {
+    /// Creates a state for one assertion with its training window and power
+    /// attributes — the paper's `createPowerState(p, ⟨μ, σ, n⟩)`.
+    pub fn new(chain: ChainAssertion, window: SourceWindow, attrs: PowerAttributes) -> Self {
+        PowerState {
+            chains: vec![chain],
+            windows: vec![window],
+            attrs,
+            output: OutputFunction::Constant(attrs.mu()),
+        }
+    }
+
+    /// Alternative chains characterising this state (`‖`-composition).
+    pub fn chains(&self) -> &[ChainAssertion] {
+        &self.chains
+    }
+
+    /// Training windows backing the attributes.
+    pub fn windows(&self) -> &[SourceWindow] {
+        &self.windows
+    }
+
+    /// Power attributes ⟨μ, σ, n⟩.
+    pub fn attrs(&self) -> &PowerAttributes {
+        &self.attrs
+    }
+
+    /// Output function ω.
+    pub fn output(&self) -> OutputFunction {
+        self.output
+    }
+
+    /// Replaces the output function (used by calibration).
+    pub fn set_output(&mut self, output: OutputFunction) {
+        self.output = output;
+    }
+
+    /// `true` when the attributes come from a single instant — the paper's
+    /// shorthand for a `next`-pattern state (mergeability case 1/3).
+    pub fn is_next_state(&self) -> bool {
+        self.attrs.n() == 1
+    }
+
+    /// Absorbs another state's assertions, windows and attributes, either
+    /// as a *sequence* (`simplify`: other's chain is appended to this
+    /// state's single chain) or as *alternatives* (`join`).
+    pub(crate) fn absorb(&mut self, other: &PowerState, as_sequence: bool) {
+        if as_sequence {
+            debug_assert_eq!(self.chains.len(), 1, "sequence merges act on chain PSMs");
+            debug_assert_eq!(other.chains.len(), 1);
+            self.chains[0] = self.chains[0].concat(&other.chains[0]);
+        } else {
+            for c in &other.chains {
+                if !self.chains.contains(c) {
+                    self.chains.push(c.clone());
+                } else {
+                    // Identical assertion joined twice: keep the duplicate,
+                    // the paper counts multiplicity in the HMM's B matrix.
+                    self.chains.push(c.clone());
+                }
+            }
+        }
+        self.windows.extend_from_slice(&other.windows);
+        self.attrs.merge(&other.attrs);
+        // Keep a constant output in sync with the merged mean; calibrated
+        // outputs are recomputed after merging anyway.
+        if let OutputFunction::Constant(_) = self.output {
+            self.output = OutputFunction::Constant(self.attrs.mu());
+        }
+    }
+}
+
+/// A transition with its enabling proposition (the guard that fires it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Enabling function: the proposition whose appearance fires the
+    /// transition (the exit proposition of the source state's assertion).
+    pub guard: PropositionId,
+}
+
+/// A power state machine (paper Def. 3, specialised): states with power
+/// attributes, proposition-guarded transitions and one or more initial
+/// states with multiplicities (several training traces may start in the
+/// same behaviour — the multiplicity feeds the HMM's π vector).
+///
+/// Generated PSMs are chains; [`join`](crate::join) folds many chains into
+/// one graph-shaped, possibly non-deterministic model.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Psm {
+    states: Vec<PowerState>,
+    transitions: Vec<Transition>,
+    initials: Vec<(StateId, usize)>,
+}
+
+impl Psm {
+    /// Creates an empty PSM.
+    pub fn new() -> Self {
+        Psm::default()
+    }
+
+    /// Adds a state — the paper's `addState`.
+    pub fn add_state(&mut self, state: PowerState) -> StateId {
+        self.states.push(state);
+        StateId(self.states.len() - 1)
+    }
+
+    /// Adds a transition — the paper's `addTransition`. Duplicate
+    /// transitions (same endpoints and guard) are kept only once.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, guard: PropositionId) {
+        let t = Transition { from, to, guard };
+        if !self.transitions.contains(&t) {
+            self.transitions.push(t);
+        }
+    }
+
+    /// Marks (another) training trace as starting in `state`.
+    pub fn add_initial(&mut self, state: StateId) {
+        if let Some(entry) = self.initials.iter_mut().find(|(s, _)| *s == state) {
+            entry.1 += 1;
+        } else {
+            self.initials.push((state, 1));
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The state behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (out of range).
+    pub fn state(&self, id: StateId) -> &PowerState {
+        &self.states[id.0]
+    }
+
+    /// Mutable access to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale (out of range).
+    pub fn state_mut(&mut self, id: StateId) -> &mut PowerState {
+        &mut self.states[id.0]
+    }
+
+    /// Iterates over `(id, state)` pairs.
+    pub fn states(&self) -> impl Iterator<Item = (StateId, &PowerState)> {
+        self.states.iter().enumerate().map(|(i, s)| (StateId(i), s))
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions leaving `state`.
+    pub fn successors(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// Initial states with their multiplicities.
+    pub fn initials(&self) -> &[(StateId, usize)] {
+        &self.initials
+    }
+
+    /// A PSM is deterministic when no state has two outgoing transitions
+    /// with the same guard and no state has two *different* alternative
+    /// chains sharing an entry proposition (identical chains joined twice
+    /// only add multiplicity, not ambiguity). The paper's §IV notes `join`
+    /// can break determinism; non-deterministic models need the HMM
+    /// simulator.
+    pub fn is_deterministic(&self) -> bool {
+        for (id, state) in self.states() {
+            let mut guards: Vec<_> = self.successors(id).map(|t| t.guard).collect();
+            guards.sort();
+            if guards.windows(2).any(|w| w[0] == w[1]) {
+                return false;
+            }
+            let mut distinct: Vec<&ChainAssertion> = Vec::new();
+            for c in state.chains() {
+                if !distinct.contains(&c) {
+                    distinct.push(c);
+                }
+            }
+            let mut entries: Vec<_> = distinct
+                .iter()
+                .map(|c| c.entry_proposition())
+                .collect();
+            entries.sort();
+            if entries.windows(2).any(|w| w[0] == w[1]) {
+                return false;
+            }
+        }
+        self.initials.len() <= 1
+    }
+
+    /// Merges state `remove` into state `keep`: assertions become
+    /// alternatives (or a sequence when `as_sequence`), attributes are
+    /// combined, transitions and initial marks are redirected, and the id
+    /// space is compacted.
+    ///
+    /// All previously held [`StateId`]s become stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are equal or stale.
+    pub(crate) fn merge_states(&mut self, keep: StateId, remove: StateId, as_sequence: bool) {
+        assert_ne!(keep, remove, "cannot merge a state with itself");
+        let removed = self.states[remove.0].clone();
+        self.states[keep.0].absorb(&removed, as_sequence);
+        self.states.remove(remove.0);
+
+        if as_sequence {
+            // The inner transition of the collapsed sequence disappears
+            // (paper Fig. 6a): the new state is entered through s_i's
+            // ingoing and left through s_{i+j}'s outgoing transition.
+            self.transitions.retain(|t| {
+                !((t.from == keep && t.to == remove) || (t.from == remove && t.to == keep))
+            });
+        }
+
+        let remap = |s: StateId| -> StateId {
+            if s == remove {
+                // Account for `keep` itself shifting when it sits after
+                // `remove` in the vector.
+                StateId(if keep.0 > remove.0 { keep.0 - 1 } else { keep.0 })
+            } else if s.0 > remove.0 {
+                StateId(s.0 - 1)
+            } else {
+                s
+            }
+        };
+
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        let mut seen = std::collections::HashSet::with_capacity(self.transitions.len());
+        for t in self.transitions.drain(..) {
+            let nt = Transition {
+                from: remap(t.from),
+                to: remap(t.to),
+                guard: t.guard,
+            };
+            if seen.insert(nt) {
+                transitions.push(nt);
+            }
+        }
+        self.transitions = transitions;
+
+        let mut initials: Vec<(StateId, usize)> = Vec::new();
+        for (s, count) in self.initials.drain(..) {
+            let ns = remap(s);
+            if let Some(entry) = initials.iter_mut().find(|(e, _)| *e == ns) {
+                entry.1 += count;
+            } else {
+                initials.push((ns, count));
+            }
+        }
+        self.initials = initials;
+    }
+
+    /// Disjoint union: appends all states, transitions and initial marks of
+    /// `other`, shifting its ids. Used by [`join`](crate::join).
+    pub(crate) fn absorb_psm(&mut self, other: &Psm) {
+        let offset = self.states.len();
+        self.states.extend(other.states.iter().cloned());
+        for t in &other.transitions {
+            self.transitions.push(Transition {
+                from: StateId(t.from.0 + offset),
+                to: StateId(t.to.0 + offset),
+                guard: t.guard,
+            });
+        }
+        for (s, count) in &other.initials {
+            let shifted = StateId(s.0 + offset);
+            if let Some(entry) = self.initials.iter_mut().find(|(e, _)| *e == shifted) {
+                entry.1 += count;
+            } else {
+                self.initials.push((shifted, *count));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psm_mining::TemporalPattern;
+    use psm_trace::PowerTrace;
+
+    fn p(i: u32) -> PropositionId {
+        PropositionId::from_index(i)
+    }
+
+    fn chain(l: u32, r: u32, until: bool) -> ChainAssertion {
+        ChainAssertion::single(TemporalAssertion::new(
+            if until {
+                TemporalPattern::Until
+            } else {
+                TemporalPattern::Next
+            },
+            p(l),
+            p(r),
+        ))
+    }
+
+    fn state(l: u32, r: u32, power: &[f64]) -> PowerState {
+        let delta: PowerTrace = power.iter().copied().collect();
+        PowerState::new(
+            chain(l, r, power.len() > 1),
+            SourceWindow {
+                trace: 0,
+                start: 0,
+                stop: power.len() - 1,
+            },
+            PowerAttributes::from_window(&delta, 0, power.len() - 1),
+        )
+    }
+
+    fn three_state_chain() -> Psm {
+        let mut psm = Psm::new();
+        let s0 = psm.add_state(state(0, 1, &[3.0, 3.1, 2.9]));
+        let s1 = psm.add_state(state(1, 2, &[1.5, 1.6]));
+        let s2 = psm.add_state(state(2, 3, &[3.0]));
+        psm.add_transition(s0, s1, p(1));
+        psm.add_transition(s1, s2, p(2));
+        psm.add_initial(s0);
+        psm
+    }
+
+    #[test]
+    fn chain_shape_accessors() {
+        let psm = three_state_chain();
+        assert_eq!(psm.state_count(), 3);
+        assert_eq!(psm.transition_count(), 2);
+        assert_eq!(psm.initials(), &[(StateId(0), 1)]);
+        assert!(psm.is_deterministic());
+        assert_eq!(psm.successors(StateId(0)).count(), 1);
+        assert_eq!(psm.successors(StateId(2)).count(), 0);
+        assert!(psm.state(StateId(2)).is_next_state());
+        assert!(!psm.state(StateId(0)).is_next_state());
+    }
+
+    #[test]
+    fn output_function_evaluation() {
+        let c = OutputFunction::Constant(2.5);
+        assert_eq!(c.evaluate(100.0), 2.5);
+        assert!(!c.is_regression());
+        let r = OutputFunction::Regression {
+            slope: 0.5,
+            intercept: 1.0,
+        };
+        assert_eq!(r.evaluate(4.0), 3.0);
+        assert!(r.is_regression());
+    }
+
+    #[test]
+    fn merge_adjacent_as_sequence() {
+        let mut psm = three_state_chain();
+        psm.merge_states(StateId(0), StateId(1), true);
+        assert_eq!(psm.state_count(), 2);
+        let merged = psm.state(StateId(0));
+        assert_eq!(merged.chains().len(), 1);
+        assert_eq!(merged.chains()[0].len(), 2);
+        assert_eq!(merged.chains()[0].entry_proposition(), p(0));
+        assert_eq!(merged.chains()[0].exit_proposition(), p(2));
+        assert_eq!(merged.attrs().n(), 5);
+        // The inner s0→s1 transition disappears (Fig. 6a); the outgoing
+        // transition of the absorbed state survives as s0→s1 (old s1→s2).
+        assert_eq!(psm.transition_count(), 1);
+        assert!(psm
+            .transitions()
+            .iter()
+            .any(|t| t.from == StateId(0) && t.to == StateId(1) && t.guard == p(2)));
+        assert_eq!(psm.initials(), &[(StateId(0), 1)]);
+    }
+
+    #[test]
+    fn merge_remaps_initials_and_transitions() {
+        let mut psm = three_state_chain();
+        // Merge s2 into s0 (a join-style alternative merge).
+        psm.merge_states(StateId(0), StateId(2), false);
+        assert_eq!(psm.state_count(), 2);
+        let merged = psm.state(StateId(0));
+        assert_eq!(merged.chains().len(), 2);
+        // s1→s2 now points at s0.
+        assert!(psm
+            .transitions()
+            .iter()
+            .any(|t| t.from == StateId(1) && t.to == StateId(0)));
+    }
+
+    #[test]
+    fn merge_keep_after_remove_remaps_keep() {
+        let mut psm = three_state_chain();
+        psm.merge_states(StateId(2), StateId(0), false);
+        assert_eq!(psm.state_count(), 2);
+        // Old s1 is now s0; old s2 (merged with old s0) is s1.
+        assert_eq!(psm.initials(), &[(StateId(1), 1)]);
+        assert!(psm
+            .transitions()
+            .iter()
+            .any(|t| t.from == StateId(1) && t.to == StateId(0)));
+    }
+
+    #[test]
+    fn absorb_psm_is_disjoint_union() {
+        let mut a = three_state_chain();
+        let b = three_state_chain();
+        a.absorb_psm(&b);
+        assert_eq!(a.state_count(), 6);
+        assert_eq!(a.transition_count(), 4);
+        assert_eq!(a.initials().len(), 2);
+        assert!(a
+            .transitions()
+            .iter()
+            .any(|t| t.from == StateId(3) && t.to == StateId(4)));
+        // Two distinct initial states → not deterministic as a whole.
+        assert!(!a.is_deterministic());
+    }
+
+    #[test]
+    fn nondeterminism_via_duplicate_guards() {
+        let mut psm = three_state_chain();
+        // Second outgoing transition from s0 with the same guard p1.
+        psm.add_transition(StateId(0), StateId(2), p(1));
+        assert!(!psm.is_deterministic());
+    }
+
+    #[test]
+    fn duplicate_transitions_are_deduped() {
+        let mut psm = three_state_chain();
+        let before = psm.transition_count();
+        psm.add_transition(StateId(0), StateId(1), p(1));
+        assert_eq!(psm.transition_count(), before);
+    }
+
+    #[test]
+    fn chain_assertion_display() {
+        let c = chain(0, 1, true);
+        assert_eq!(c.to_string(), "p0 U p1");
+        let seq = c.concat(&chain(1, 2, false));
+        assert_eq!(seq.to_string(), "{p0 U p1; p1 X p2}");
+    }
+}

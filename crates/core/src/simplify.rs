@@ -1,0 +1,172 @@
+//! The `simplify` procedure (paper §IV, Fig. 6a): shortening chain PSMs by
+//! merging adjacent mergeable states into sequence-states.
+
+use crate::merge::MergePolicy;
+use crate::psm::Psm;
+
+/// Iteratively merges adjacent mergeable states of a chain PSM.
+///
+/// Two *adjacent* states sᵢ → sᵢ₊₁ merge when their power attributes are
+/// indistinguishable under `policy`; the merged state is characterised by
+/// the assertion sequence `{pᵢ; pᵢ₊₁}` and by attributes recomputed over
+/// the union of both training windows. The procedure repeats until no
+/// adjacent pair qualifies, exactly like the paper's fixpoint iteration.
+///
+/// Only chain-shaped states qualify (a unique successor that has a unique
+/// predecessor, both characterised by a single chain) — which is the shape
+/// `PSMGenerator` produces. `simplify` is a no-op on already-joined graphs.
+///
+/// Returns the number of merges performed.
+///
+/// # Examples
+///
+/// ```
+/// use psm_core::{generate_psm, simplify, MergePolicy};
+/// use psm_mining::PropositionTrace;
+/// use psm_trace::PowerTrace;
+///
+/// // Three behaviours at practically the same power level.
+/// let gamma = PropositionTrace::from_indices(&[0, 0, 1, 1, 2, 2, 3]);
+/// let delta: PowerTrace = [3.0, 3.01, 2.99, 3.0, 3.01, 3.0, 9.0]
+///     .into_iter()
+///     .collect();
+/// let mut psm = generate_psm(&gamma, &delta, 0)?;
+/// assert_eq!(psm.state_count(), 3);
+/// let merges = simplify(&mut psm, &MergePolicy::default());
+/// assert_eq!(merges, 2);
+/// assert_eq!(psm.state_count(), 1);
+/// assert_eq!(psm.state(psm.initials()[0].0).chains()[0].len(), 3);
+/// # Ok::<(), psm_core::CoreError>(())
+/// ```
+pub fn simplify(psm: &mut Psm, policy: &MergePolicy) -> usize {
+    let mut merges = 0;
+    loop {
+        let Some((keep, remove)) = find_adjacent_pair(psm, policy) else {
+            return merges;
+        };
+        psm.merge_states(keep, remove, true);
+        merges += 1;
+    }
+}
+
+fn find_adjacent_pair(
+    psm: &Psm,
+    policy: &MergePolicy,
+) -> Option<(crate::psm::StateId, crate::psm::StateId)> {
+    for (id, state) in psm.states() {
+        if state.chains().len() != 1 {
+            continue;
+        }
+        // Unique successor…
+        let mut succ = psm.successors(id);
+        let (Some(t), None) = (succ.next(), succ.next()) else {
+            continue;
+        };
+        let next = t.to;
+        if next == id {
+            continue;
+        }
+        // …whose unique predecessor is this state…
+        if psm.transitions().iter().filter(|t| t.to == next).count() != 1 {
+            continue;
+        }
+        let next_state = psm.state(next);
+        if next_state.chains().len() != 1 {
+            continue;
+        }
+        // …and power-indistinguishable from it.
+        if policy.mergeable(state.attrs(), next_state.attrs()) {
+            return Some((id, next));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_psm;
+    use crate::psm::StateId;
+    use psm_mining::{PropositionId, PropositionTrace};
+    use psm_trace::PowerTrace;
+
+    fn build(levels: &[(u32, f64, usize)]) -> Psm {
+        let mut props = Vec::new();
+        let mut power = Vec::new();
+        for &(id, mw, len) in levels {
+            for k in 0..len {
+                props.push(id);
+                power.push(mw + 0.002 * (k % 3) as f64);
+            }
+        }
+        let gamma = PropositionTrace::from_indices(&props);
+        let delta: PowerTrace = power.into_iter().collect();
+        generate_psm(&gamma, &delta, 0).unwrap()
+    }
+
+    #[test]
+    fn merges_adjacent_similar_states() {
+        // Two 3 mW behaviours followed by a 9 mW one, then a 1mW tail so
+        // the 9 mW state is recognised.
+        let mut psm = build(&[(0, 3.0, 6), (1, 3.0, 6), (2, 9.0, 6), (3, 1.0, 2)]);
+        assert_eq!(psm.state_count(), 3);
+        let merges = simplify(&mut psm, &MergePolicy::default());
+        assert_eq!(merges, 1);
+        assert_eq!(psm.state_count(), 2);
+        let merged = psm.state(StateId(0));
+        assert_eq!(merged.chains().len(), 1);
+        assert_eq!(merged.chains()[0].len(), 2);
+        assert_eq!(merged.attrs().n(), 12);
+        // Entry of the sequence is p0, exit is p2 (into the 9 mW state).
+        assert_eq!(
+            merged.chains()[0].entry_proposition(),
+            PropositionId::from_index(0)
+        );
+        assert_eq!(
+            merged.chains()[0].exit_proposition(),
+            PropositionId::from_index(2)
+        );
+        // One transition remains: merged → 9 mW state, guarded by p2.
+        assert_eq!(psm.transition_count(), 1);
+        assert_eq!(psm.transitions()[0].guard, PropositionId::from_index(2));
+    }
+
+    #[test]
+    fn distinct_levels_untouched() {
+        let mut psm = build(&[(0, 1.0, 5), (1, 5.0, 5), (2, 9.0, 5), (3, 0.2, 2)]);
+        let merges = simplify(&mut psm, &MergePolicy::default());
+        assert_eq!(merges, 0);
+        assert_eq!(psm.state_count(), 3);
+    }
+
+    #[test]
+    fn cascading_merges_collapse_whole_plateau() {
+        let mut psm = build(&[
+            (0, 3.0, 4),
+            (1, 3.0, 4),
+            (2, 3.0, 4),
+            (3, 3.0, 4),
+            (4, 8.0, 2),
+        ]);
+        assert_eq!(psm.state_count(), 4);
+        let merges = simplify(&mut psm, &MergePolicy::default());
+        assert_eq!(merges, 3);
+        assert_eq!(psm.state_count(), 1);
+        assert_eq!(psm.state(StateId(0)).chains()[0].len(), 4);
+    }
+
+    #[test]
+    fn preserves_power_semantics_of_attributes() {
+        let mut psm = build(&[(0, 2.0, 5), (1, 2.0, 5), (2, 7.0, 3), (3, 0.5, 2)]);
+        let total_before: f64 = psm
+            .states()
+            .map(|(_, s)| s.attrs().mu() * s.attrs().n() as f64)
+            .sum();
+        simplify(&mut psm, &MergePolicy::default());
+        let total_after: f64 = psm
+            .states()
+            .map(|(_, s)| s.attrs().mu() * s.attrs().n() as f64)
+            .sum();
+        assert!((total_before - total_after).abs() < 1e-9);
+    }
+}

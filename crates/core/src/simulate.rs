@@ -1,0 +1,420 @@
+//! Deterministic PSM simulation (paper §III-C).
+//!
+//! A PSM is simulated *concurrently* with its IP: at every instant the
+//! current PI/PO values classify into one mined proposition (the
+//! observation), the PSM checks the temporal assertion of its current
+//! state, and its output function yields the power estimate. When an
+//! unexpected observation arrives, the PSM has hit behaviour not covered by
+//! its training trace: it loses synchronisation, keeps emitting its last
+//! state's power (unreliable) and re-synchronises on the first observation
+//! matching some state entry.
+//!
+//! This module handles the *deterministic* case; joined, non-deterministic
+//! models go through the HMM of `psm-hmm` (paper §V).
+
+use crate::psm::{Psm, StateId};
+use crate::CoreError;
+use psm_mining::{PropositionId, PropositionTable, TemporalPattern};
+use psm_trace::{FunctionalTrace, PowerTrace};
+
+/// Classifies every instant of a functional trace into its mined
+/// proposition; `None` marks behaviour unseen during training.
+///
+/// This is the observation stream both the deterministic simulator and the
+/// HMM consume.
+pub fn classify_trace(
+    table: &PropositionTable,
+    trace: &FunctionalTrace,
+) -> Vec<Option<PropositionId>> {
+    (0..trace.len())
+        .map(|t| table.classify(trace.cycle(t)))
+        .collect()
+}
+
+/// Result of replaying a PSM against an observation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimationOutcome {
+    /// Per-instant power estimate (mW).
+    pub estimate: PowerTrace,
+    /// Instants spent out of synchronisation (estimates unreliable there).
+    pub sync_loss_instants: usize,
+}
+
+impl EstimationOutcome {
+    /// Fraction of instants spent out of synchronisation.
+    pub fn sync_loss_rate(&self) -> f64 {
+        if self.estimate.is_empty() {
+            0.0
+        } else {
+            self.sync_loss_instants as f64 / self.estimate.len() as f64
+        }
+    }
+}
+
+/// Where the walk currently sits inside a state's assertion chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cursor {
+    state: StateId,
+    chain: usize,
+    part: usize,
+    /// For a `next` part: its single left-instant was already consumed.
+    next_consumed: bool,
+}
+
+/// Deterministic simulator for a single (or simplified) PSM.
+///
+/// # Examples
+///
+/// ```
+/// use psm_core::{generate_psm, PsmSimulator};
+/// use psm_mining::PropositionTrace;
+/// use psm_trace::PowerTrace;
+///
+/// let gamma = PropositionTrace::from_indices(&[0, 0, 0, 1, 1, 1, 2, 3]);
+/// let delta: PowerTrace = [3.0, 3.0, 3.0, 2.0, 2.0, 2.0, 3.4, 3.4]
+///     .into_iter()
+///     .collect();
+/// let psm = generate_psm(&gamma, &delta, 0)?;
+/// let sim = PsmSimulator::new(&psm)?;
+/// // Replay the training observations: exact powers; only the trailing
+/// // instant (beyond the last mined state) counts as unsynchronised.
+/// let obs: Vec<_> = gamma.iter().map(Some).collect();
+/// let hamming = vec![0u32; obs.len()];
+/// let outcome = sim.run(&obs, &hamming);
+/// assert_eq!(outcome.sync_loss_instants, 1);
+/// assert_eq!(outcome.estimate[0], 3.0);
+/// assert_eq!(outcome.estimate[3], 2.0);
+/// # Ok::<(), psm_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct PsmSimulator<'a> {
+    psm: &'a Psm,
+}
+
+impl<'a> PsmSimulator<'a> {
+    /// Wraps a deterministic PSM for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NonDeterministic`] when the model has duplicate
+    /// transition guards, duplicate chain entries or multiple initial
+    /// states — use the HMM simulator for those.
+    pub fn new(psm: &'a Psm) -> Result<Self, CoreError> {
+        if !psm.is_deterministic() {
+            let state = psm
+                .states()
+                .find(|(id, s)| {
+                    let mut guards: Vec<_> = psm.successors(*id).map(|t| t.guard).collect();
+                    guards.sort();
+                    let dup_guard = guards.windows(2).any(|w| w[0] == w[1]);
+                    let mut entries: Vec<_> = s
+                        .chains()
+                        .iter()
+                        .map(|c| c.entry_proposition())
+                        .collect();
+                    entries.sort();
+                    dup_guard || entries.windows(2).any(|w| w[0] == w[1])
+                })
+                .map(|(id, _)| id.index())
+                .unwrap_or(0);
+            return Err(CoreError::NonDeterministic { state });
+        }
+        Ok(PsmSimulator { psm })
+    }
+
+    /// Replays the PSM against an observation stream.
+    ///
+    /// `observations[t]` is the mined proposition holding at instant `t`
+    /// (`None` = behaviour unseen in training); `input_hamming[t]` feeds
+    /// regression-calibrated output functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or the PSM has no states.
+    pub fn run(
+        &self,
+        observations: &[Option<PropositionId>],
+        input_hamming: &[u32],
+    ) -> EstimationOutcome {
+        assert_eq!(
+            observations.len(),
+            input_hamming.len(),
+            "observations and hamming series must align"
+        );
+        assert!(self.psm.state_count() > 0, "cannot simulate an empty PSM");
+
+        let initial = self
+            .psm
+            .initials()
+            .first()
+            .map(|(s, _)| *s)
+            .unwrap_or(StateId(0));
+        let mut cursor = Cursor {
+            state: initial,
+            chain: 0,
+            part: 0,
+            next_consumed: false,
+        };
+        let mut lost = true; // must see the initial entry proposition first
+        let mut estimate = PowerTrace::with_capacity(observations.len());
+        let mut sync_loss_instants = 0usize;
+
+        for (t, obs) in observations.iter().enumerate() {
+            if lost {
+                if let Some(o) = obs {
+                    if let Some(next) = self.resync_target(*o) {
+                        cursor = next;
+                        lost = false;
+                    }
+                }
+            } else {
+                match obs {
+                    Some(o) => {
+                        if let Some(next) = self.advance(cursor, *o) {
+                            cursor = next;
+                        } else {
+                            lost = true;
+                        }
+                    }
+                    None => lost = true,
+                }
+            }
+            if lost {
+                sync_loss_instants += 1;
+            }
+            let state = self.psm.state(cursor.state);
+            estimate.push(state.output().evaluate(input_hamming[t] as f64));
+        }
+
+        EstimationOutcome {
+            estimate,
+            sync_loss_instants,
+        }
+    }
+
+    /// Finds the unique state (and chain) whose entry proposition matches
+    /// `o`; preference goes to the initial state, then lowest id.
+    fn resync_target(&self, o: PropositionId) -> Option<Cursor> {
+        let mut candidates = self.psm.states().filter_map(|(id, s)| {
+            s.chains()
+                .iter()
+                .position(|c| c.entry_proposition() == o)
+                .map(|chain| (id, chain))
+        });
+        let (state, chain) = candidates.next()?;
+        Some(self.enter(state, chain, o))
+    }
+
+    /// Enters `state` on `chain`, consuming `o` as the first part's left
+    /// proposition.
+    fn enter(&self, state: StateId, chain: usize, o: PropositionId) -> Cursor {
+        let part = &self.psm.state(state).chains()[chain].parts()[0];
+        debug_assert_eq!(part.left(), o);
+        Cursor {
+            state,
+            chain,
+            part: 0,
+            next_consumed: part.pattern() == TemporalPattern::Next,
+        }
+    }
+
+    /// One deterministic step from `cursor` on observation `o`; `None`
+    /// signals a synchronisation loss.
+    fn advance(&self, cursor: Cursor, o: PropositionId) -> Option<Cursor> {
+        let state = self.psm.state(cursor.state);
+        let chain = &state.chains()[cursor.chain];
+        let part = chain.parts()[cursor.part];
+
+        if o == part.left() && !cursor.next_consumed && part.pattern() == TemporalPattern::Until {
+            // The until run continues.
+            return Some(cursor);
+        }
+        if o == part.right() {
+            // Part exits: cascade into the next part or leave the state.
+            if cursor.part + 1 < chain.len() {
+                let next_part = chain.parts()[cursor.part + 1];
+                debug_assert_eq!(next_part.left(), o, "sequence chains cascade");
+                return Some(Cursor {
+                    state: cursor.state,
+                    chain: cursor.chain,
+                    part: cursor.part + 1,
+                    next_consumed: next_part.pattern() == TemporalPattern::Next,
+                });
+            }
+            // Leave through the transition guarded by the exit proposition.
+            let t = self.psm.successors(cursor.state).find(|t| t.guard == o)?;
+            let target = self.psm.state(t.to);
+            let chain_idx = target
+                .chains()
+                .iter()
+                .position(|c| c.entry_proposition() == o)?;
+            return Some(self.enter(t.to, chain_idx, o));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_psm;
+    use crate::merge::{join, MergePolicy};
+    use psm_mining::PropositionTrace;
+
+    fn fig3_psm() -> Psm {
+        let gamma = PropositionTrace::from_indices(&[0, 0, 0, 1, 1, 1, 2, 3]);
+        let delta: PowerTrace = [3.0, 3.0, 3.0, 2.0, 2.0, 2.0, 3.4, 3.4]
+            .into_iter()
+            .collect();
+        generate_psm(&gamma, &delta, 0).unwrap()
+    }
+
+    fn obs(ids: &[u32]) -> Vec<Option<PropositionId>> {
+        ids.iter()
+            .map(|&i| Some(PropositionId::from_index(i)))
+            .collect()
+    }
+
+    #[test]
+    fn replaying_training_trace_is_exact() {
+        let psm = fig3_psm();
+        let sim = PsmSimulator::new(&psm).unwrap();
+        let o = obs(&[0, 0, 0, 1, 1, 1, 2, 3]);
+        let outcome = sim.run(&o, &vec![0; o.len()]);
+        // Instant 7 (the trailing p3) exits the terminal state: the PSM has
+        // no successor there, so it counts as one lost instant, estimated
+        // with the last state's power — exactly the paper's "stay in the
+        // last valid state" rule.
+        assert_eq!(outcome.sync_loss_instants, 1);
+        let exp = [3.0, 3.0, 3.0, 2.0, 2.0, 2.0, 3.4, 3.4];
+        for (t, &e) in exp.iter().enumerate() {
+            assert!(
+                (outcome.estimate[t] - e).abs() < 1e-12,
+                "t={t}: {} vs {e}",
+                outcome.estimate[t]
+            );
+        }
+    }
+
+    #[test]
+    fn variable_until_lengths_still_sync() {
+        // The same behaviours with different run lengths than training.
+        let psm = fig3_psm();
+        let sim = PsmSimulator::new(&psm).unwrap();
+        let o = obs(&[0, 0, 0, 0, 0, 1, 1, 2, 3]);
+        let outcome = sim.run(&o, &vec![0; o.len()]);
+        // Only the trailing exit instant is beyond the model.
+        assert_eq!(outcome.sync_loss_instants, 1);
+        assert_eq!(outcome.estimate[4], 3.0);
+        assert_eq!(outcome.estimate[6], 2.0);
+        assert_eq!(outcome.estimate[7], 3.4);
+    }
+
+    #[test]
+    fn unexpected_proposition_loses_sync_and_recovers() {
+        let psm = fig3_psm();
+        let sim = PsmSimulator::new(&psm).unwrap();
+        // p9 is never an entry proposition: the PSM stays lost during it.
+        let o = obs(&[0, 0, 9, 9, 0, 0, 1, 1]);
+        let outcome = sim.run(&o, &vec![0; o.len()]);
+        assert_eq!(outcome.sync_loss_instants, 2);
+        // After resync the estimates are reliable again.
+        assert_eq!(outcome.estimate[5], 3.0);
+        assert_eq!(outcome.estimate[6], 2.0);
+    }
+
+    #[test]
+    fn unknown_behaviour_none_loses_sync() {
+        let psm = fig3_psm();
+        let sim = PsmSimulator::new(&psm).unwrap();
+        let mut o = obs(&[0, 0, 0, 1, 1, 1, 2, 3]);
+        o[4] = None;
+        let outcome = sim.run(&o, &vec![0; o.len()]);
+        assert!(outcome.sync_loss_instants >= 1);
+    }
+
+    #[test]
+    fn joined_loop_simulates_repeating_workload() {
+        // Training: (idle busy) × 2 then a trailing idle run the XU
+        // automaton drops. Both idle states carry the *identical* chain
+        // p0 U p1 and both busy states p1 U p0, so the joined loop stays
+        // deterministic (identical duplicates add multiplicity only).
+        let mut props = Vec::new();
+        let mut power = Vec::new();
+        let phases = [(0u32, 3.0, 6), (1, 9.0, 6), (0, 3.0, 6), (1, 9.0, 6), (0, 3.0, 6)];
+        for &(id, mw, len) in &phases {
+            for k in 0..len {
+                props.push(id);
+                power.push(mw + 0.002 * (k % 3) as f64);
+            }
+        }
+        let gamma = PropositionTrace::from_indices(&props);
+        let delta: PowerTrace = power.into_iter().collect();
+        let psm = generate_psm(&gamma, &delta, 0).unwrap();
+        let joined = join(&[psm], &MergePolicy::default());
+        assert_eq!(joined.state_count(), 2);
+        assert!(joined.is_deterministic());
+        let sim = PsmSimulator::new(&joined).unwrap();
+        // A longer alternating workload than training: the loop tracks it.
+        let o = obs(&[0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0]);
+        let outcome = sim.run(&o, &vec![0; o.len()]);
+        assert_eq!(outcome.sync_loss_instants, 0);
+        assert!((outcome.estimate[0] - 3.0).abs() < 0.1);
+        assert!((outcome.estimate[2] - 9.0).abs() < 0.1);
+        assert!((outcome.estimate[13] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn nondeterministic_model_rejected() {
+        let psm = fig3_psm();
+        let mut ndet = psm.clone();
+        ndet.add_transition(StateId(0), StateId(2), PropositionId::from_index(1));
+        assert!(matches!(
+            PsmSimulator::new(&ndet),
+            Err(CoreError::NonDeterministic { .. })
+        ));
+    }
+
+    #[test]
+    fn classify_trace_maps_unknowns() {
+        use psm_mining::{Miner, MiningConfig};
+        use psm_trace::{Bits, Direction, SignalSet};
+        let mut signals = SignalSet::new();
+        signals.push("x", 1, Direction::Input).unwrap();
+        signals.push("y", 1, Direction::Input).unwrap();
+        let mut phi = FunctionalTrace::new(signals.clone());
+        for (x, y) in [(0u64, 1u64), (0, 1), (1, 0), (1, 0)] {
+            phi.push_cycle(vec![Bits::from_u64(x, 1), Bits::from_u64(y, 1)])
+                .unwrap();
+        }
+        let mined = Miner::new(MiningConfig::default()).mine(&[&phi]).unwrap();
+        let obs = classify_trace(&mined.table, &phi);
+        assert!(obs.iter().all(Option::is_some));
+        // A cycle with x=y=1 was never seen.
+        let mut unseen = FunctionalTrace::new(signals);
+        unseen
+            .push_cycle(vec![Bits::from_u64(1, 1), Bits::from_u64(1, 1)])
+            .unwrap();
+        let obs2 = classify_trace(&mined.table, &unseen);
+        assert_eq!(obs2, vec![None]);
+    }
+}
+
+#[cfg(test)]
+mod outcome_tests {
+    use super::*;
+
+    #[test]
+    fn sync_loss_rate_edge_cases() {
+        let empty = EstimationOutcome {
+            estimate: PowerTrace::new(),
+            sync_loss_instants: 0,
+        };
+        assert_eq!(empty.sync_loss_rate(), 0.0);
+        let half = EstimationOutcome {
+            estimate: PowerTrace::from_samples(vec![1.0, 2.0]),
+            sync_loss_instants: 1,
+        };
+        assert!((half.sync_loss_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! The XU automaton (paper Fig. 5): recognising `next`/`until` temporal
+//! patterns in a proposition trace.
+
+use psm_mining::{PropositionTrace, TemporalAssertion, TemporalPattern};
+
+/// One recognised temporal assertion with the inclusive interval of the
+/// trace it was mined from — the paper's triplet ⟨p, start, stop⟩.
+///
+/// `start..=stop` are the instants *characterised* by the state this
+/// assertion will become (the instants whose power samples feed its
+/// attributes). For an `until` assertion the interval is the whole run of
+/// the left proposition; for a `next` assertion it is the single instant of
+/// the left proposition (so that `n = 1`, as required by the paper's
+/// mergeability case 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinedAssertion {
+    /// The recognised temporal assertion.
+    pub assertion: TemporalAssertion,
+    /// First characterised instant.
+    pub start: usize,
+    /// Last characterised instant (inclusive).
+    pub stop: usize,
+}
+
+/// Walks a proposition trace with the XU automaton, returning the mined
+/// assertions in trace order.
+///
+/// The automaton keeps a two-slot FIFO `f` over consecutive instants:
+///
+/// * in state **X**, `f[1] = f[0]` starts an `until` run (move to **U**);
+///   `f[1] ≠ f[0]` immediately recognises `f[0] X f[1]`;
+/// * in state **U**, `f[1] = f[0]` extends the run; `f[1] ≠ f[0]` exits and
+///   recognises `f[0] U f[1]` over the run's interval.
+///
+/// A trailing pattern that never sees its exit proposition (the trace ends
+/// mid-run) is dropped, mirroring the paper's `nil` termination.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate), which reproduces the paper's
+/// Fig. 5 walk-through.
+pub fn mine_xu_assertions(gamma: &PropositionTrace) -> Vec<MinedAssertion> {
+    let mut out = Vec::new();
+    if gamma.len() < 2 {
+        return out;
+    }
+    let mut start = 0usize;
+    // `t` is the index of f[0]; f[1] is the proposition at t + 1.
+    let mut t = 0usize;
+    while let (Some(current), Some(next)) = (gamma.get(t), gamma.get(t + 1)) {
+        if current == next {
+            // (X or U) → U: the run continues.
+            t += 1;
+            continue;
+        }
+        // Run ends here: [start, t] is a maximal run of `current`.
+        let pattern = if t > start {
+            TemporalPattern::Until
+        } else {
+            TemporalPattern::Next
+        };
+        out.push(MinedAssertion {
+            assertion: TemporalAssertion::new(pattern, current, next),
+            start,
+            stop: t,
+        });
+        t += 1;
+        start = t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psm_mining::PropositionId;
+
+    fn p(i: u32) -> PropositionId {
+        PropositionId::from_index(i)
+    }
+
+    #[test]
+    fn fig5_walkthrough() {
+        // Γ = p_a p_a p_a p_b p_b p_b p_c p_d  (paper Fig. 3/5)
+        let gamma = PropositionTrace::from_indices(&[0, 0, 0, 1, 1, 1, 2, 3]);
+        let mined = mine_xu_assertions(&gamma);
+        assert_eq!(mined.len(), 3);
+
+        // ⟨p_a U p_b, 0, 2⟩
+        assert_eq!(mined[0].assertion.pattern(), TemporalPattern::Until);
+        assert_eq!(mined[0].assertion.left(), p(0));
+        assert_eq!(mined[0].assertion.right(), p(1));
+        assert_eq!((mined[0].start, mined[0].stop), (0, 2));
+
+        // ⟨p_b U p_c, 3, 5⟩
+        assert_eq!(mined[1].assertion.pattern(), TemporalPattern::Until);
+        assert_eq!((mined[1].start, mined[1].stop), (3, 5));
+
+        // ⟨p_c X p_d⟩ characterising the single instant 6.
+        assert_eq!(mined[2].assertion.pattern(), TemporalPattern::Next);
+        assert_eq!(mined[2].assertion.left(), p(2));
+        assert_eq!(mined[2].assertion.right(), p(3));
+        assert_eq!((mined[2].start, mined[2].stop), (6, 6));
+    }
+
+    #[test]
+    fn all_next_patterns() {
+        let gamma = PropositionTrace::from_indices(&[0, 1, 2, 3]);
+        let mined = mine_xu_assertions(&gamma);
+        assert_eq!(mined.len(), 3);
+        for (i, m) in mined.iter().enumerate() {
+            assert_eq!(m.assertion.pattern(), TemporalPattern::Next);
+            assert_eq!(m.assertion.left(), p(i as u32));
+            assert_eq!(m.assertion.right(), p(i as u32 + 1));
+            assert_eq!((m.start, m.stop), (i, i));
+        }
+    }
+
+    #[test]
+    fn single_until_run_without_exit_is_dropped() {
+        // The run never sees an exit proposition: nothing is recognised.
+        let gamma = PropositionTrace::from_indices(&[4, 4, 4, 4]);
+        assert!(mine_xu_assertions(&gamma).is_empty());
+    }
+
+    #[test]
+    fn trailing_run_is_dropped() {
+        // p0 p0 p1 p1: p0 U p1 over [0,1]; the trailing p1-run has no exit.
+        let gamma = PropositionTrace::from_indices(&[0, 0, 1, 1]);
+        let mined = mine_xu_assertions(&gamma);
+        assert_eq!(mined.len(), 1);
+        assert_eq!((mined[0].start, mined[0].stop), (0, 1));
+        assert_eq!(mined[0].assertion.pattern(), TemporalPattern::Until);
+    }
+
+    #[test]
+    fn alternating_singletons() {
+        // p0 p1 p0 p1 p0 → four next assertions.
+        let gamma = PropositionTrace::from_indices(&[0, 1, 0, 1, 0]);
+        let mined = mine_xu_assertions(&gamma);
+        assert_eq!(mined.len(), 4);
+        assert!(mined.iter().all(|m| m.assertion.is_next()));
+    }
+
+    #[test]
+    fn short_traces_yield_nothing() {
+        assert!(mine_xu_assertions(&PropositionTrace::from_indices(&[])).is_empty());
+        assert!(mine_xu_assertions(&PropositionTrace::from_indices(&[0])).is_empty());
+    }
+
+    #[test]
+    fn intervals_partition_recognised_prefix() {
+        // Every instant of the recognised prefix belongs to exactly one
+        // assertion interval.
+        let gamma = PropositionTrace::from_indices(&[0, 0, 1, 2, 2, 2, 3, 0, 0, 4]);
+        let mined = mine_xu_assertions(&gamma);
+        let mut covered = Vec::new();
+        for m in &mined {
+            for t in m.start..=m.stop {
+                covered.push(t);
+            }
+        }
+        let max_stop = mined.last().unwrap().stop;
+        let expect: Vec<usize> = (0..=max_stop).collect();
+        assert_eq!(covered, expect);
+    }
+}

@@ -1,0 +1,48 @@
+//! The benchmark-IP abstraction.
+
+use psm_rtl::{Netlist, RtlError};
+use psm_trace::{Bits, SignalSet};
+
+/// A benchmark IP with a behavioural model and a structural (gate-level)
+/// twin.
+///
+/// The contract between the two:
+///
+/// * [`Ip::signals`] matches the port list of [`Ip::netlist`] exactly
+///   (names, widths, directions, declaration order);
+/// * one call to [`Ip::step`] corresponds to one clock cycle of the
+///   structural simulation: given the inputs applied in cycle *t* and the
+///   architectural state left by cycle *t − 1*, it returns the output
+///   values visible *during* cycle *t* and commits the state the clock
+///   edge captures.
+///
+/// The cross-model equivalence is enforced by randomised tests in the
+/// workspace's integration suite.
+pub trait Ip {
+    /// Short benchmark name (Table I row label).
+    fn name(&self) -> &'static str;
+
+    /// The PI/PO interface, in declaration order (PIs first).
+    fn signals(&self) -> SignalSet;
+
+    /// Builds the structural twin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction failures; for the shipped IPs this
+    /// cannot fail and mostly exists so implementors can use `?`.
+    fn netlist(&self) -> Result<Netlist, RtlError>;
+
+    /// Returns the behavioural model to its post-reset state.
+    fn reset(&mut self);
+
+    /// Executes one clock cycle; `inputs` in PI declaration order, returns
+    /// POs in PO declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on malformed input vectors (wrong count or
+    /// widths) — such stimuli are programming errors, matching how an HDL
+    /// simulator would fail elaboration.
+    fn step(&mut self, inputs: &[Bits]) -> Vec<Bits>;
+}

@@ -1,0 +1,226 @@
+//! Atomic propositions: the indivisible predicates of the mined logic.
+
+use psm_trace::{Bits, SignalId, SignalSet};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Relational operator between two signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Comparison {
+    /// `left = right`
+    Eq,
+    /// `left < right` (unsigned)
+    Lt,
+    /// `left > right` (unsigned)
+    Gt,
+}
+
+impl Comparison {
+    /// All comparison operators, in a stable order.
+    pub const ALL: [Comparison; 3] = [Comparison::Eq, Comparison::Lt, Comparison::Gt];
+
+    /// Applies the operator to an [`Ordering`].
+    pub fn test(self, ord: Ordering) -> bool {
+        match self {
+            Comparison::Eq => ord == Ordering::Equal,
+            Comparison::Lt => ord == Ordering::Less,
+            Comparison::Gt => ord == Ordering::Greater,
+        }
+    }
+
+    /// Operator glyph for rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Comparison::Eq => "=",
+            Comparison::Lt => "<",
+            Comparison::Gt => ">",
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An atomic proposition over the PIs/POs of a model (paper Def. 1): a
+/// logic formula without connectives.
+///
+/// Two template families are mined, following ref.\[9\]:
+///
+/// * `v = c` — a signal equals one of its frequently observed constants
+///   (covers boolean controls like `start = true`);
+/// * `v ∘ w` — a relation between two equal-width signals
+///   (e.g. the paper's `v3 > v4`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AtomicProposition {
+    /// `signal = value`
+    VarEqConst {
+        /// The observed signal.
+        signal: SignalId,
+        /// The constant it is compared against.
+        value: Bits,
+    },
+    /// `left ∘ right` for two equal-width signals.
+    VarCmpVar {
+        /// Left-hand signal.
+        left: SignalId,
+        /// Relational operator.
+        cmp: Comparison,
+        /// Right-hand signal.
+        right: SignalId,
+    },
+}
+
+impl AtomicProposition {
+    /// Evaluates the atom over one functional-trace cycle (signal values in
+    /// declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced signal index is out of range for `cycle`, or
+    /// if a `VarCmpVar` was constructed over signals of different widths
+    /// (the miner never does).
+    pub fn eval(&self, cycle: &[Bits]) -> bool {
+        match self {
+            AtomicProposition::VarEqConst { signal, value } => &cycle[signal.index()] == value,
+            AtomicProposition::VarCmpVar { left, cmp, right } => {
+                let ord = cycle[left.index()]
+                    .compare(&cycle[right.index()])
+                    .expect("mined relational atoms always compare equal widths");
+                cmp.test(ord)
+            }
+        }
+    }
+
+    /// Renders the atom with signal names resolved through `signals`.
+    ///
+    /// Boolean `v = c` atoms render as `v=true` / `v=false`, matching the
+    /// paper's Fig. 3 notation.
+    pub fn render(&self, signals: &SignalSet) -> String {
+        match self {
+            AtomicProposition::VarEqConst { signal, value } => {
+                let name = signals.decl(*signal).name();
+                if value.width() == 1 {
+                    format!("{name}={}", if value.bit(0) { "true" } else { "false" })
+                } else {
+                    format!("{name}={value}")
+                }
+            }
+            AtomicProposition::VarCmpVar { left, cmp, right } => {
+                format!(
+                    "{}{}{}",
+                    signals.decl(*left).name(),
+                    cmp,
+                    signals.decl(*right).name()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psm_trace::Direction;
+
+    fn setup() -> (SignalSet, Vec<Bits>) {
+        let mut s = SignalSet::new();
+        s.push("en", 1, Direction::Input).unwrap();
+        s.push("a", 4, Direction::Input).unwrap();
+        s.push("b", 4, Direction::Output).unwrap();
+        let cycle = vec![
+            Bits::from_bool(true),
+            Bits::from_u64(9, 4),
+            Bits::from_u64(3, 4),
+        ];
+        (s, cycle)
+    }
+
+    #[test]
+    fn var_eq_const_eval() {
+        let (s, cycle) = setup();
+        let en = s.by_name("en").unwrap();
+        let atom = AtomicProposition::VarEqConst {
+            signal: en,
+            value: Bits::from_bool(true),
+        };
+        assert!(atom.eval(&cycle));
+        let atom = AtomicProposition::VarEqConst {
+            signal: en,
+            value: Bits::from_bool(false),
+        };
+        assert!(!atom.eval(&cycle));
+    }
+
+    #[test]
+    fn var_cmp_var_eval() {
+        let (s, cycle) = setup();
+        let a = s.by_name("a").unwrap();
+        let b = s.by_name("b").unwrap();
+        let gt = AtomicProposition::VarCmpVar {
+            left: a,
+            cmp: Comparison::Gt,
+            right: b,
+        };
+        let lt = AtomicProposition::VarCmpVar {
+            left: a,
+            cmp: Comparison::Lt,
+            right: b,
+        };
+        let eq = AtomicProposition::VarCmpVar {
+            left: a,
+            cmp: Comparison::Eq,
+            right: b,
+        };
+        assert!(gt.eval(&cycle));
+        assert!(!lt.eval(&cycle));
+        assert!(!eq.eval(&cycle));
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let (s, _) = setup();
+        let en = s.by_name("en").unwrap();
+        let a = s.by_name("a").unwrap();
+        let b = s.by_name("b").unwrap();
+        assert_eq!(
+            AtomicProposition::VarEqConst {
+                signal: en,
+                value: Bits::from_bool(true)
+            }
+            .render(&s),
+            "en=true"
+        );
+        assert_eq!(
+            AtomicProposition::VarCmpVar {
+                left: a,
+                cmp: Comparison::Gt,
+                right: b
+            }
+            .render(&s),
+            "a>b"
+        );
+        assert_eq!(
+            AtomicProposition::VarEqConst {
+                signal: a,
+                value: Bits::from_u64(9, 4)
+            }
+            .render(&s),
+            "a=4'h9"
+        );
+    }
+
+    #[test]
+    fn comparison_test_and_symbols() {
+        assert!(Comparison::Eq.test(Ordering::Equal));
+        assert!(Comparison::Lt.test(Ordering::Less));
+        assert!(Comparison::Gt.test(Ordering::Greater));
+        assert!(!Comparison::Gt.test(Ordering::Less));
+        assert_eq!(Comparison::ALL.len(), 3);
+        assert_eq!(Comparison::Lt.to_string(), "<");
+    }
+}

@@ -1,0 +1,133 @@
+//! Mining thresholds.
+
+/// Configuration of the atomic-proposition extraction phase.
+///
+/// The defaults reproduce the behaviour needed for the paper's Fig. 3
+/// example and work well on the four benchmark IPs: constants are mined only
+/// for *control-like* signals (observed domain of at most
+/// `const_atom_max_domain` values), relations are mined between all
+/// equal-width signal pairs, and atoms that never change truth value across
+/// the training set are dropped as uninformative.
+///
+/// # Examples
+///
+/// ```
+/// use psm_mining::MiningConfig;
+///
+/// let config = MiningConfig::default()
+///     .with_min_support(0.05)
+///     .with_const_atom_max_domain(4);
+/// assert_eq!(config.min_support(), 0.05);
+/// assert_eq!(config.const_atom_max_domain(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiningConfig {
+    min_support: f64,
+    const_atom_max_domain: usize,
+    pair_relations: bool,
+    drop_invariants: bool,
+}
+
+impl MiningConfig {
+    /// Minimum fraction of training instants an atom must hold to be kept.
+    pub fn min_support(&self) -> f64 {
+        self.min_support
+    }
+
+    /// Largest observed value domain for which `v = c` atoms are emitted.
+    ///
+    /// With the default of 2, boolean handshakes (`start`, `ready`, …) and
+    /// effectively constant buses are covered while wide data buses
+    /// contribute only relational atoms — this is what keeps the mined
+    /// proposition set small and behavioural rather than data-enumerating.
+    pub fn const_atom_max_domain(&self) -> usize {
+        self.const_atom_max_domain
+    }
+
+    /// Whether `v ∘ w` relational atoms are mined.
+    pub fn pair_relations(&self) -> bool {
+        self.pair_relations
+    }
+
+    /// Whether atoms holding at *every* (or *no*) training instant are
+    /// discarded. Such invariants cannot distinguish states.
+    pub fn drop_invariants(&self) -> bool {
+        self.drop_invariants
+    }
+
+    /// Sets the minimum support fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= min_support <= 1.0`.
+    pub fn with_min_support(mut self, min_support: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&min_support),
+            "support is a fraction in [0, 1]"
+        );
+        self.min_support = min_support;
+        self
+    }
+
+    /// Sets the maximum value domain for constant atoms.
+    pub fn with_const_atom_max_domain(mut self, domain: usize) -> Self {
+        self.const_atom_max_domain = domain;
+        self
+    }
+
+    /// Enables or disables relational atoms.
+    pub fn with_pair_relations(mut self, enabled: bool) -> Self {
+        self.pair_relations = enabled;
+        self
+    }
+
+    /// Enables or disables invariant dropping.
+    pub fn with_drop_invariants(mut self, enabled: bool) -> Self {
+        self.drop_invariants = enabled;
+        self
+    }
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            min_support: 0.02,
+            const_atom_max_domain: 2,
+            pair_relations: true,
+            drop_invariants: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = MiningConfig::default();
+        assert!(c.min_support() > 0.0 && c.min_support() < 0.5);
+        assert!(c.pair_relations());
+        assert!(c.drop_invariants());
+        assert_eq!(c.const_atom_max_domain(), 2);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = MiningConfig::default()
+            .with_min_support(0.5)
+            .with_const_atom_max_domain(16)
+            .with_pair_relations(false)
+            .with_drop_invariants(false);
+        assert_eq!(c.min_support(), 0.5);
+        assert_eq!(c.const_atom_max_domain(), 16);
+        assert!(!c.pair_relations());
+        assert!(!c.drop_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_support() {
+        let _ = MiningConfig::default().with_min_support(1.5);
+    }
+}

@@ -1,0 +1,349 @@
+//! Propositions: AND-compositions of atomic propositions, one per distinct
+//! truth-matrix row.
+
+use crate::atom::AtomicProposition;
+use psm_trace::{Bits, SignalSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a proposition within one [`PropositionTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropositionId(pub(crate) u32);
+
+impl PropositionId {
+    /// Dense index of this proposition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PropositionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The mined atomic propositions — the columns of the paper's truth matrix
+/// *m* — together with the interface they predicate over.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropositionVocabulary {
+    signals: SignalSet,
+    atoms: Vec<AtomicProposition>,
+}
+
+impl PropositionVocabulary {
+    pub(crate) fn new(signals: SignalSet, atoms: Vec<AtomicProposition>) -> Self {
+        PropositionVocabulary { signals, atoms }
+    }
+
+    /// The PI/PO interface the atoms predicate over.
+    pub fn signals(&self) -> &SignalSet {
+        &self.signals
+    }
+
+    /// The mined atoms, in stable order.
+    pub fn atoms(&self) -> &[AtomicProposition] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` when no atom was mined.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluates every atom over one functional-trace cycle, producing a
+    /// packed truth row (bit *i* = truth of atom *i*).
+    pub fn evaluate_row(&self, cycle: &[Bits]) -> Vec<u64> {
+        let mut row = vec![0u64; self.atoms.len().div_ceil(64).max(1)];
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if atom.eval(cycle) {
+                row[i / 64] |= 1 << (i % 64);
+            }
+        }
+        row
+    }
+}
+
+/// One mined proposition: a distinct truth-value row over the vocabulary.
+///
+/// A proposition is the AND-composition of the atoms that hold (and,
+/// implicitly, the negation of those that do not — the *closed-world*
+/// reading). This identification guarantees the paper's requirement that
+/// **exactly one proposition of the set holds at every instant** on any
+/// trace whatsoever.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Proposition {
+    row: Vec<u64>,
+    atom_count: usize,
+}
+
+impl Proposition {
+    /// Truth of atom `i` within this proposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn atom_truth(&self, i: usize) -> bool {
+        assert!(i < self.atom_count, "atom {i} out of range");
+        self.row[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Indices of the atoms that hold in this proposition.
+    pub fn satisfied_atoms(&self) -> Vec<usize> {
+        (0..self.atom_count).filter(|&i| self.atom_truth(i)).collect()
+    }
+
+    /// The packed truth row.
+    pub fn row(&self) -> &[u64] {
+        &self.row
+    }
+}
+
+/// The interned set *Prop* of mined propositions, shared across all traces
+/// of one IP so that PSMs generated from different traces can be compared
+/// and joined.
+///
+/// [`PropositionTable::intern`] is used while mining (new rows become new
+/// propositions); [`PropositionTable::classify`] is used while *simulating*
+/// and returns `None` for behaviour never seen in training — the paper's
+/// "unknown functional behaviour".
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(from = "PropositionTableRepr", into = "PropositionTableRepr"))]
+pub struct PropositionTable {
+    vocabulary: PropositionVocabulary,
+    props: Vec<Proposition>,
+    index: HashMap<Vec<u64>, PropositionId>,
+}
+
+/// Serialised form of a [`PropositionTable`]: the row index is derived
+/// data (and not representable as JSON map keys), so it is rebuilt on
+/// deserialisation.
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PropositionTableRepr {
+    vocabulary: PropositionVocabulary,
+    props: Vec<Proposition>,
+}
+
+#[cfg(feature = "serde")]
+impl From<PropositionTableRepr> for PropositionTable {
+    fn from(r: PropositionTableRepr) -> Self {
+        let index = r
+            .props
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.row().to_vec(), PropositionId(i as u32)))
+            .collect();
+        PropositionTable {
+            vocabulary: r.vocabulary,
+            props: r.props,
+            index,
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl From<PropositionTable> for PropositionTableRepr {
+    fn from(t: PropositionTable) -> Self {
+        PropositionTableRepr {
+            vocabulary: t.vocabulary,
+            props: t.props,
+        }
+    }
+}
+
+impl PropositionTable {
+    pub(crate) fn new(vocabulary: PropositionVocabulary) -> Self {
+        PropositionTable {
+            vocabulary,
+            props: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The vocabulary whose rows this table interns.
+    pub fn vocabulary(&self) -> &PropositionVocabulary {
+        &self.vocabulary
+    }
+
+    /// Number of interned propositions.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Interns a truth row, returning the existing or a fresh id.
+    pub fn intern(&mut self, row: Vec<u64>) -> PropositionId {
+        if let Some(&id) = self.index.get(&row) {
+            return id;
+        }
+        let id = PropositionId(self.props.len() as u32);
+        self.props.push(Proposition {
+            row: row.clone(),
+            atom_count: self.vocabulary.len(),
+        });
+        self.index.insert(row, id);
+        id
+    }
+
+    /// Evaluates one cycle and interns its row (mining path).
+    pub fn intern_cycle(&mut self, cycle: &[Bits]) -> PropositionId {
+        let row = self.vocabulary.evaluate_row(cycle);
+        self.intern(row)
+    }
+
+    /// Evaluates one cycle *without* interning (simulation path); `None`
+    /// means unknown behaviour.
+    pub fn classify(&self, cycle: &[Bits]) -> Option<PropositionId> {
+        let row = self.vocabulary.evaluate_row(cycle);
+        self.index.get(&row).copied()
+    }
+
+    /// The proposition behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn get(&self, id: PropositionId) -> &Proposition {
+        &self.props[id.index()]
+    }
+
+    /// All interned proposition ids, in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = PropositionId> + '_ {
+        (0..self.props.len()).map(|i| PropositionId(i as u32))
+    }
+
+    /// Renders a proposition as the conjunction of its satisfied atoms
+    /// (the paper's Fig. 3 notation, e.g.
+    /// `v1=true & v2=false & v3>v4`). Propositions satisfying no atom
+    /// render as `⊤` (every atom negated).
+    pub fn render(&self, id: PropositionId) -> String {
+        let p = self.get(id);
+        let parts: Vec<String> = p
+            .satisfied_atoms()
+            .into_iter()
+            .map(|i| self.vocabulary.atoms()[i].render(self.vocabulary.signals()))
+            .collect();
+        if parts.is_empty() {
+            "⊤".to_owned()
+        } else {
+            parts.join(" & ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Comparison;
+    use psm_trace::Direction;
+
+    fn table() -> PropositionTable {
+        let mut s = SignalSet::new();
+        let en = s.push("en", 1, Direction::Input).unwrap();
+        let a = s.push("a", 4, Direction::Input).unwrap();
+        let b = s.push("b", 4, Direction::Output).unwrap();
+        let atoms = vec![
+            AtomicProposition::VarEqConst {
+                signal: en,
+                value: Bits::from_bool(true),
+            },
+            AtomicProposition::VarCmpVar {
+                left: a,
+                cmp: Comparison::Gt,
+                right: b,
+            },
+        ];
+        let vocab = PropositionVocabulary::new(s, atoms);
+        PropositionTable::new(vocab)
+    }
+
+    fn cycle(en: u64, a: u64, b: u64) -> Vec<Bits> {
+        vec![
+            Bits::from_u64(en, 1),
+            Bits::from_u64(a, 4),
+            Bits::from_u64(b, 4),
+        ]
+    }
+
+    #[test]
+    fn interning_dedupes_rows() {
+        let mut t = table();
+        let p1 = t.intern_cycle(&cycle(1, 5, 3));
+        let p2 = t.intern_cycle(&cycle(1, 9, 2)); // same truth row: en & a>b
+        let p3 = t.intern_cycle(&cycle(0, 5, 3));
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn classify_does_not_intern() {
+        let mut t = table();
+        t.intern_cycle(&cycle(1, 5, 3));
+        assert!(t.classify(&cycle(1, 9, 9)).is_none()); // en & !(a>b): unseen
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.classify(&cycle(1, 7, 0)), Some(PropositionId(0)));
+    }
+
+    #[test]
+    fn render_shows_satisfied_atoms_only() {
+        let mut t = table();
+        let p = t.intern_cycle(&cycle(1, 5, 3));
+        assert_eq!(t.render(p), "en=true & a>b");
+        let q = t.intern_cycle(&cycle(0, 0, 3));
+        assert_eq!(t.render(q), "⊤");
+    }
+
+    #[test]
+    fn proposition_truths() {
+        let mut t = table();
+        let p = t.intern_cycle(&cycle(0, 9, 3)); // !en, a>b
+        let prop = t.get(p);
+        assert!(!prop.atom_truth(0));
+        assert!(prop.atom_truth(1));
+        assert_eq!(prop.satisfied_atoms(), vec![1]);
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let mut t = table();
+        t.intern_cycle(&cycle(1, 5, 3));
+        t.intern_cycle(&cycle(0, 5, 3));
+        let ids: Vec<_> = t.ids().collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].index(), 0);
+        assert_eq!(ids[1].to_string(), "p1");
+    }
+
+    #[test]
+    fn wide_vocabulary_rows() {
+        // More than 64 atoms exercises multi-word rows.
+        let mut s = SignalSet::new();
+        let sig = s.push("x", 8, Direction::Input).unwrap();
+        let atoms: Vec<AtomicProposition> = (0..70)
+            .map(|i| AtomicProposition::VarEqConst {
+                signal: sig,
+                value: Bits::from_u64(i, 8),
+            })
+            .collect();
+        let vocab = PropositionVocabulary::new(s, atoms);
+        assert_eq!(vocab.len(), 70);
+        let row = vocab.evaluate_row(&[Bits::from_u64(69, 8)]);
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[1], 1 << 5); // atom 69 in word 1, bit 5
+    }
+}

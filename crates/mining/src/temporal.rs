@@ -1,0 +1,147 @@
+//! LTL temporal assertions over mined propositions.
+
+use crate::proposition::{PropositionId, PropositionTable};
+use std::fmt;
+
+/// The two temporal patterns the paper mines (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TemporalPattern {
+    /// `p X q`: after one instant of `p`, `q` holds at the very next
+    /// instant — `(state = p) → next (state = q)`.
+    Next,
+    /// `p U q`: `p` holds for one or more consecutive instants until `q`
+    /// becomes true — `(state = p) until (state = q)`.
+    Until,
+}
+
+impl TemporalPattern {
+    /// LTL operator glyph.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            TemporalPattern::Next => "X",
+            TemporalPattern::Until => "U",
+        }
+    }
+}
+
+impl fmt::Display for TemporalPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A mined temporal assertion `left ⟨pattern⟩ right` — the characterising
+/// formula of one PSM power state.
+///
+/// For an `until` assertion `p U q`, the state holds while `p` repeats and
+/// is exited when `q` appears; for a `next` assertion `p X q`, the state
+/// holds for exactly one instant of `p` and is exited into `q`.
+///
+/// # Examples
+///
+/// ```
+/// use psm_mining::{PropositionId, TemporalAssertion, TemporalPattern};
+///
+/// let a = TemporalAssertion::new(
+///     TemporalPattern::Until,
+///     PropositionId::from_index(0),
+///     PropositionId::from_index(1),
+/// );
+/// assert_eq!(a.to_string(), "p0 U p1");
+/// assert!(a.is_until());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TemporalAssertion {
+    pattern: TemporalPattern,
+    left: PropositionId,
+    right: PropositionId,
+}
+
+impl TemporalAssertion {
+    /// Builds an assertion from its parts.
+    pub fn new(pattern: TemporalPattern, left: PropositionId, right: PropositionId) -> Self {
+        TemporalAssertion {
+            pattern,
+            left,
+            right,
+        }
+    }
+
+    /// The temporal operator.
+    pub fn pattern(&self) -> TemporalPattern {
+        self.pattern
+    }
+
+    /// The proposition holding *inside* the state.
+    pub fn left(&self) -> PropositionId {
+        self.left
+    }
+
+    /// The proposition whose appearance exits the state.
+    pub fn right(&self) -> PropositionId {
+        self.right
+    }
+
+    /// `true` for an `until` assertion.
+    pub fn is_until(&self) -> bool {
+        self.pattern == TemporalPattern::Until
+    }
+
+    /// `true` for a `next` assertion.
+    pub fn is_next(&self) -> bool {
+        self.pattern == TemporalPattern::Next
+    }
+
+    /// Renders with full proposition formulas resolved through `table`,
+    /// e.g. `(v1=true & v3>v4) U (v2=true)`.
+    pub fn render(&self, table: &PropositionTable) -> String {
+        format!(
+            "({}) {} ({})",
+            table.render(self.left),
+            self.pattern,
+            table.render(self.right)
+        )
+    }
+}
+
+impl fmt::Display for TemporalAssertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.pattern, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let a = TemporalAssertion::new(
+            TemporalPattern::Next,
+            PropositionId::from_index(2),
+            PropositionId::from_index(3),
+        );
+        assert_eq!(a.pattern(), TemporalPattern::Next);
+        assert_eq!(a.left().index(), 2);
+        assert_eq!(a.right().index(), 3);
+        assert!(a.is_next());
+        assert!(!a.is_until());
+        assert_eq!(a.to_string(), "p2 X p3");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mk = |p, l, r| TemporalAssertion::new(p, PropositionId::from_index(l), PropositionId::from_index(r));
+        assert_eq!(mk(TemporalPattern::Until, 0, 1), mk(TemporalPattern::Until, 0, 1));
+        assert_ne!(mk(TemporalPattern::Until, 0, 1), mk(TemporalPattern::Next, 0, 1));
+        assert_ne!(mk(TemporalPattern::Until, 0, 1), mk(TemporalPattern::Until, 1, 0));
+    }
+
+    #[test]
+    fn pattern_symbols() {
+        assert_eq!(TemporalPattern::Next.to_string(), "X");
+        assert_eq!(TemporalPattern::Until.to_string(), "U");
+    }
+}

@@ -1,0 +1,144 @@
+//! Proposition traces: Γ = ⟨γ₁, …, γₙ⟩.
+
+use crate::proposition::PropositionId;
+
+/// A proposition trace (paper Def. 2): for every simulation instant, the
+/// single proposition of *Prop* that holds there.
+///
+/// Produced by [`Miner::mine`](crate::Miner::mine); consumed by the XU
+/// automaton in `psm-core` to recognise `next`/`until` temporal patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropositionTrace {
+    ids: Vec<PropositionId>,
+}
+
+impl PropositionTrace {
+    /// Wraps a sequence of proposition ids.
+    pub fn new(ids: Vec<PropositionId>) -> Self {
+        PropositionTrace { ids }
+    }
+
+    /// Number of instants.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The proposition holding at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn id(&self, t: usize) -> PropositionId {
+        self.ids[t]
+    }
+
+    /// The proposition at instant `t`, or `None` past the end (the paper's
+    /// `nil` sentinel in Fig. 3).
+    pub fn get(&self, t: usize) -> Option<PropositionId> {
+        self.ids.get(t).copied()
+    }
+
+    /// Iterates over the proposition ids in time order.
+    pub fn iter(&self) -> impl Iterator<Item = PropositionId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Collapses the trace into maximal runs of one proposition:
+    /// `(id, start, stop)` with the inclusive interval where it holds.
+    ///
+    /// ```
+    /// use psm_mining::{PropositionTrace, PropositionId};
+    /// # // ids are crate-constructed in real use; build a toy trace here.
+    /// let trace = PropositionTrace::from_indices(&[0, 0, 1, 1, 1, 0]);
+    /// let runs = trace.runs();
+    /// assert_eq!(runs.len(), 3);
+    /// assert_eq!(runs[0], (PropositionId::from_index(0), 0, 1));
+    /// assert_eq!(runs[1], (PropositionId::from_index(1), 2, 4));
+    /// assert_eq!(runs[2], (PropositionId::from_index(0), 5, 5));
+    /// ```
+    pub fn runs(&self) -> Vec<(PropositionId, usize, usize)> {
+        let mut out = Vec::new();
+        let mut iter = self.ids.iter().copied().enumerate();
+        let Some((_, mut current)) = iter.next() else {
+            return out;
+        };
+        let mut start = 0usize;
+        let mut last = 0usize;
+        for (t, id) in iter {
+            if id != current {
+                out.push((current, start, last));
+                current = id;
+                start = t;
+            }
+            last = t;
+        }
+        out.push((current, start, last));
+        out
+    }
+
+    /// Test/demo helper: builds a trace straight from raw indices.
+    pub fn from_indices(indices: &[u32]) -> Self {
+        PropositionTrace {
+            ids: indices.iter().map(|&i| PropositionId(i)).collect(),
+        }
+    }
+}
+
+impl PropositionId {
+    /// Test/demo helper: builds an id from a raw index.
+    pub fn from_index(index: u32) -> Self {
+        PropositionId(index)
+    }
+}
+
+impl FromIterator<PropositionId> for PropositionTrace {
+    fn from_iter<I: IntoIterator<Item = PropositionId>>(iter: I) -> Self {
+        PropositionTrace {
+            ids: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_nil() {
+        let t = PropositionTrace::from_indices(&[0, 1, 1]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id(1), PropositionId(1));
+        assert_eq!(t.get(2), Some(PropositionId(1)));
+        assert_eq!(t.get(3), None); // the paper's `nil`
+    }
+
+    #[test]
+    fn runs_collapse_consecutive() {
+        let t = PropositionTrace::from_indices(&[5, 5, 5, 2, 2, 7]);
+        assert_eq!(
+            t.runs(),
+            vec![
+                (PropositionId(5), 0, 2),
+                (PropositionId(2), 3, 4),
+                (PropositionId(7), 5, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn runs_of_empty_trace() {
+        assert!(PropositionTrace::new(Vec::new()).runs().is_empty());
+    }
+
+    #[test]
+    fn runs_single_instant() {
+        let t = PropositionTrace::from_indices(&[3]);
+        assert_eq!(t.runs(), vec![(PropositionId(3), 0, 0)]);
+    }
+}

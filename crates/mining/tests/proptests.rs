@@ -1,0 +1,104 @@
+//! Property-based tests of the mining invariants.
+
+use proptest::prelude::*;
+use psm_mining::{Miner, MiningConfig};
+use psm_trace::{Bits, Direction, FunctionalTrace, SignalSet};
+
+/// A random functional trace over a small control-style interface.
+fn arb_trace() -> impl Strategy<Value = FunctionalTrace> {
+    proptest::collection::vec((any::<bool>(), any::<bool>(), 0u64..16, 0u64..16), 4..120)
+        .prop_map(|rows| {
+            let mut signals = SignalSet::new();
+            signals.push("c0", 1, Direction::Input).expect("unique");
+            signals.push("c1", 1, Direction::Input).expect("unique");
+            signals.push("d0", 4, Direction::Input).expect("unique");
+            signals.push("d1", 4, Direction::Output).expect("unique");
+            let mut t = FunctionalTrace::new(signals);
+            for (c0, c1, d0, d1) in rows {
+                t.push_cycle(vec![
+                    Bits::from_bool(c0),
+                    Bits::from_bool(c1),
+                    Bits::from_u64(d0, 4),
+                    Bits::from_u64(d1, 4),
+                ])
+                .expect("well-formed");
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exactly_one_proposition_holds_per_instant(trace in arb_trace()) {
+        // The paper's defining invariant of Prop: at every training instant
+        // exactly one proposition holds — i.e. classification of every
+        // training cycle returns the interned id.
+        let miner = Miner::new(MiningConfig::default());
+        if let Ok(mined) = miner.mine(&[&trace]) {
+            for t in 0..trace.len() {
+                prop_assert_eq!(
+                    mined.table.classify(trace.cycle(t)),
+                    Some(mined.traces[0].id(t)),
+                    "instant {}", t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mining_is_deterministic(trace in arb_trace()) {
+        let miner = Miner::new(MiningConfig::default());
+        let a = miner.mine(&[&trace]);
+        let b = miner.mine(&[&trace]);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.traces, y.traces);
+                prop_assert_eq!(x.table.len(), y.table.len());
+            }
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "nondeterministic outcome"),
+        }
+    }
+
+    #[test]
+    fn atoms_respect_support_threshold(trace in arb_trace(), support in 0.01f64..0.6) {
+        let config = MiningConfig::default().with_min_support(support);
+        let miner = Miner::new(config);
+        if let Ok(vocab) = miner.mine_vocabulary(&[&trace]) {
+            let n = trace.len() as f64;
+            for atom in vocab.atoms() {
+                let holds = (0..trace.len())
+                    .filter(|&t| atom.eval(trace.cycle(t)))
+                    .count() as f64;
+                prop_assert!(
+                    holds >= (support * n).ceil().max(1.0) - 0.5,
+                    "atom below support: {}/{} < {}",
+                    holds, n, support
+                );
+                // With invariant dropping on (the default), no atom holds
+                // everywhere.
+                prop_assert!(holds < n, "invariant atom survived");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_partition_the_trace(trace in arb_trace()) {
+        let miner = Miner::new(MiningConfig::default());
+        if let Ok(mined) = miner.mine(&[&trace]) {
+            let runs = mined.traces[0].runs();
+            let mut expected_start = 0;
+            for (id, start, stop) in runs {
+                prop_assert_eq!(start, expected_start);
+                prop_assert!(stop >= start);
+                for t in start..=stop {
+                    prop_assert_eq!(mined.traces[0].id(t), id);
+                }
+                expected_start = stop + 1;
+            }
+            prop_assert_eq!(expected_start, trace.len());
+        }
+    }
+}

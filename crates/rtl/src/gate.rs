@@ -1,0 +1,230 @@
+//! Primitive cells of the netlist IR.
+
+use std::fmt;
+
+/// Identifier of a single-bit net.
+///
+/// Nets are dense indices into the netlist's value arrays; `NetId(0)` is the
+/// constant-zero net and `NetId(1)` the constant-one net in every netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+impl NetId {
+    /// Dense index of this net.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a combinational cell.
+///
+/// The cell library is deliberately small — two-input gates, a 2:1 mux and
+/// an n-input LUT macro (used for ROM lookups such as cipher S-boxes). This
+/// mirrors the standard-cell + macro mix a real synthesis netlist would
+/// contain and is all the power model needs: a capacitance per cell kind
+/// and per-cycle output toggles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Buffer: `out = a`.
+    Buf,
+    /// Inverter: `out = !a`.
+    Not,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// 2:1 multiplexer: `out = sel ? b : a` with inputs `[sel, a, b]`.
+    Mux2,
+    /// An n-input lookup-table macro cell.
+    ///
+    /// `table` packs 2ⁿ output bits little-endian into `u64` words; input 0
+    /// is the least-significant index bit. Used for S-boxes and other ROMs
+    /// whose gate-level expansion would be enormous while contributing only
+    /// a lumped capacitance to the power model.
+    Lut {
+        /// Packed truth table, bit `i` of the table at word `i / 64`.
+        table: Vec<u64>,
+    },
+}
+
+impl GateKind {
+    /// Number of input pins this kind expects (`None` for variadic LUTs).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            GateKind::Buf | GateKind::Not => Some(1),
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Xor2
+            | GateKind::Nand2
+            | GateKind::Nor2 => Some(2),
+            GateKind::Mux2 => Some(3),
+            GateKind::Lut { .. } => None,
+        }
+    }
+
+    /// Evaluates the cell over its input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the cell's arity, or if a LUT's
+    /// table is too small for its input count.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And2 => inputs[0] & inputs[1],
+            GateKind::Or2 => inputs[0] | inputs[1],
+            GateKind::Xor2 => inputs[0] ^ inputs[1],
+            GateKind::Nand2 => !(inputs[0] & inputs[1]),
+            GateKind::Nor2 => !(inputs[0] | inputs[1]),
+            GateKind::Mux2 => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+            GateKind::Lut { table } => {
+                let mut idx = 0usize;
+                for (i, &v) in inputs.iter().enumerate() {
+                    if v {
+                        idx |= 1 << i;
+                    }
+                }
+                (table[idx / 64] >> (idx % 64)) & 1 == 1
+            }
+        }
+    }
+
+    /// Output-node switched capacitance of this cell kind, in femtofarads.
+    ///
+    /// Values are loosely scaled from a generic 90 nm standard-cell library;
+    /// absolute accuracy is irrelevant (the paper compares *relative* error
+    /// against the same golden model), but the relative ordering — LUT
+    /// macros ≫ mux ≳ xor > simple gates — shapes realistic power traces.
+    pub fn capacitance_ff(&self) -> f64 {
+        match self {
+            GateKind::Buf => 1.0,
+            GateKind::Not => 0.8,
+            GateKind::And2 | GateKind::Or2 => 1.4,
+            GateKind::Nand2 | GateKind::Nor2 => 1.1,
+            GateKind::Xor2 => 2.2,
+            GateKind::Mux2 => 2.0,
+            // A LUT macro lumps a whole ROM column: scale with address width.
+            GateKind::Lut { table } => 6.0 + 1.5 * (table.len() as f64).log2().max(1.0),
+        }
+    }
+
+    /// Short cell-library name (for reports and netlist stats).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "INV",
+            GateKind::And2 => "AND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nor2 => "NOR2",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Lut { .. } => "LUT",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One combinational cell instance: kind, input nets and output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Cell kind.
+    pub kind: GateKind,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// The single output net.
+    pub output: NetId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_truth_tables() {
+        let t = true;
+        let f = false;
+        assert!(GateKind::And2.eval(&[t, t]) && !GateKind::And2.eval(&[t, f]));
+        assert!(GateKind::Or2.eval(&[f, t]) && !GateKind::Or2.eval(&[f, f]));
+        assert!(GateKind::Xor2.eval(&[t, f]) && !GateKind::Xor2.eval(&[t, t]));
+        assert!(GateKind::Nand2.eval(&[t, f]) && !GateKind::Nand2.eval(&[t, t]));
+        assert!(GateKind::Nor2.eval(&[f, f]) && !GateKind::Nor2.eval(&[t, f]));
+        assert!(!GateKind::Not.eval(&[t]) && GateKind::Not.eval(&[f]));
+        assert!(GateKind::Buf.eval(&[t]) && !GateKind::Buf.eval(&[f]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        // inputs = [sel, a, b]
+        assert!(!GateKind::Mux2.eval(&[false, false, true]));
+        assert!(GateKind::Mux2.eval(&[true, false, true]));
+        assert!(GateKind::Mux2.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn lut_indexes_little_endian() {
+        // 2-input LUT implementing XOR: table bits 0110 → 0x6.
+        let lut = GateKind::Lut { table: vec![0x6] };
+        assert!(!lut.eval(&[false, false]));
+        assert!(lut.eval(&[true, false]));
+        assert!(lut.eval(&[false, true]));
+        assert!(!lut.eval(&[true, true]));
+    }
+
+    #[test]
+    fn lut_wide_table() {
+        // 8-input LUT: identity of input 7 (table bit i set iff bit 7 of i).
+        let mut table = vec![0u64; 4];
+        for i in 0..256 {
+            if i & 0x80 != 0 {
+                table[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let lut = GateKind::Lut { table };
+        let mut ins = [false; 8];
+        assert!(!lut.eval(&ins));
+        ins[7] = true;
+        assert!(lut.eval(&ins));
+    }
+
+    #[test]
+    fn capacitance_ordering() {
+        let lut = GateKind::Lut {
+            table: vec![0u64; 4],
+        };
+        assert!(lut.capacitance_ff() > GateKind::Mux2.capacitance_ff());
+        assert!(GateKind::Xor2.capacitance_ff() > GateKind::And2.capacitance_ff());
+        assert!(GateKind::And2.capacitance_ff() > GateKind::Not.capacitance_ff());
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(GateKind::Not.arity(), Some(1));
+        assert_eq!(GateKind::Mux2.arity(), Some(3));
+        assert_eq!(GateKind::Lut { table: vec![0] }.arity(), None);
+    }
+}

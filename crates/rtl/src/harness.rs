@@ -1,0 +1,367 @@
+//! One-pass capture of paired functional + power training traces.
+//!
+//! The paper's methodology needs, for every benchmark IP, a functional trace
+//! and a *corresponding* power trace over the same stimuli. This module runs
+//! a gate-level simulation once and records both, playing the role of the
+//! paper's "simulate the IP with its verification testbenches, then run
+//! PrimeTime PX on the same traces" step.
+
+use crate::netlist::Netlist;
+use crate::power::{PowerEstimator, PowerModel};
+use crate::sim::Simulator;
+use crate::RtlError;
+use psm_trace::{Bits, FunctionalTrace, PowerTrace};
+
+/// A cycle-by-cycle input stimulus: for every cycle, one value per input
+/// port in the netlist's declaration order.
+///
+/// # Examples
+///
+/// ```
+/// use psm_rtl::Stimulus;
+/// use psm_trace::Bits;
+///
+/// let mut s = Stimulus::new();
+/// s.push_cycle(vec![Bits::from_u64(1, 1)]);
+/// s.push_cycle(vec![Bits::from_u64(0, 1)]);
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stimulus {
+    cycles: Vec<Vec<Bits>>,
+}
+
+impl Stimulus {
+    /// Creates an empty stimulus.
+    pub fn new() -> Self {
+        Stimulus::default()
+    }
+
+    /// Appends the input values for one cycle (input-port declaration
+    /// order).
+    pub fn push_cycle(&mut self, inputs: Vec<Bits>) {
+        self.cycles.push(inputs);
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Returns `true` when no cycle has been added.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Iterates over per-cycle input vectors.
+    pub fn iter(&self) -> impl Iterator<Item = &[Bits]> {
+        self.cycles.iter().map(|c| c.as_slice())
+    }
+}
+
+impl FromIterator<Vec<Bits>> for Stimulus {
+    fn from_iter<I: IntoIterator<Item = Vec<Bits>>>(iter: I) -> Self {
+        Stimulus {
+            cycles: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Paired training traces captured from one gate-level run.
+#[derive(Debug, Clone)]
+pub struct CaptureResult {
+    /// Functional trace over all ports (PIs and POs), one row per cycle.
+    pub functional: FunctionalTrace,
+    /// Golden dynamic power trace over the same cycles, in mW.
+    pub power: PowerTrace,
+}
+
+/// Training traces with per-power-domain golden power — the substrate of
+/// the hierarchical-PSM extension (the paper's future work: "a power model
+/// based on hierarchical PSMs that distinguishes among IP subcomponents").
+#[derive(Debug, Clone)]
+pub struct HierarchicalCapture {
+    /// Functional trace over all ports.
+    pub functional: FunctionalTrace,
+    /// Whole-design golden power, in mW.
+    pub total: PowerTrace,
+    /// Domain names, indexed like [`by_domain`](Self::by_domain).
+    pub domains: Vec<String>,
+    /// One golden power trace per power domain; per instant they sum to
+    /// [`total`](Self::total) (up to the independently drawn noise).
+    pub by_domain: Vec<PowerTrace>,
+}
+
+/// Simulates `netlist` under `stimulus`, recording the functional trace of
+/// all ports and the golden power trace of the same cycles.
+///
+/// `seed` drives the power estimator's measurement noise only; the
+/// functional behaviour is fully deterministic.
+///
+/// # Errors
+///
+/// * [`RtlError::CombinationalLoop`] if the netlist cannot be levelized;
+/// * [`RtlError::PortWidthMismatch`] / [`RtlError::Trace`] when a stimulus
+///   cycle does not match the input interface.
+///
+/// # Examples
+///
+/// ```
+/// use psm_rtl::{capture_traces, NetlistBuilder, PowerModel, Stimulus};
+/// use psm_trace::Bits;
+///
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a", 1);
+/// let y = b.not_word(&a);
+/// b.output("y", &y);
+/// let n = b.finish()?;
+///
+/// let stim: Stimulus = (0..4)
+///     .map(|i| vec![Bits::from_u64(i % 2, 1)])
+///     .collect();
+/// let result = capture_traces(&n, &PowerModel::default(), &stim, 1)?;
+/// assert_eq!(result.functional.len(), 4);
+/// assert_eq!(result.power.len(), 4);
+/// # Ok::<(), psm_rtl::RtlError>(())
+/// ```
+pub fn capture_traces(
+    netlist: &Netlist,
+    model: &PowerModel,
+    stimulus: &Stimulus,
+    seed: u64,
+) -> Result<CaptureResult, RtlError> {
+    let h = capture_traces_by_domain(netlist, model, stimulus, seed)?;
+    Ok(CaptureResult {
+        functional: h.functional,
+        power: h.total,
+    })
+}
+
+/// Like [`capture_traces`], additionally recording one golden power trace
+/// per power domain of the netlist (see
+/// [`NetlistBuilder::domain`](crate::NetlistBuilder::domain)).
+///
+/// The static baseline of the power model is attributed to domain 0; each
+/// domain's measurement noise is drawn independently (seeded), so domain
+/// traces sum to the total only up to noise.
+///
+/// # Errors
+///
+/// Same conditions as [`capture_traces`].
+pub fn capture_traces_by_domain(
+    netlist: &Netlist,
+    model: &PowerModel,
+    stimulus: &Stimulus,
+    seed: u64,
+) -> Result<HierarchicalCapture, RtlError> {
+    let mut sim = Simulator::new(netlist)?;
+    let mut estimator = PowerEstimator::new(*model, seed);
+    let n_domains = netlist.domains().len();
+    // Domain estimators: the baseline lives in domain 0 only.
+    let zero_base = PowerModel::new(
+        model.vdd(),
+        model.freq_mhz(),
+        f64::MIN_POSITIVE,
+        model.noise_fraction(),
+    );
+    let mut domain_estimators: Vec<PowerEstimator> = (0..n_domains)
+        .map(|d| {
+            let m = if d == 0 { *model } else { zero_base };
+            PowerEstimator::new(m, seed ^ (0xD0_0D + d as u64))
+        })
+        .collect();
+
+    let signals = netlist.signal_set();
+    let input_handles: Vec<_> = sim.input_handles();
+    let mut functional = FunctionalTrace::with_capacity(signals, stimulus.len());
+    let mut total = PowerTrace::with_capacity(stimulus.len());
+    let mut by_domain: Vec<PowerTrace> = (0..n_domains)
+        .map(|_| PowerTrace::with_capacity(stimulus.len()))
+        .collect();
+
+    for cycle_inputs in stimulus.iter() {
+        if cycle_inputs.len() != input_handles.len() {
+            return Err(RtlError::Trace(psm_trace::TraceError::CycleShapeMismatch {
+                expected: input_handles.len(),
+                actual: cycle_inputs.len(),
+            }));
+        }
+        for ((_, handle), value) in input_handles.iter().zip(cycle_inputs) {
+            sim.set_input_by_handle(*handle, value)?;
+        }
+        let activity = sim.step();
+        functional.push_cycle(sim.sample_ports())?;
+        total.push(estimator.next_sample(&activity));
+        for (d, trace) in by_domain.iter_mut().enumerate() {
+            let a = crate::power::CycleActivity {
+                switched_capacitance_ff: sim.domain_activity()[d],
+                toggled_nets: 0,
+            };
+            trace.push(domain_estimators[d].next_sample(&a));
+        }
+    }
+
+    Ok(HierarchicalCapture {
+        functional,
+        total,
+        domains: netlist.domains().to_vec(),
+        by_domain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn accumulator() -> Netlist {
+        let mut b = NetlistBuilder::new("acc");
+        let d = b.input("d", 8);
+        let acc = b.register("acc", 8);
+        let q = acc.q();
+        let sum = b.add(&q, &d);
+        b.connect_register(&acc, &sum.sum);
+        b.output("q", &acc.q());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn captures_matching_lengths() {
+        let n = accumulator();
+        let stim: Stimulus = (0..50)
+            .map(|i| vec![Bits::from_u64(i % 7, 8)])
+            .collect();
+        let r = capture_traces(&n, &PowerModel::default(), &stim, 11).unwrap();
+        assert_eq!(r.functional.len(), 50);
+        assert_eq!(r.power.len(), 50);
+        // The functional trace covers both ports.
+        assert_eq!(r.functional.signals().len(), 2);
+    }
+
+    #[test]
+    fn functional_values_match_direct_simulation() {
+        let n = accumulator();
+        let stim: Stimulus = (0..10).map(|i| vec![Bits::from_u64(i, 8)]).collect();
+        let r = capture_traces(&n, &PowerModel::default(), &stim, 0).unwrap();
+        let q = r.functional.signals().by_name("q").unwrap();
+        // Accumulator: q at cycle t equals sum of inputs 0..t (one-cycle lag).
+        let mut expected = 0u64;
+        for t in 0..10 {
+            assert_eq!(
+                r.functional.value(q, t).to_u64().unwrap(),
+                expected,
+                "cycle {t}"
+            );
+            expected = (expected + t as u64) & 0xFF;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_power() {
+        let n = accumulator();
+        let stim: Stimulus = (0..20).map(|i| vec![Bits::from_u64(i * 3, 8)]).collect();
+        let a = capture_traces(&n, &PowerModel::default(), &stim, 5).unwrap();
+        let b = capture_traces(&n, &PowerModel::default(), &stim, 5).unwrap();
+        assert_eq!(a.power, b.power);
+        let c = capture_traces(&n, &PowerModel::default(), &stim, 6).unwrap();
+        assert_ne!(a.power, c.power);
+    }
+
+    #[test]
+    fn rejects_malformed_cycles() {
+        let n = accumulator();
+        let mut stim = Stimulus::new();
+        stim.push_cycle(vec![]);
+        assert!(capture_traces(&n, &PowerModel::default(), &stim, 0).is_err());
+    }
+
+    #[test]
+    fn busy_cycles_draw_more_power() {
+        let n = accumulator();
+        // 100 busy cycles with changing data, then 100 idle cycles (d = 0,
+        // accumulator saturated at a fixed point: q + 0 = q).
+        let mut stim = Stimulus::new();
+        for i in 0..100u64 {
+            stim.push_cycle(vec![Bits::from_u64(0x55 ^ (i * 37), 8)]);
+        }
+        for _ in 0..100 {
+            stim.push_cycle(vec![Bits::from_u64(0, 8)]);
+        }
+        // Zero baseline so the comparison sees only the dynamic component.
+        let model = PowerModel::new(1.2, 500.0, 0.0, 0.0);
+        let r = capture_traces(&n, &model, &stim, 0).unwrap();
+        let busy: f64 = r.power.as_slice()[10..100].iter().sum::<f64>() / 90.0;
+        let idle: f64 = r.power.as_slice()[110..].iter().sum::<f64>() / 90.0;
+        assert!(busy > 2.0 * idle, "busy {busy} vs idle {idle}");
+    }
+}
+
+#[cfg(test)]
+mod domain_tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use psm_trace::Bits;
+
+    /// Two registers in two domains; only one is active per phase.
+    fn two_domain_design() -> Netlist {
+        let mut b = NetlistBuilder::new("duo");
+        let d = b.input("d", 8);
+        let sel = b.input("sel", 1).bit(0);
+        let a = b.register("a", 8);
+        b.domain("unit_b");
+        let c = b.register("c", 8);
+        b.domain("core");
+        b.connect_register_en(&a, sel, &d);
+        let nsel = b.not(sel);
+        // The enable mux of `c` lives in unit_b.
+        b.domain("unit_b");
+        b.connect_register_en(&c, nsel, &d);
+        b.domain("core");
+        let aq = a.q();
+        let cq = c.q();
+        let x = b.xor_word(&aq, &cq);
+        b.output("x", &x);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn domain_traces_follow_the_active_unit() {
+        let n = two_domain_design();
+        assert_eq!(n.domains(), &["core".to_string(), "unit_b".to_string()]);
+        let mut stim = Stimulus::new();
+        // Phase 1: sel=1 → register `a` (core) loads changing data.
+        for k in 0..40u64 {
+            stim.push_cycle(vec![Bits::from_u64(k * 37, 8), Bits::from_bool(true)]);
+        }
+        // Phase 2: sel=0 → register `c` (unit_b) loads changing data.
+        for k in 0..40u64 {
+            stim.push_cycle(vec![Bits::from_u64(k * 53, 8), Bits::from_bool(false)]);
+        }
+        let model = PowerModel::new(1.2, 500.0, 0.0, 0.0);
+        let cap = capture_traces_by_domain(&n, &model, &stim, 0).unwrap();
+        assert_eq!(cap.by_domain.len(), 2);
+        let core_p1: f64 = cap.by_domain[0].as_slice()[5..35].iter().sum();
+        let core_p2: f64 = cap.by_domain[0].as_slice()[45..75].iter().sum();
+        let unit_p1: f64 = cap.by_domain[1].as_slice()[5..35].iter().sum();
+        let unit_p2: f64 = cap.by_domain[1].as_slice()[45..75].iter().sum();
+        assert!(core_p1 > core_p2, "core is busier in phase 1");
+        assert!(unit_p2 > unit_p1, "unit_b is busier in phase 2");
+    }
+
+    #[test]
+    fn domain_activity_sums_to_total() {
+        let n = two_domain_design();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input("d", &Bits::from_u64(0xA5, 8)).unwrap();
+        sim.set_input("sel", &Bits::from_bool(true)).unwrap();
+        for _ in 0..10 {
+            let activity = sim.step();
+            let by_domain: f64 = sim.domain_activity().iter().sum();
+            assert!(
+                (by_domain - activity.switched_capacitance_ff).abs() < 1e-9,
+                "domains must partition the total"
+            );
+            sim.set_input("d", &Bits::from_u64(0x5A, 8)).unwrap();
+        }
+    }
+}

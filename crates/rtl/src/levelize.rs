@@ -1,0 +1,178 @@
+//! Topological ordering of combinational cells.
+
+
+use crate::netlist::Netlist;
+use crate::RtlError;
+
+/// Computes an evaluation order for the netlist's combinational cells such
+/// that every cell is evaluated after all cells driving its inputs.
+///
+/// Flip-flop outputs, primary inputs and the constant nets are sources and
+/// impose no ordering. Returns gate indices into [`Netlist::gates`].
+///
+/// # Errors
+///
+/// Returns [`RtlError::CombinationalLoop`] if the combinational logic
+/// contains a cycle; the reported net is the output of one cell on the
+/// cycle.
+///
+/// # Examples
+///
+/// ```
+/// use psm_rtl::{levelize, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("chain");
+/// let a = b.input("a", 1);
+/// let x = b.not_word(&a);
+/// let y = b.not_word(&x);
+/// b.output("y", &y);
+/// let n = b.finish()?;
+/// let order = levelize(&n)?;
+/// assert_eq!(order.len(), 2);
+/// // The first inverter must come before the second.
+/// assert!(order[0] < order[1]);
+/// # Ok::<(), psm_rtl::RtlError>(())
+/// ```
+pub fn levelize(netlist: &Netlist) -> Result<Vec<usize>, RtlError> {
+    let gates = netlist.gates();
+    // driver_gate[net] = Some(gate index) if a combinational cell drives it.
+    let mut driver_gate: Vec<Option<usize>> = vec![None; netlist.net_count()];
+    for (gi, g) in gates.iter().enumerate() {
+        driver_gate[g.output.index()] = Some(gi);
+    }
+
+    // In-degree of each gate = number of inputs driven by other gates.
+    let mut indegree: Vec<u32> = vec![0; gates.len()];
+    // fanout[gi] = gates that read gi's output.
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for (gi, g) in gates.iter().enumerate() {
+        for input in &g.inputs {
+            if let Some(src) = driver_gate[input.index()] {
+                indegree[gi] += 1;
+                fanout[src].push(gi);
+            }
+        }
+    }
+
+    let mut ready: Vec<usize> = (0..gates.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(gates.len());
+    while let Some(gi) = ready.pop() {
+        order.push(gi);
+        for &next in &fanout[gi] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                ready.push(next);
+            }
+        }
+    }
+
+    if order.len() != gates.len() {
+        // Any gate still carrying in-degree is on (or behind) a cycle;
+        // report the first for diagnosis.
+        let stuck = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .expect("some gate must be stuck when the order is incomplete");
+        return Err(RtlError::CombinationalLoop {
+            net: gates[stuck].output,
+        });
+    }
+    Ok(order)
+}
+
+/// Logic depth of the netlist: the longest combinational path measured in
+/// cells. Useful as a proxy for the critical path in reports.
+///
+/// # Errors
+///
+/// Returns [`RtlError::CombinationalLoop`] on cyclic logic.
+pub fn logic_depth(netlist: &Netlist) -> Result<usize, RtlError> {
+    let order = levelize(netlist)?;
+    let gates = netlist.gates();
+    let mut driver_gate: Vec<Option<usize>> = vec![None; netlist.net_count()];
+    for (gi, g) in gates.iter().enumerate() {
+        driver_gate[g.output.index()] = Some(gi);
+    }
+    let mut depth = vec![0usize; gates.len()];
+    let mut max = 0;
+    for gi in order {
+        let d = gates[gi]
+            .inputs
+            .iter()
+            .filter_map(|n| driver_gate[n.index()].map(|src| depth[src] + 1))
+            .max()
+            .unwrap_or(1);
+        depth[gi] = d;
+        max = max.max(d);
+    }
+    Ok(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn straight_chain_depth() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a", 1);
+        let mut x = a;
+        for _ in 0..5 {
+            x = b.not_word(&x);
+        }
+        b.output("y", &x);
+        let n = b.finish().unwrap();
+        assert_eq!(logic_depth(&n).unwrap(), 5);
+    }
+
+    #[test]
+    fn registers_break_cycles() {
+        // q -> inverter -> d is a legal sequential loop.
+        let mut b = NetlistBuilder::new("toggle");
+        let r = b.register("r", 1);
+        let q = r.q();
+        let inv = b.not_word(&q);
+        b.connect_register(&r, &inv);
+        b.output("q", &r.q());
+        let n = b.finish().unwrap();
+        assert_eq!(levelize(&n).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("adder");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.add(&x, &y);
+        b.output("s", &s.sum);
+        let n = b.finish().unwrap();
+        let order = levelize(&n).unwrap();
+        // position of each gate in the order
+        let mut pos = vec![0usize; order.len()];
+        for (p, &gi) in order.iter().enumerate() {
+            pos[gi] = p;
+        }
+        let mut driver = std::collections::HashMap::new();
+        for (gi, g) in n.gates().iter().enumerate() {
+            driver.insert(g.output, gi);
+        }
+        for (gi, g) in n.gates().iter().enumerate() {
+            for input in &g.inputs {
+                if let Some(&src) = driver.get(input) {
+                    assert!(pos[src] < pos[gi], "gate {src} must precede {gi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_of_flat_logic_is_one() {
+        let mut b = NetlistBuilder::new("flat");
+        let a = b.input("a", 4);
+        let x = b.not_word(&a);
+        b.output("y", &x);
+        let n = b.finish().unwrap();
+        assert_eq!(logic_depth(&n).unwrap(), 1);
+    }
+}

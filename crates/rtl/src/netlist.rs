@@ -1,0 +1,481 @@
+//! The netlist container: nets, gates, flip-flops and ports.
+
+use crate::gate::{Gate, NetId};
+use crate::RtlError;
+use psm_trace::{Direction, SignalSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A D flip-flop with synchronous data and a reset/initial value.
+///
+/// All flip-flops share one implicit clock; the simulator advances them
+/// together at the end of every [`Simulator::step`](crate::Simulator::step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dff {
+    /// Data input net, sampled at the clock edge.
+    pub d: NetId,
+    /// Output net, driven with the sampled value.
+    pub q: NetId,
+    /// Value of `q` after reset.
+    pub init: bool,
+}
+
+/// A synchronous single-port SRAM macro.
+///
+/// Synthesis flows never lower RAMs to flip-flops — they instantiate
+/// memory macros whose power is *access-dominated*: a read or write
+/// precharges the bitlines of the addressed row (a cost per access, nearly
+/// independent of data), while a write additionally flips the cells whose
+/// stored value changes. This component models exactly that, which is what
+/// makes the paper's RAM benchmark strongly Hamming-correlated and
+/// regression-calibratable.
+///
+/// Timing matches a registered-output synchronous SRAM: inputs are sampled
+/// at the clock edge; read data (and the energy of the access) appear in
+/// the following cycle. `clear` synchronously zeroes the output register
+/// only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMacro {
+    /// Word-address input nets (LSB first); depth = 2^addr.len().
+    pub addr: Vec<NetId>,
+    /// Write-data input nets; width = wdata.len() = rdata.len() ≤ 64.
+    pub wdata: Vec<NetId>,
+    /// Write enable (already gated by any chip enable).
+    pub we: NetId,
+    /// Read enable (already gated by any chip enable).
+    pub re: NetId,
+    /// Synchronous clear of the output register.
+    pub clear: NetId,
+    /// Registered read-data output nets, driven by the macro.
+    pub rdata: Vec<NetId>,
+}
+
+impl MemoryMacro {
+    /// Bitline precharge + sense capacitance per accessed bit (fF).
+    /// Sized so a full-word access costs on the order of a picojoule, as
+    /// real kilobyte-class SRAMs do.
+    pub const ACCESS_CAP_PER_BIT_FF: f64 = 30.0;
+    /// Cell capacitance switched per flipped stored bit on a write (fF).
+    pub const WRITE_CELL_CAP_FF: f64 = 15.0;
+    /// Word-line + decoder capacitance per access (fF).
+    pub const WORDLINE_CAP_FF: f64 = 500.0;
+    /// Capacitance of one write-data bus wire into the array (fF); charged
+    /// whenever the bit toggles between consecutive cycles. The heavy data
+    /// bus is what makes RAM power strongly correlated with the Hamming
+    /// distance of consecutive inputs (the paper's §VI observation).
+    pub const WDATA_BUS_CAP_FF: f64 = 40.0;
+    /// Capacitance of one address bus wire into the decoder (fF).
+    pub const ADDR_BUS_CAP_FF: f64 = 60.0;
+    /// Output-register capacitance per toggling read-data bit (fF).
+    pub const RDATA_CAP_FF: f64 = 3.0;
+    /// Clocked-periphery capacitance per macro, every cycle (fF).
+    pub const CLOCK_CAP_FF: f64 = 400.0;
+
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        1 << self.addr.len()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.wdata.len()
+    }
+
+    /// Storage bits (the paper's *memory elements* accounting).
+    pub fn bits(&self) -> usize {
+        self.words() * self.width()
+    }
+}
+
+/// A named bundle of nets forming a primary input or output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    name: String,
+    direction: Direction,
+    nets: Vec<NetId>,
+}
+
+impl Port {
+    /// Port name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input or output, as seen from the design.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The nets carrying this port, least-significant bit first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+}
+
+/// Aggregate statistics of a netlist — the data behind the paper's Table I
+/// (*characteristics of benchmarks*).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Combinational cell count per library-cell name.
+    pub cells_by_kind: Vec<(String, usize)>,
+    /// Total combinational cells.
+    pub combinational: usize,
+    /// Flip-flop count (paper Table I column *Memory elements*).
+    pub memory_elements: usize,
+    /// Total nets, including the two constant nets.
+    pub nets: usize,
+    /// Total input bits (paper Table I column *PIs*).
+    pub input_bits: usize,
+    /// Total output bits (paper Table I column *POs*).
+    pub output_bits: usize,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cells, {} flops, {} nets, {} PI bits, {} PO bits",
+            self.combinational, self.memory_elements, self.nets, self.input_bits, self.output_bits
+        )?;
+        for (kind, n) in &self.cells_by_kind {
+            writeln!(f, "  {kind:>6}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A flattened gate-level netlist.
+///
+/// Nets `NetId(0)` and `NetId(1)` are the constant 0 and 1 drivers. Every
+/// other net must be driven by exactly one gate output, flip-flop output or
+/// input-port bit — [`Netlist::validate`] enforces this, and
+/// [`NetlistBuilder::finish`](crate::NetlistBuilder::finish) runs it
+/// automatically.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    net_count: usize,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    memories: Vec<MemoryMacro>,
+    ports: Vec<Port>,
+    domains: Vec<String>,
+    gate_domains: Vec<usize>,
+    dff_domains: Vec<usize>,
+    mem_domains: Vec<usize>,
+}
+
+impl Netlist {
+    /// Index of the constant-zero net.
+    pub const CONST0: NetId = NetId(0);
+    /// Index of the constant-one net.
+    pub const CONST1: NetId = NetId(1);
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        net_count: usize,
+        gates: Vec<Gate>,
+        dffs: Vec<Dff>,
+        memories: Vec<MemoryMacro>,
+        ports: Vec<Port>,
+        domains: Vec<String>,
+        gate_domains: Vec<usize>,
+        dff_domains: Vec<usize>,
+        mem_domains: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(gates.len(), gate_domains.len());
+        debug_assert_eq!(dffs.len(), dff_domains.len());
+        debug_assert_eq!(memories.len(), mem_domains.len());
+        Netlist {
+            name,
+            net_count,
+            gates,
+            dffs,
+            memories,
+            ports,
+            domains,
+            gate_domains,
+            dff_domains,
+            mem_domains,
+        }
+    }
+
+    pub(crate) fn add_port(
+        &mut self,
+        name: String,
+        direction: Direction,
+        nets: Vec<NetId>,
+    ) -> Result<(), RtlError> {
+        if self.ports.iter().any(|p| p.name == name) {
+            return Err(RtlError::DuplicatePort(name));
+        }
+        self.ports.push(Port {
+            name,
+            direction,
+            nets,
+        });
+        Ok(())
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets (including the two constants).
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Combinational cells.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// SRAM macros.
+    pub fn memories(&self) -> &[MemoryMacro] {
+        &self.memories
+    }
+
+    /// Power-domain names (domain 0 is the default "core" domain).
+    ///
+    /// Domains partition the cells of a design into subcomponents whose
+    /// switching activity the simulator reports separately — the substrate
+    /// behind the hierarchical-PSM extension (the paper's future work).
+    pub fn domains(&self) -> &[String] {
+        &self.domains
+    }
+
+    /// Domain of each combinational cell (parallel to [`Netlist::gates`]).
+    pub fn gate_domains(&self) -> &[usize] {
+        &self.gate_domains
+    }
+
+    /// Domain of each flip-flop (parallel to [`Netlist::dffs`]).
+    pub fn dff_domains(&self) -> &[usize] {
+        &self.dff_domains
+    }
+
+    /// Domain of each SRAM macro (parallel to [`Netlist::memories`]).
+    pub fn mem_domains(&self) -> &[usize] {
+        &self.mem_domains
+    }
+
+    /// All ports in declaration order.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Result<&Port, RtlError> {
+        self.ports
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| RtlError::UnknownPort(name.to_owned()))
+    }
+
+    /// Converts the port list into a trace [`SignalSet`] with the same names,
+    /// widths and directions — the bridge between structural simulation and
+    /// the mining flow.
+    pub fn signal_set(&self) -> SignalSet {
+        let mut set = SignalSet::new();
+        for p in &self.ports {
+            set.push(p.name.clone(), p.width(), p.direction)
+                .expect("netlist ports are unique and non-zero width by construction");
+        }
+        set
+    }
+
+    /// Checks structural sanity: every net has exactly one driver and every
+    /// net that is read is driven.
+    ///
+    /// # Errors
+    ///
+    /// * [`RtlError::MultipleDrivers`] when two cells drive one net;
+    /// * [`RtlError::UndrivenNet`] when a read net has no driver.
+    pub fn validate(&self) -> Result<(), RtlError> {
+        let mut drivers = vec![0u8; self.net_count];
+        drivers[Self::CONST0.index()] = 1;
+        drivers[Self::CONST1.index()] = 1;
+        for p in self.ports.iter().filter(|p| p.direction == Direction::Input) {
+            for n in &p.nets {
+                drivers[n.index()] = drivers[n.index()].saturating_add(1);
+            }
+        }
+        for g in &self.gates {
+            drivers[g.output.index()] = drivers[g.output.index()].saturating_add(1);
+        }
+        for d in &self.dffs {
+            drivers[d.q.index()] = drivers[d.q.index()].saturating_add(1);
+        }
+        for m in &self.memories {
+            for n in &m.rdata {
+                drivers[n.index()] = drivers[n.index()].saturating_add(1);
+            }
+        }
+        if let Some(i) = drivers.iter().position(|&d| d > 1) {
+            return Err(RtlError::MultipleDrivers(NetId(i)));
+        }
+        let check_read = |n: NetId| -> Result<(), RtlError> {
+            if drivers[n.index()] == 0 {
+                Err(RtlError::UndrivenNet(n))
+            } else {
+                Ok(())
+            }
+        };
+        for g in &self.gates {
+            for n in &g.inputs {
+                check_read(*n)?;
+            }
+        }
+        for d in &self.dffs {
+            check_read(d.d)?;
+        }
+        for m in &self.memories {
+            for n in m.addr.iter().chain(&m.wdata) {
+                check_read(*n)?;
+            }
+            check_read(m.we)?;
+            check_read(m.re)?;
+            check_read(m.clear)?;
+        }
+        for p in self
+            .ports
+            .iter()
+            .filter(|p| p.direction == Direction::Output)
+        {
+            for n in &p.nets {
+                check_read(*n)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cell and flop counts per power domain, in domain order —
+    /// the per-subcomponent inventory behind the hierarchical extension.
+    ///
+    /// Returns `(domain name, combinational cells, flip-flops, macro bits)`
+    /// tuples.
+    pub fn domain_stats(&self) -> Vec<(String, usize, usize, usize)> {
+        let mut out: Vec<(String, usize, usize, usize)> = self
+            .domains
+            .iter()
+            .map(|d| (d.clone(), 0, 0, 0))
+            .collect();
+        for &d in &self.gate_domains {
+            out[d].1 += 1;
+        }
+        for &d in &self.dff_domains {
+            out[d].2 += 1;
+        }
+        for (m, &d) in self.memories.iter().zip(&self.mem_domains) {
+            out[d].3 += m.bits();
+        }
+        out
+    }
+
+    /// Aggregate cell statistics.
+    pub fn stats(&self) -> NetlistStats {
+        let mut by_kind: HashMap<&'static str, usize> = HashMap::new();
+        for g in &self.gates {
+            *by_kind.entry(g.kind.name()).or_insert(0) += 1;
+        }
+        let mut cells_by_kind: Vec<(String, usize)> = by_kind
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        cells_by_kind.sort();
+        let macro_bits: usize = self.memories.iter().map(MemoryMacro::bits).sum();
+        NetlistStats {
+            cells_by_kind,
+            combinational: self.gates.len(),
+            memory_elements: self.dffs.len() + macro_bits,
+            nets: self.net_count,
+            input_bits: self
+                .ports
+                .iter()
+                .filter(|p| p.direction == Direction::Input)
+                .map(Port::width)
+                .sum(),
+            output_bits: self
+                .ports
+                .iter()
+                .filter(|p| p.direction == Direction::Output)
+                .map(Port::width)
+                .sum(),
+        }
+    }
+
+    /// Total switched capacitance if every cell output toggled once (fF).
+    ///
+    /// An upper bound used by the power model to sanity-scale noise.
+    pub fn total_capacitance_ff(&self) -> f64 {
+        let gate_cap: f64 = self.gates.iter().map(|g| g.kind.capacitance_ff()).sum();
+        // A flip-flop's clock + output load, roughly 3x a simple gate.
+        gate_cap + self.dffs.len() as f64 * 3.0
+    }
+
+    /// Capacitance of a flip-flop output toggle (fF). Exposed so the
+    /// simulator and power model agree on one number.
+    pub fn dff_capacitance_ff() -> f64 {
+        3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a", 2);
+        let x = b.not_word(&a);
+        b.output("y", &x);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn ports_and_signal_set() {
+        let n = tiny();
+        assert_eq!(n.name(), "tiny");
+        assert_eq!(n.port("a").unwrap().width(), 2);
+        assert!(n.port("nope").is_err());
+        let s = n.signal_set();
+        assert_eq!(s.input_width(), 2);
+        assert_eq!(s.output_width(), 2);
+    }
+
+    #[test]
+    fn stats_count_cells() {
+        let n = tiny();
+        let s = n.stats();
+        assert_eq!(s.combinational, 2); // two inverters
+        assert_eq!(s.memory_elements, 0);
+        assert_eq!(s.input_bits, 2);
+        assert_eq!(s.output_bits, 2);
+        assert_eq!(s.cells_by_kind, vec![("INV".to_owned(), 2)]);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn validate_passes_for_builder_output() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn total_capacitance_positive() {
+        assert!(tiny().total_capacitance_ff() > 0.0);
+    }
+}

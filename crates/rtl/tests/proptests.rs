@@ -1,0 +1,171 @@
+//! Property-based tests: the synthesised arithmetic blocks against native
+//! integer arithmetic, and structural invariants of the simulator.
+
+use proptest::prelude::*;
+use psm_rtl::{NetlistBuilder, Simulator, Word};
+use psm_trace::Bits;
+
+/// Builds a two-operand combinational design and evaluates it.
+fn eval2(
+    width: usize,
+    a: u64,
+    b: u64,
+    build: impl FnOnce(&mut NetlistBuilder, &Word, &Word) -> Word,
+) -> u64 {
+    let mut nb = NetlistBuilder::new("dut");
+    let x = nb.input("a", width);
+    let y = nb.input("b", width);
+    let out = build(&mut nb, &x, &y);
+    nb.output("o", &out);
+    let netlist = nb.finish().expect("valid design");
+    let mut sim = Simulator::new(&netlist).expect("acyclic");
+    sim.set_input("a", &Bits::from_u64(a, width)).expect("width ok");
+    sim.set_input("b", &Bits::from_u64(b, width)).expect("width ok");
+    sim.step();
+    sim.output("o").expect("port exists").to_u64().expect("fits")
+}
+
+fn mask(w: usize) -> u64 {
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adder_matches_wrapping_add(w in 1usize..=32, a in any::<u64>(), b in any::<u64>()) {
+        let m = mask(w);
+        let got = eval2(w, a, b, |nb, x, y| nb.add(x, y).sum);
+        prop_assert_eq!(got, (a & m).wrapping_add(b & m) & m);
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub(w in 1usize..=32, a in any::<u64>(), b in any::<u64>()) {
+        let m = mask(w);
+        let got = eval2(w, a, b, |nb, x, y| nb.sub(x, y).sum);
+        prop_assert_eq!(got, (a & m).wrapping_sub(b & m) & m);
+    }
+
+    #[test]
+    fn multiplier_matches_native(w in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
+        let m = mask(w);
+        let mut nb = NetlistBuilder::new("mul");
+        let x = nb.input("a", w);
+        let y = nb.input("b", w);
+        let p = nb.mul(&x, &y);
+        nb.output("o", &p);
+        let netlist = nb.finish().expect("valid");
+        let mut sim = Simulator::new(&netlist).expect("acyclic");
+        sim.set_input("a", &Bits::from_u64(a, w)).expect("ok");
+        sim.set_input("b", &Bits::from_u64(b, w)).expect("ok");
+        sim.step();
+        let got = sim.output("o").expect("port").to_u64().expect("fits");
+        prop_assert_eq!(got, (a & m) * (b & m));
+    }
+
+    #[test]
+    fn comparators_match_native(w in 1usize..=24, a in any::<u64>(), b in any::<u64>()) {
+        let m = mask(w);
+        let got = eval2(w, a, b, |nb, x, y| {
+            let eq = nb.eq(x, y);
+            let lt = nb.lt(x, y);
+            Word::from_nets(vec![eq, lt])
+        });
+        prop_assert_eq!(got & 1 == 1, (a & m) == (b & m));
+        prop_assert_eq!(got >> 1 & 1 == 1, (a & m) < (b & m));
+    }
+
+    #[test]
+    fn reductions_match_native(w in 1usize..=32, a in any::<u64>()) {
+        let m = mask(w);
+        let got = eval2(w, a, 0, |nb, x, _| {
+            let and = nb.reduce_and(x);
+            let or = nb.reduce_or(x);
+            let xor = nb.reduce_xor(x);
+            Word::from_nets(vec![and, or, xor])
+        });
+        prop_assert_eq!(got & 1 == 1, (a & m) == m);
+        prop_assert_eq!(got >> 1 & 1 == 1, (a & m) != 0);
+        prop_assert_eq!(got >> 2 & 1 == 1, (a & m).count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn rom_returns_its_contents(addr_w in 1usize..=6, a in any::<u64>(), seed in any::<u64>()) {
+        let entries = 1usize << addr_w;
+        let contents: Vec<u64> = (0..entries)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1)) & 0xFF)
+            .collect();
+        let addr = a & mask(addr_w);
+        let mut nb = NetlistBuilder::new("rom");
+        let x = nb.input("a", addr_w);
+        let contents2 = contents.clone();
+        let o = nb.rom(&x, &contents2, 8);
+        nb.output("o", &o);
+        let netlist = nb.finish().expect("valid");
+        let mut sim = Simulator::new(&netlist).expect("acyclic");
+        sim.set_input("a", &Bits::from_u64(addr, addr_w)).expect("ok");
+        sim.step();
+        let got = sim.output("o").expect("port").to_u64().expect("fits");
+        prop_assert_eq!(got, contents[addr as usize]);
+    }
+
+    #[test]
+    fn memory_macro_behaves_like_an_array(ops in proptest::collection::vec(
+        (any::<u8>(), any::<u32>(), any::<bool>(), any::<bool>()), 1..120)) {
+        // 4-bit address space so collisions are frequent.
+        let mut nb = NetlistBuilder::new("mem");
+        let addr = nb.input("addr", 4);
+        let wdata = nb.input("wdata", 32);
+        let we = nb.input("we", 1).bit(0);
+        let re = nb.input("re", 1).bit(0);
+        let z = nb.const0();
+        let rdata = nb.memory(&addr, &wdata, we, re, z);
+        nb.output("rdata", &rdata);
+        let netlist = nb.finish().expect("valid");
+        let mut sim = Simulator::new(&netlist).expect("acyclic");
+
+        let mut model = [0u32; 16];
+        let mut model_out = 0u32;
+        for (a, d, we_v, re_v) in ops {
+            let a = (a & 0xF) as usize;
+            sim.set_input("addr", &Bits::from_u64(a as u64, 4)).expect("ok");
+            sim.set_input("wdata", &Bits::from_u64(d as u64, 32)).expect("ok");
+            sim.set_input("we", &Bits::from_bool(we_v)).expect("ok");
+            sim.set_input("re", &Bits::from_bool(re_v)).expect("ok");
+            sim.step();
+            // The settled output shows the *previous* cycle's read.
+            let got = sim.output("rdata").expect("port").to_u64().expect("fits") as u32;
+            prop_assert_eq!(got, model_out);
+            // Model the edge: read-before-write, registered output.
+            if re_v {
+                model_out = model[a];
+            }
+            if we_v {
+                model[a] = d;
+            }
+        }
+    }
+
+    #[test]
+    fn idle_design_draws_only_clock_power(w in 1usize..=16, v in any::<u64>()) {
+        let mut nb = NetlistBuilder::new("idle");
+        let d = nb.input("d", w);
+        let r = nb.register("r", w);
+        nb.connect_register(&r, &d);
+        nb.output("q", &r.q());
+        let netlist = nb.finish().expect("valid");
+        let mut sim = Simulator::new(&netlist).expect("acyclic");
+        sim.set_input("d", &Bits::from_u64(v, w)).expect("ok");
+        sim.step();
+        sim.step();
+        // Input held: after settling, only the clock tree switches.
+        let idle = sim.step();
+        prop_assert_eq!(idle.toggled_nets, 0);
+        let clock = w as f64 * Simulator::CLOCK_PIN_CAP_FF;
+        prop_assert!((idle.switched_capacitance_ff - clock).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,287 @@
+//! Streaming descriptive statistics (Welford's algorithm).
+
+use crate::StatsError;
+
+/// A numerically stable streaming accumulator for count, mean and variance.
+///
+/// This is the carrier of the paper's *power attributes* ⟨μ, σ, n⟩: every
+/// power state of a PSM stores one `OnlineStats` over the reference power
+/// values observed while the state's assertion held.
+///
+/// Uses Welford's algorithm, so it is safe for long traces (500 000 instants
+/// in the paper's *long-TS* testsets) where the naive sum-of-squares method
+/// loses precision.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds an accumulator from a slice in one call.
+    ///
+    /// ```
+    /// use psm_stats::OnlineStats;
+    /// let s = OnlineStats::from_slice(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean(), 2.0);
+    /// ```
+    pub fn from_slice(values: &[f64]) -> Self {
+        values.iter().copied().collect()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// pushed all observations into a single accumulator. This is what the
+    /// paper's `simplify`/`join` procedures use to recompute μ and σ of a
+    /// merged power state from its constituents.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns the merged accumulator without mutating either input.
+    pub fn merged(mut self, other: &OnlineStats) -> OnlineStats {
+        self.merge(other);
+        self
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no observation has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean (0.0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation, or `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation, or `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unbiased sample variance (divisor `n - 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when fewer than two
+    /// observations were pushed.
+    pub fn sample_variance(&self) -> Result<f64, StatsError> {
+        if self.count < 2 {
+            return Err(StatsError::InsufficientData {
+                required: 2,
+                actual: self.count as usize,
+            });
+        }
+        Ok(self.m2 / (self.count as f64 - 1.0))
+    }
+
+    /// Unbiased sample standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when fewer than two
+    /// observations were pushed.
+    pub fn sample_std_dev(&self) -> Result<f64, StatsError> {
+        self.sample_variance().map(f64::sqrt)
+    }
+
+    /// Population variance (divisor `n`); 0.0 for a single observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation; 0.0 for a single observation.
+    ///
+    /// This is the σ stored in a power state's attributes: the paper treats
+    /// a *next*-pattern state (n = 1) as having σ = 0.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] when fewer than two
+    /// observations were pushed.
+    pub fn standard_error(&self) -> Result<f64, StatsError> {
+        Ok(self.sample_std_dev()? / (self.count as f64).sqrt())
+    }
+
+    /// Total of all observations (`mean * n`).
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert!(s.sample_variance().is_err());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_std_dev(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(
+            s.sample_variance(),
+            Err(StatsError::InsufficientData {
+                required: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn matches_naive_formulas() {
+        let xs = [1.5, 2.5, 2.5, 2.75, 3.25, 4.75];
+        let s = OnlineStats::from_slice(&xs);
+        let (mean, var) = naive_mean_var(&xs);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance().unwrap() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.5);
+        assert_eq!(s.max(), 4.75);
+        assert!((s.sum() - xs.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let (left, right) = xs.split_at(3);
+        let mut a = OnlineStats::from_slice(left);
+        let b = OnlineStats::from_slice(right);
+        a.merge(&b);
+        let all = OnlineStats::from_slice(&xs);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance().unwrap() - all.sample_variance().unwrap()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = OnlineStats::from_slice(&[1.0, 2.0]);
+        let merged = a.merged(&OnlineStats::new());
+        assert_eq!(merged, a);
+        let merged = OnlineStats::new().merged(&a);
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Classic catastrophic-cancellation case for the naive algorithm.
+        let offset = 1e9;
+        let s: OnlineStats = [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]
+            .into_iter()
+            .collect();
+        assert!((s.sample_variance().unwrap() - 30.0).abs() < 1e-3);
+    }
+}

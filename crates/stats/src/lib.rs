@@ -1,0 +1,112 @@
+//! Statistics substrate for the `psmgen` workspace.
+//!
+//! The PSM-generation flow of Danese et al. (DATE 2016) leans on a handful of
+//! classical statistics that have no stable, dependency-free home in the Rust
+//! ecosystem, so this crate provides them from scratch:
+//!
+//! * [`OnlineStats`] — Welford's numerically stable streaming mean/variance
+//!   accumulator, the carrier of the paper's power attributes ⟨μ, σ, n⟩;
+//! * [`StudentsT`] — the Student-t distribution (CDF via the regularised
+//!   incomplete beta function), needed by the mergeability tests;
+//! * [`welch_t_test`] / [`one_sample_t_test`] — paper §IV-A cases 2 and 3;
+//! * [`LinearRegression`] / [`pearson_r`] — paper §IV's Hamming-distance
+//!   power calibration for data-dependent states;
+//! * [`mean_relative_error`] and friends — the accuracy metrics of Tables
+//!   II/III.
+//!
+//! # Examples
+//!
+//! ```
+//! use psm_stats::{OnlineStats, welch_t_test};
+//!
+//! let a: OnlineStats = [10.0, 10.2, 9.9, 10.1].into_iter().collect();
+//! let b: OnlineStats = [15.0, 15.3, 14.8, 15.1].into_iter().collect();
+//! let test = welch_t_test(&a, &b).expect("both samples have n >= 2");
+//! assert!(test.p_value < 0.01, "clearly different populations");
+//! ```
+
+mod descriptive;
+mod metrics;
+mod quantile;
+mod regression;
+mod special;
+mod student;
+mod ttest;
+
+pub use descriptive::OnlineStats;
+pub use metrics::{max_absolute_error, mean_absolute_error, mean_relative_error, rmse};
+pub use quantile::{quantile, relative_errors, Summary};
+pub use regression::{pearson_r, LinearRegression};
+pub use special::{ln_gamma, regularized_incomplete_beta};
+pub use student::StudentsT;
+pub use ttest::{one_sample_t_test, welch_t_test, TTest};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was too small for the requested statistic
+    /// (e.g. a variance of a single observation).
+    InsufficientData {
+        /// Minimum number of observations required.
+        required: usize,
+        /// Number of observations actually provided.
+        actual: usize,
+    },
+    /// A parameter was outside its mathematical domain
+    /// (e.g. non-positive degrees of freedom).
+    InvalidParameter(&'static str),
+    /// Input sequences that must be paired had different lengths.
+    LengthMismatch {
+        /// Length of the first sequence.
+        left: usize,
+        /// Length of the second sequence.
+        right: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { required, actual } => write!(
+                f,
+                "insufficient data: {actual} observation(s) provided, {required} required"
+            ),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired sequences differ in length ({left} vs {right})")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs = [
+            StatsError::InsufficientData {
+                required: 2,
+                actual: 1,
+            },
+            StatsError::InvalidParameter("df must be positive"),
+            StatsError::LengthMismatch { left: 3, right: 4 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Accuracy metrics used in the paper's evaluation (Tables II and III).
+
+use crate::StatsError;
+
+/// Mean relative error between an estimate and a reference sequence.
+///
+/// `MRE = mean(|est_i - ref_i| / |ref_i|)` over all instants where the
+/// reference is non-zero; instants with a zero reference are skipped (their
+/// relative error is undefined). This is the paper's Column *MRE*.
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] when the sequences differ in length;
+/// * [`StatsError::InsufficientData`] when no instant has a non-zero
+///   reference value.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::mean_relative_error;
+///
+/// let mre = mean_relative_error(&[11.0, 9.0], &[10.0, 10.0])?;
+/// assert!((mre - 0.1).abs() < 1e-12);
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+pub fn mean_relative_error(estimate: &[f64], reference: &[f64]) -> Result<f64, StatsError> {
+    if estimate.len() != reference.len() {
+        return Err(StatsError::LengthMismatch {
+            left: estimate.len(),
+            right: reference.len(),
+        });
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&e, &r) in estimate.iter().zip(reference) {
+        if r != 0.0 {
+            sum += ((e - r) / r).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    Ok(sum / n as f64)
+}
+
+/// Root-mean-square error between an estimate and a reference sequence.
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] when the sequences differ in length;
+/// * [`StatsError::InsufficientData`] when both sequences are empty.
+pub fn rmse(estimate: &[f64], reference: &[f64]) -> Result<f64, StatsError> {
+    if estimate.len() != reference.len() {
+        return Err(StatsError::LengthMismatch {
+            left: estimate.len(),
+            right: reference.len(),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let sum: f64 = estimate
+        .iter()
+        .zip(reference)
+        .map(|(&e, &r)| (e - r) * (e - r))
+        .sum();
+    Ok((sum / estimate.len() as f64).sqrt())
+}
+
+/// Mean absolute error between an estimate and a reference sequence.
+///
+/// # Errors
+///
+/// Same conditions as [`rmse`].
+pub fn mean_absolute_error(estimate: &[f64], reference: &[f64]) -> Result<f64, StatsError> {
+    if estimate.len() != reference.len() {
+        return Err(StatsError::LengthMismatch {
+            left: estimate.len(),
+            right: reference.len(),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let sum: f64 = estimate
+        .iter()
+        .zip(reference)
+        .map(|(&e, &r)| (e - r).abs())
+        .sum();
+    Ok(sum / estimate.len() as f64)
+}
+
+/// Largest absolute pointwise error between an estimate and a reference.
+///
+/// # Errors
+///
+/// Same conditions as [`rmse`].
+pub fn max_absolute_error(estimate: &[f64], reference: &[f64]) -> Result<f64, StatsError> {
+    if estimate.len() != reference.len() {
+        return Err(StatsError::LengthMismatch {
+            left: estimate.len(),
+            right: reference.len(),
+        });
+    }
+    if estimate.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    Ok(estimate
+        .iter()
+        .zip(reference)
+        .map(|(&e, &r)| (e - r).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_has_zero_error() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(mean_relative_error(&x, &x).unwrap(), 0.0);
+        assert_eq!(rmse(&x, &x).unwrap(), 0.0);
+        assert_eq!(mean_absolute_error(&x, &x).unwrap(), 0.0);
+        assert_eq!(max_absolute_error(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mre_skips_zero_reference() {
+        let mre = mean_relative_error(&[5.0, 11.0], &[0.0, 10.0]).unwrap();
+        assert!((mre - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_all_zero_reference_is_error() {
+        assert!(mean_relative_error(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors: 1, -1 → rmse = 1
+        let r = rmse(&[2.0, 2.0], &[1.0, 3.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_and_max_err() {
+        let mae = mean_absolute_error(&[1.0, 5.0], &[2.0, 2.0]).unwrap();
+        assert!((mae - 2.0).abs() < 1e-12);
+        let mx = max_absolute_error(&[1.0, 5.0], &[2.0, 2.0]).unwrap();
+        assert!((mx - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_errors() {
+        assert!(mean_relative_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[1.0], &[]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+    }
+}

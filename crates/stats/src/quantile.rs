@@ -1,0 +1,203 @@
+//! Quantiles and distribution summaries of error samples.
+//!
+//! MRE is a mean; reviewers of power models also want the tails ("what is
+//! the 95th-percentile relative error?"). This module provides linear-
+//! interpolation quantiles and a five-number summary over error series.
+
+use crate::StatsError;
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default) of a
+/// sample; `q` in `[0, 1]`.
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] for an empty sample;
+/// * [`StatsError::InvalidParameter`] when `q` is outside `[0, 1]` or the
+///   sample contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::quantile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.0)?, 1.0);
+/// assert_eq!(quantile(&xs, 1.0)?, 4.0);
+/// assert_eq!(quantile(&xs, 0.5)?, 2.5);
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+pub fn quantile(sample: &[f64], q: f64) -> Result<f64, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile must lie in [0, 1]"));
+    }
+    if sample.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::InvalidParameter("sample contains NaN"));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Five-number summary plus mean of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`quantile`].
+    pub fn of(sample: &[f64]) -> Result<Self, StatsError> {
+        Ok(Summary {
+            min: quantile(sample, 0.0)?,
+            q1: quantile(sample, 0.25)?,
+            median: quantile(sample, 0.5)?,
+            q3: quantile(sample, 0.75)?,
+            max: quantile(sample, 1.0)?,
+            mean: sample.iter().sum::<f64>() / sample.len() as f64,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.4} | q1 {:.4} | med {:.4} | q3 {:.4} | max {:.4} | mean {:.4}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Per-instant relative-error series between an estimate and a reference —
+/// the raw data behind [`mean_relative_error`](crate::mean_relative_error),
+/// exposed so tails can be summarised with [`Summary::of`]. Instants with a
+/// zero reference are skipped.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] when the sequences differ in
+/// length.
+pub fn relative_errors(estimate: &[f64], reference: &[f64]) -> Result<Vec<f64>, StatsError> {
+    if estimate.len() != reference.len() {
+        return Err(StatsError::LengthMismatch {
+            left: estimate.len(),
+            right: reference.len(),
+        });
+    }
+    Ok(estimate
+        .iter()
+        .zip(reference)
+        .filter(|(_, &r)| r != 0.0)
+        .map(|(&e, &r)| ((e - r) / r).abs())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_matches_known_values() {
+        let xs = [7.0, 1.0, 3.0, 5.0, 9.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 5.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 9.0);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 3.0);
+        // Interpolated point.
+        assert!((quantile(&xs, 0.1).unwrap() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_inputs() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn summary_of_uniform_ramp() {
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn relative_errors_skip_zero_reference() {
+        let errs = relative_errors(&[2.0, 5.0, 1.0], &[1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(errs.len(), 2);
+        assert!((errs[0] - 1.0).abs() < 1e-12);
+        assert!((errs[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tails_exceed_the_mean_for_skewed_errors() {
+        let reference = vec![1.0; 100];
+        let mut estimate = vec![1.0; 100];
+        estimate[0] = 3.0; // one bad instant
+        let errs = relative_errors(&estimate, &reference).unwrap();
+        let s = Summary::of(&errs).unwrap();
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.max, 2.0);
+        assert!(s.mean > 0.0 && s.mean < 0.05);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let xs = [0.3, 9.1, 4.4, 2.2, 7.7, 5.0, 1.1];
+        let mut last = f64::NEG_INFINITY;
+        for k in 0..=20 {
+            let q = k as f64 / 20.0;
+            let v = quantile(&xs, q).unwrap();
+            assert!(v >= last, "q={q}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn single_element_sample() {
+        assert_eq!(quantile(&[42.0], 0.0).unwrap(), 42.0);
+        assert_eq!(quantile(&[42.0], 0.5).unwrap(), 42.0);
+        assert_eq!(quantile(&[42.0], 1.0).unwrap(), 42.0);
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn relative_errors_length_mismatch() {
+        assert!(relative_errors(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Ordinary least-squares linear regression and Pearson correlation.
+//!
+//! The paper calibrates *data-dependent* power states (§IV): when a state's
+//! σ is high and the Hamming distance of consecutive input values correlates
+//! strongly with the power trace, the constant μ output function is replaced
+//! by a regression line `power = slope · hamming + intercept`.
+
+use crate::StatsError;
+
+/// A fitted simple linear regression `y = slope · x + intercept`.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::LinearRegression;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0, 9.0];
+/// let lr = LinearRegression::fit(&xs, &ys)?;
+/// assert!((lr.slope() - 2.0).abs() < 1e-12);
+/// assert!((lr.intercept() - 1.0).abs() < 1e-12);
+/// assert!((lr.r() - 1.0).abs() < 1e-12);
+/// assert!((lr.predict(10.0) - 21.0).abs() < 1e-12);
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinearRegression {
+    slope: f64,
+    intercept: f64,
+    r: f64,
+    n: usize,
+}
+
+impl LinearRegression {
+    /// Fits an OLS line through paired observations.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::LengthMismatch`] when `xs` and `ys` differ in length;
+    /// * [`StatsError::InsufficientData`] with fewer than two pairs;
+    /// * [`StatsError::InvalidParameter`] when all `x` values are identical
+    ///   (the slope is undefined).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                required: 2,
+                actual: xs.len(),
+            });
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            syy += dy * dy;
+            sxy += dx * dy;
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "all x values identical; slope undefined",
+            ));
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r = if syy == 0.0 {
+            // A perfectly flat response is perfectly predicted by any line
+            // through it; report zero correlation (no linear *information*).
+            0.0
+        } else {
+            sxy / (sxx.sqrt() * syy.sqrt())
+        };
+        Ok(LinearRegression {
+            slope,
+            intercept,
+            r,
+            n: xs.len(),
+        })
+    }
+
+    /// Fitted slope.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Pearson correlation coefficient of the fitted data.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Coefficient of determination, `r²`.
+    pub fn r_squared(&self) -> f64 {
+        self.r * self.r
+    }
+
+    /// Number of pairs used in the fit.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Pearson correlation coefficient of two paired sequences.
+///
+/// Returns 0.0 when either sequence is constant (no linear relationship can
+/// be measured) — this is the "necessary condition" check the paper applies
+/// before replacing a state's constant power with a regression function.
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] when the sequences differ in length;
+/// * [`StatsError::InsufficientData`] with fewer than two pairs.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::pearson_r;
+///
+/// let r = pearson_r(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0])?;
+/// assert!((r - (-1.0)).abs() < 1e-12);
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+pub fn pearson_r(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 4.0).collect();
+        let lr = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((lr.slope() - 3.0).abs() < 1e-12);
+        assert!((lr.intercept() + 4.0).abs() < 1e-12);
+        assert!((lr.r_squared() - 1.0).abs() < 1e-12);
+        assert_eq!(lr.n(), 10);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        // Deterministic "noise" via a fixed pattern.
+        let noise = [0.05, -0.03, 0.02, -0.04, 0.01, 0.03, -0.02, -0.01];
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(noise)
+            .map(|(x, e)| 2.0 * x + 1.0 + e)
+            .collect();
+        let lr = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((lr.slope() - 2.0).abs() < 0.02);
+        assert!(lr.r() > 0.999);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert_eq!(
+            LinearRegression::fit(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { left: 2, right: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_constant_x() {
+        let e = LinearRegression::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(matches!(e, Err(StatsError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn constant_y_has_zero_r() {
+        let lr = LinearRegression::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(lr.slope(), 0.0);
+        assert_eq!(lr.intercept(), 5.0);
+        assert_eq!(lr.r(), 0.0);
+    }
+
+    #[test]
+    fn pearson_bounds_and_signs() {
+        let up = pearson_r(&[1.0, 2.0, 3.0, 4.0], &[2.0, 4.0, 5.0, 9.0]).unwrap();
+        assert!(up > 0.9 && up <= 1.0);
+        let down = pearson_r(&[1.0, 2.0, 3.0, 4.0], &[9.0, 5.0, 4.0, 2.0]).unwrap();
+        assert!((-1.0..-0.9).contains(&down));
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson_r(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+        assert_eq!(pearson_r(&[1.0, 2.0, 3.0], &[7.0, 7.0, 7.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn regression_matches_pearson() {
+        let xs = [1.0, 3.0, 4.0, 7.0, 9.0, 10.0];
+        let ys = [2.1, 5.9, 8.2, 13.8, 18.1, 19.7];
+        let lr = LinearRegression::fit(&xs, &ys).unwrap();
+        let r = pearson_r(&xs, &ys).unwrap();
+        assert!((lr.r() - r).abs() < 1e-12);
+    }
+}

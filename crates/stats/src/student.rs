@@ -1,0 +1,157 @@
+//! Student's t distribution.
+
+use crate::special::regularized_incomplete_beta;
+use crate::StatsError;
+
+/// Student's t distribution with (possibly fractional) degrees of freedom.
+///
+/// Welch's t-test produces fractional degrees of freedom through the
+/// Welch–Satterthwaite equation, so `df` is an `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::StudentsT;
+///
+/// let t = StudentsT::new(10.0)?;
+/// // The distribution is symmetric around zero.
+/// assert!((t.cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((t.cdf(1.5) + t.cdf(-1.5) - 1.0).abs() < 1e-12);
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentsT {
+    df: f64,
+}
+
+impl StudentsT {
+    /// Creates a t distribution with `df` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `df` is not a positive,
+    /// finite number.
+    pub fn new(df: f64) -> Result<Self, StatsError> {
+        if !(df.is_finite() && df > 0.0) {
+            return Err(StatsError::InvalidParameter(
+                "degrees of freedom must be positive and finite",
+            ));
+        }
+        Ok(StudentsT { df })
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Cumulative distribution function `P(T <= t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t.is_nan() {
+            return f64::NAN;
+        }
+        if t.is_infinite() {
+            return if t > 0.0 { 1.0 } else { 0.0 };
+        }
+        let x = self.df / (self.df + t * t);
+        let p = 0.5 * regularized_incomplete_beta(0.5 * self.df, 0.5, x);
+        if t > 0.0 {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    /// Survival function `P(T > t)`.
+    pub fn sf(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Two-sided p-value for an observed statistic, `P(|T| >= |t|)`.
+    ///
+    /// This is the quantity the paper's mergeability tests compare against
+    /// the designer-chosen significance level.
+    pub fn two_sided_p_value(&self, t: f64) -> f64 {
+        let x = self.df / (self.df + t * t);
+        regularized_incomplete_beta(0.5 * self.df, 0.5, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_df() {
+        assert!(StudentsT::new(0.0).is_err());
+        assert!(StudentsT::new(-3.0).is_err());
+        assert!(StudentsT::new(f64::NAN).is_err());
+        assert!(StudentsT::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn symmetric_cdf() {
+        let t = StudentsT::new(7.0).unwrap();
+        for &x in &[0.0, 0.5, 1.0, 2.5, 10.0] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn known_critical_values() {
+        // Standard t-table entries: P(T <= t_crit) = 0.975.
+        let cases = [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (30.0, 2.042),
+            (120.0, 1.980),
+        ];
+        for (df, crit) in cases {
+            let t = StudentsT::new(df).unwrap();
+            assert!(
+                (t.cdf(crit) - 0.975).abs() < 5e-4,
+                "df = {df}: cdf({crit}) = {}",
+                t.cdf(crit)
+            );
+        }
+    }
+
+    #[test]
+    fn df_one_is_cauchy() {
+        // t with df = 1 is the Cauchy distribution: CDF = 1/2 + atan(x)/pi.
+        let t = StudentsT::new(1.0).unwrap();
+        for &x in &[-3.0f64, -0.7, 0.0, 0.4, 2.0] {
+            let cauchy = 0.5 + x.atan() / std::f64::consts::PI;
+            assert!((t.cdf(x) - cauchy).abs() < 1e-10, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        // At df = 10_000 the t CDF at 1.96 is essentially the normal 0.975.
+        let t = StudentsT::new(10_000.0).unwrap();
+        assert!((t.cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_sided_p_value_matches_cdf() {
+        let t = StudentsT::new(12.0).unwrap();
+        for &x in &[0.3, 1.1, 2.7] {
+            let p = t.two_sided_p_value(x);
+            let via_cdf = 2.0 * (1.0 - t.cdf(x));
+            assert!((p - via_cdf).abs() < 1e-12, "x = {x}");
+            // p-value must be sign-invariant.
+            assert!((p - t.two_sided_p_value(-x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn infinite_statistic() {
+        let t = StudentsT::new(4.0).unwrap();
+        assert_eq!(t.cdf(f64::INFINITY), 1.0);
+        assert_eq!(t.cdf(f64::NEG_INFINITY), 0.0);
+        assert!(t.cdf(f64::NAN).is_nan());
+    }
+}

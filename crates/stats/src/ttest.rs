@@ -1,0 +1,247 @@
+//! Welch's two-sample t-test and the one-sample "new observation" t-test.
+//!
+//! These implement the statistical machinery of the paper's §IV-A
+//! (*Quantifying the mergeability of power states*):
+//!
+//! * **Case 2** (until/until, both n > 1): [`welch_t_test`] on the two
+//!   states' power attributes;
+//! * **Case 3** (until/next, one n = 1): [`one_sample_t_test`] asking whether
+//!   a single observation is consistent with the larger sample.
+
+use crate::descriptive::OnlineStats;
+use crate::student::StudentsT;
+use crate::StatsError;
+
+/// Outcome of a t-test: statistic, degrees of freedom and two-sided p-value.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::{OnlineStats, welch_t_test};
+///
+/// let a = OnlineStats::from_slice(&[5.0, 5.1, 4.9, 5.0]);
+/// let b = OnlineStats::from_slice(&[5.05, 4.95, 5.0, 5.02]);
+/// let t = welch_t_test(&a, &b)?;
+/// assert!(t.is_same_population(0.05), "nearly identical samples merge");
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (fractional for Welch's test).
+    pub df: f64,
+    /// Two-sided p-value, `P(|T| >= |statistic|)`.
+    pub p_value: f64,
+}
+
+impl TTest {
+    /// Returns `true` when the test *fails to reject* the null hypothesis of
+    /// equal means at significance level `alpha` — i.e. when the two power
+    /// states are statistically indistinguishable and therefore mergeable.
+    pub fn is_same_population(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Welch's unequal-variances t-test for two summarised samples.
+///
+/// Operates directly on power attributes ⟨μ, σ, n⟩ (as [`OnlineStats`]), so
+/// the raw power trace need not be retained. Degrees of freedom follow the
+/// Welch–Satterthwaite equation.
+///
+/// A degenerate case arises with power traces: both samples may have zero
+/// variance (perfectly constant power). The test then degenerates to an
+/// exact comparison of the means — equal means yield `p = 1`, different
+/// means `p = 0`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] unless both samples contain at
+/// least two observations.
+pub fn welch_t_test(a: &OnlineStats, b: &OnlineStats) -> Result<TTest, StatsError> {
+    for s in [a, b] {
+        if s.count() < 2 {
+            return Err(StatsError::InsufficientData {
+                required: 2,
+                actual: s.count() as usize,
+            });
+        }
+    }
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    let (va, vb) = (a.sample_variance()?, b.sample_variance()?);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        let same = a.mean() == b.mean();
+        return Ok(TTest {
+            statistic: if same { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p_value: if same { 1.0 } else { 0.0 },
+        });
+    }
+    let t = (a.mean() - b.mean()) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let dist = StudentsT::new(df)?;
+    Ok(TTest {
+        statistic: t,
+        df,
+        p_value: dist.two_sided_p_value(t),
+    })
+}
+
+/// One-sample t-test: is the single observation `x` consistent with the
+/// population summarised by `sample`?
+///
+/// Uses the prediction-interval form `t = (x - x̄) / (s · sqrt(1 + 1/n))`
+/// with `n - 1` degrees of freedom, which is the textbook test for whether a
+/// *new* observation belongs to the population that produced an existing
+/// sample. This is the paper's mergeability **Case 3** (until-state vs
+/// next-state).
+///
+/// When the sample variance is zero the test degenerates to an exact
+/// comparison, mirroring [`welch_t_test`].
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] unless `sample` contains at
+/// least two observations.
+///
+/// # Examples
+///
+/// ```
+/// use psm_stats::{OnlineStats, one_sample_t_test};
+///
+/// let until_state = OnlineStats::from_slice(&[3.3, 3.35, 3.34, 3.36, 3.31]);
+/// let inside = one_sample_t_test(&until_state, 3.33)?;
+/// let outside = one_sample_t_test(&until_state, 9.0)?;
+/// assert!(inside.p_value > outside.p_value);
+/// # Ok::<(), psm_stats::StatsError>(())
+/// ```
+pub fn one_sample_t_test(sample: &OnlineStats, x: f64) -> Result<TTest, StatsError> {
+    if sample.count() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: sample.count() as usize,
+        });
+    }
+    let n = sample.count() as f64;
+    let s = sample.sample_std_dev()?;
+    let df = n - 1.0;
+    if s == 0.0 {
+        let same = x == sample.mean();
+        return Ok(TTest {
+            statistic: if same { 0.0 } else { f64::INFINITY },
+            df,
+            p_value: if same { 1.0 } else { 0.0 },
+        });
+    }
+    let t = (x - sample.mean()) / (s * (1.0 + 1.0 / n).sqrt());
+    let dist = StudentsT::new(df)?;
+    Ok(TTest {
+        statistic: t,
+        df,
+        p_value: dist.two_sided_p_value(t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welch_identical_samples() {
+        let a = OnlineStats::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let t = welch_t_test(&a, &a).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+        assert!(t.is_same_population(0.05));
+    }
+
+    #[test]
+    fn welch_clearly_different() {
+        let a = OnlineStats::from_slice(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        let b = OnlineStats::from_slice(&[10.0, 10.1, 9.9, 10.05, 9.95]);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_value < 1e-6);
+        assert!(!t.is_same_population(0.05));
+    }
+
+    #[test]
+    fn welch_reference_value() {
+        // Statistic and df cross-checked against an independent hand
+        // computation of the Welch formulas: t = -2.835264, df = 27.713626.
+        // p bracketed from standard t-tables (df ~ 28: t_{.005} = 2.763,
+        // t_{.0025} ~ 3.0), so 0.005 < p/2 < 0.01.
+        let a = OnlineStats::from_slice(&[
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ]);
+        let b = OnlineStats::from_slice(&[
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
+        ]);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(
+            (t.statistic - (-2.835264)).abs() < 1e-5,
+            "t = {}",
+            t.statistic
+        );
+        assert!((t.df - 27.713626).abs() < 1e-5, "df = {}", t.df);
+        assert!(
+            t.p_value > 0.005 && t.p_value < 0.01,
+            "p = {} outside the table bracket",
+            t.p_value
+        );
+    }
+
+    #[test]
+    fn welch_zero_variance_same_mean() {
+        let a = OnlineStats::from_slice(&[5.0, 5.0, 5.0]);
+        let b = OnlineStats::from_slice(&[5.0, 5.0]);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn welch_zero_variance_different_mean() {
+        let a = OnlineStats::from_slice(&[5.0, 5.0, 5.0]);
+        let b = OnlineStats::from_slice(&[6.0, 6.0]);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert_eq!(t.p_value, 0.0);
+        assert!(!t.is_same_population(0.05));
+    }
+
+    #[test]
+    fn welch_requires_two_observations() {
+        let a = OnlineStats::from_slice(&[5.0]);
+        let b = OnlineStats::from_slice(&[5.0, 6.0]);
+        assert!(welch_t_test(&a, &b).is_err());
+        assert!(welch_t_test(&b, &a).is_err());
+    }
+
+    #[test]
+    fn one_sample_inside_and_outside() {
+        let s = OnlineStats::from_slice(&[10.0, 10.5, 9.5, 10.2, 9.8, 10.1]);
+        let inside = one_sample_t_test(&s, 10.05).unwrap();
+        assert!(inside.is_same_population(0.05));
+        let outside = one_sample_t_test(&s, 25.0).unwrap();
+        assert!(!outside.is_same_population(0.05));
+    }
+
+    #[test]
+    fn one_sample_zero_variance() {
+        let s = OnlineStats::from_slice(&[4.0, 4.0, 4.0]);
+        assert_eq!(one_sample_t_test(&s, 4.0).unwrap().p_value, 1.0);
+        assert_eq!(one_sample_t_test(&s, 4.5).unwrap().p_value, 0.0);
+    }
+
+    #[test]
+    fn one_sample_symmetric_in_direction() {
+        let s = OnlineStats::from_slice(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let above = one_sample_t_test(&s, 5.0).unwrap();
+        let below = one_sample_t_test(&s, -1.0).unwrap();
+        assert!((above.p_value - below.p_value).abs() < 1e-12);
+        assert!((above.statistic + below.statistic).abs() < 1e-12);
+    }
+}

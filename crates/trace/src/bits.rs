@@ -1,0 +1,571 @@
+//! Arbitrary-width bit-vectors.
+
+use crate::TraceError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A fixed-width bit-vector value, the unit of every signal sample.
+///
+/// Widths are arbitrary (the paper's AES benchmark has a 260-bit input
+/// interface); storage is little-endian `u64` words with unused high bits of
+/// the top word kept at zero, so equality, hashing and Hamming distance are
+/// plain word-wise operations.
+///
+/// Two `Bits` of *different widths* are never equal and cannot be combined
+/// with bitwise operators (the checked methods return
+/// [`TraceError::WidthMismatch`]; the operator impls panic, mirroring how
+/// HDL simulators treat width mismatches as elaboration errors).
+///
+/// # Examples
+///
+/// ```
+/// use psm_trace::Bits;
+///
+/// let a = Bits::from_u64(0b1010, 4);
+/// let b = Bits::from_u64(0b0110, 4);
+/// assert_eq!(a.hamming_distance(&b)?, 2);
+/// assert_eq!((a ^ b).count_ones(), 2);
+/// # Ok::<(), psm_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bits {
+    width: usize,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero; zero-width signals are not representable.
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "zero-width Bits are not representable");
+        Bits {
+            width,
+            words: vec![0; width.div_ceil(64)],
+        }
+    }
+
+    /// Creates an all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn ones(width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for w in &mut b.words {
+            *w = u64::MAX;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value of the given width from the low bits of `value`.
+    ///
+    /// Bits of `value` above `width` are discarded (truncation, matching HDL
+    /// assignment semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = value;
+        b.mask_top();
+        b
+    }
+
+    /// Creates a single-bit value from a boolean.
+    pub fn from_bool(value: bool) -> Self {
+        Bits::from_u64(value as u64, 1)
+    }
+
+    /// Creates a value from little-endian 64-bit words.
+    ///
+    /// Words beyond the width are rejected only implicitly: excess high bits
+    /// are truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `words` has fewer words than the width
+    /// requires.
+    pub fn from_words(words: &[u64], width: usize) -> Self {
+        assert!(width > 0, "zero-width Bits are not representable");
+        let needed = width.div_ceil(64);
+        assert!(
+            words.len() >= needed,
+            "need {needed} word(s) for width {width}, got {}",
+            words.len()
+        );
+        let mut b = Bits {
+            width,
+            words: words[..needed].to_vec(),
+        };
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value from bytes, least-significant byte first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `bytes` cannot cover it.
+    pub fn from_le_bytes(bytes: &[u8], width: usize) -> Self {
+        assert!(width > 0, "zero-width Bits are not representable");
+        assert!(
+            bytes.len() * 8 >= width,
+            "need {} byte(s) for width {width}, got {}",
+            width.div_ceil(8),
+            bytes.len()
+        );
+        let mut b = Bits::zero(width);
+        for (i, &byte) in bytes.iter().enumerate().take(width.div_ceil(8)) {
+            b.words[i / 8] |= (byte as u64) << (8 * (i % 8));
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reads bit `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.width, "bit {index} out of width {}", self.width);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets bit `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.width, "bit {index} out of width {}", self.width);
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Returns `true` if all bits are zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Hamming distance to another value of the same width.
+    ///
+    /// This is the `x` of the paper's §IV regression calibration: the number
+    /// of toggling input bits between consecutive instants predicts the
+    /// dynamic power of data-dependent states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WidthMismatch`] when widths differ.
+    pub fn hamming_distance(&self, other: &Bits) -> Result<u32, TraceError> {
+        if self.width != other.width {
+            return Err(TraceError::WidthMismatch {
+                left: self.width,
+                right: other.width,
+            });
+        }
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum())
+    }
+
+    /// Converts to `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Overflow`] when the value is wider than 64 bits
+    /// *and* any high bit is set. Values declared wider than 64 bits whose
+    /// numeric value fits are converted successfully.
+    pub fn to_u64(&self) -> Result<u64, TraceError> {
+        if self.words[1..].iter().any(|&w| w != 0) {
+            return Err(TraceError::Overflow {
+                width: self.width,
+                max: 64,
+            });
+        }
+        Ok(self.words[0])
+    }
+
+    /// Little-endian bytes covering the full width.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.width.div_ceil(8));
+        for i in 0..self.width.div_ceil(8) {
+            out.push(((self.words[i / 8] >> (8 * (i % 8))) & 0xFF) as u8);
+        }
+        out
+    }
+
+    /// Extracts the bit range `[lo, lo + width)` as a new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds this value's width or `width` is zero.
+    pub fn slice(&self, lo: usize, width: usize) -> Bits {
+        assert!(width > 0, "zero-width slice");
+        assert!(
+            lo + width <= self.width,
+            "slice [{lo}, {}) out of width {}",
+            lo + width,
+            self.width
+        );
+        let mut out = Bits::zero(width);
+        for i in 0..width {
+            if self.bit(lo + i) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Concatenates `high` above `self` (self occupies the low bits).
+    pub fn concat(&self, high: &Bits) -> Bits {
+        let mut out = Bits::zero(self.width + high.width);
+        for i in 0..self.width {
+            if self.bit(i) {
+                out.set_bit(i, true);
+            }
+        }
+        for i in 0..high.width {
+            if high.bit(i) {
+                out.set_bit(self.width + i, true);
+            }
+        }
+        out
+    }
+
+    /// Parses a Verilog-style literal `<width>'h<hex>` as produced by this
+    /// type's [`Display`](std::fmt::Display) implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Parse`] (with line 0) on malformed input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psm_trace::Bits;
+    /// let b = Bits::from_verilog_str("8'h2a")?;
+    /// assert_eq!(b.to_u64()?, 0x2a);
+    /// assert_eq!(b.width(), 8);
+    /// assert_eq!(Bits::from_verilog_str(&b.to_string())?, b);
+    /// # Ok::<(), psm_trace::TraceError>(())
+    /// ```
+    pub fn from_verilog_str(text: &str) -> Result<Bits, TraceError> {
+        let bad = |message: &str| TraceError::Parse {
+            line: 0,
+            message: message.to_owned(),
+        };
+        let (width_str, rest) = text
+            .split_once('\'')
+            .ok_or_else(|| bad("missing width separator `'`"))?;
+        let width: usize = width_str
+            .parse()
+            .map_err(|_| bad("bad width prefix"))?;
+        if width == 0 {
+            return Err(TraceError::ZeroWidth);
+        }
+        let hex = rest
+            .strip_prefix('h')
+            .ok_or_else(|| bad("only hex literals (`'h`) are supported"))?;
+        if hex.is_empty() || hex.len() != width.div_ceil(4) {
+            return Err(bad("hex digit count must match the width"));
+        }
+        let mut bits = Bits::zero(width);
+        for (i, c) in hex.chars().rev().enumerate() {
+            let nib = c.to_digit(16).ok_or_else(|| bad("invalid hex digit"))? as u64;
+            for b in 0..4 {
+                let idx = i * 4 + b;
+                if idx < width && nib >> b & 1 == 1 {
+                    bits.set_bit(idx, true);
+                }
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Checked bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WidthMismatch`] when widths differ.
+    pub fn checked_xor(&self, other: &Bits) -> Result<Bits, TraceError> {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Checked bitwise AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WidthMismatch`] when widths differ.
+    pub fn checked_and(&self, other: &Bits) -> Result<Bits, TraceError> {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Checked bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WidthMismatch`] when widths differ.
+    pub fn checked_or(&self, other: &Bits) -> Result<Bits, TraceError> {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    fn zip_words(
+        &self,
+        other: &Bits,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> Result<Bits, TraceError> {
+        if self.width != other.width {
+            return Err(TraceError::WidthMismatch {
+                left: self.width,
+                right: other.width,
+            });
+        }
+        let mut out = self.clone();
+        for (w, &o) in out.words.iter_mut().zip(&other.words) {
+            *w = f(*w, o);
+        }
+        out.mask_top();
+        Ok(out)
+    }
+
+    /// Numeric comparison of two values of the same width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::WidthMismatch`] when widths differ.
+    pub fn compare(&self, other: &Bits) -> Result<Ordering, TraceError> {
+        if self.width != other.width {
+            return Err(TraceError::WidthMismatch {
+                left: self.width,
+                right: other.width,
+            });
+        }
+        for (a, b) in self.words.iter().rev().zip(other.words.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return Ok(ord),
+            }
+        }
+        Ok(Ordering::Equal)
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+impl fmt::Display for Bits {
+    /// Formats as `<width>'h<hex>` in Verilog literal style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        let nibbles = self.width.div_ceil(4);
+        for i in (0..nibbles).rev() {
+            let mut nib = 0u8;
+            for b in 0..4 {
+                let idx = i * 4 + b;
+                if idx < self.width && self.bit(idx) {
+                    nib |= 1 << b;
+                }
+            }
+            write!(f, "{nib:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl BitXor for Bits {
+    type Output = Bits;
+    /// # Panics
+    ///
+    /// Panics when widths differ; use [`Bits::checked_xor`] to recover.
+    fn bitxor(self, rhs: Bits) -> Bits {
+        self.checked_xor(&rhs).expect("width mismatch in `^`")
+    }
+}
+
+impl BitAnd for Bits {
+    type Output = Bits;
+    /// # Panics
+    ///
+    /// Panics when widths differ; use [`Bits::checked_and`] to recover.
+    fn bitand(self, rhs: Bits) -> Bits {
+        self.checked_and(&rhs).expect("width mismatch in `&`")
+    }
+}
+
+impl BitOr for Bits {
+    type Output = Bits;
+    /// # Panics
+    ///
+    /// Panics when widths differ; use [`Bits::checked_or`] to recover.
+    fn bitor(self, rhs: Bits) -> Bits {
+        self.checked_or(&rhs).expect("width mismatch in `|`")
+    }
+}
+
+impl Not for Bits {
+    type Output = Bits;
+    fn not(mut self) -> Bits {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_top();
+        self
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(b: bool) -> Self {
+        Bits::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_truncation() {
+        let b = Bits::from_u64(0xFF, 4);
+        assert_eq!(b.to_u64().unwrap(), 0xF);
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn wide_values_round_trip_bytes() {
+        let bytes: Vec<u8> = (0u8..32).collect(); // 256 bits
+        let b = Bits::from_le_bytes(&bytes, 256);
+        assert_eq!(b.to_le_bytes(), bytes);
+        assert_eq!(b.width(), 256);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut b = Bits::zero(130);
+        b.set_bit(0, true);
+        b.set_bit(129, true);
+        assert!(b.bit(0));
+        assert!(b.bit(129));
+        assert!(!b.bit(64));
+        assert_eq!(b.count_ones(), 2);
+        b.set_bit(129, false);
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn hamming_distance_matches_xor_popcount() {
+        let a = Bits::from_u64(0b1100_1010, 8);
+        let b = Bits::from_u64(0b0110_0110, 8);
+        let d = a.hamming_distance(&b).unwrap();
+        assert_eq!(d, a.checked_xor(&b).unwrap().count_ones());
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn hamming_rejects_width_mismatch() {
+        let a = Bits::zero(4);
+        let b = Bits::zero(5);
+        assert!(matches!(
+            a.hamming_distance(&b),
+            Err(TraceError::WidthMismatch { left: 4, right: 5 })
+        ));
+    }
+
+    #[test]
+    fn to_u64_overflow_only_when_high_bits_set() {
+        let ok = Bits::from_u64(7, 100);
+        assert_eq!(ok.to_u64().unwrap(), 7);
+        let mut wide = Bits::zero(100);
+        wide.set_bit(80, true);
+        assert!(matches!(wide.to_u64(), Err(TraceError::Overflow { .. })));
+    }
+
+    #[test]
+    fn ones_respects_width() {
+        let b = Bits::ones(7);
+        assert_eq!(b.to_u64().unwrap(), 0x7F);
+        assert_eq!(b.count_ones(), 7);
+        let b = Bits::ones(64);
+        assert_eq!(b.to_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn not_respects_width() {
+        let b = !Bits::zero(5);
+        assert_eq!(b.to_u64().unwrap(), 0b11111);
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let b = Bits::from_u64(0xABCD, 16);
+        let lo = b.slice(0, 8);
+        let hi = b.slice(8, 8);
+        assert_eq!(lo.to_u64().unwrap(), 0xCD);
+        assert_eq!(hi.to_u64().unwrap(), 0xAB);
+        assert_eq!(lo.concat(&hi), b);
+    }
+
+    #[test]
+    fn numeric_compare() {
+        let a = Bits::from_u64(3, 70);
+        let mut b = Bits::from_u64(3, 70);
+        assert_eq!(a.compare(&b).unwrap(), Ordering::Equal);
+        b.set_bit(65, true);
+        assert_eq!(a.compare(&b).unwrap(), Ordering::Less);
+        assert_eq!(b.compare(&a).unwrap(), Ordering::Greater);
+    }
+
+    #[test]
+    fn display_verilog_style() {
+        assert_eq!(Bits::from_u64(0x2A, 8).to_string(), "8'h2a");
+        assert_eq!(Bits::from_u64(1, 1).to_string(), "1'h1");
+        assert_eq!(Bits::from_u64(0x5, 3).to_string(), "3'h5");
+    }
+
+    #[test]
+    fn different_widths_never_equal() {
+        assert_ne!(Bits::from_u64(1, 2), Bits::from_u64(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-width")]
+    fn zero_width_panics() {
+        let _ = Bits::zero(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn xor_operator_panics_on_mismatch() {
+        let _ = Bits::zero(3) ^ Bits::zero(4);
+    }
+}

@@ -1,0 +1,303 @@
+//! Functional traces: evaluations of PIs/POs over simulation instants.
+
+use crate::bits::Bits;
+use crate::signal::{SignalId, SignalSet};
+use crate::TraceError;
+
+/// A functional trace Φ = ⟨φ₁, …, φₙ⟩ (paper Def. 2): for every simulation
+/// instant, the value of every primary input and output of the model.
+///
+/// Storage is time-major (one `Vec<Bits>` per cycle, indexed by
+/// [`SignalId`]), matching how a simulator produces it and how the miner
+/// consumes it.
+///
+/// # Examples
+///
+/// ```
+/// use psm_trace::{Bits, Direction, FunctionalTrace, SignalSet};
+///
+/// let mut signals = SignalSet::new();
+/// let en = signals.push("en", 1, Direction::Input)?;
+/// let q = signals.push("q", 8, Direction::Output)?;
+/// let mut trace = FunctionalTrace::new(signals);
+/// trace.push_cycle(vec![Bits::from_bool(true), Bits::from_u64(0x10, 8)])?;
+/// trace.push_cycle(vec![Bits::from_bool(false), Bits::from_u64(0x13, 8)])?;
+///
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.value(en, 0).bit(0));
+/// // 0x10 ^ 0x13 = 0x03 → two toggling output bits between instants 0 and 1.
+/// assert_eq!(trace.value(q, 0).hamming_distance(trace.value(q, 1))?, 2);
+/// # Ok::<(), psm_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FunctionalTrace {
+    signals: SignalSet,
+    cycles: Vec<Vec<Bits>>,
+}
+
+impl FunctionalTrace {
+    /// Creates an empty trace over the given interface.
+    pub fn new(signals: SignalSet) -> Self {
+        FunctionalTrace {
+            signals,
+            cycles: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace with room for `capacity` cycles.
+    pub fn with_capacity(signals: SignalSet, capacity: usize) -> Self {
+        FunctionalTrace {
+            signals,
+            cycles: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The PI/PO interface this trace samples.
+    pub fn signals(&self) -> &SignalSet {
+        &self.signals
+    }
+
+    /// Appends one simulation instant.
+    ///
+    /// `values` must contain exactly one [`Bits`] per declared signal, in
+    /// declaration order, each with the declared width.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::CycleShapeMismatch`] when the count is wrong;
+    /// * [`TraceError::SignalWidthMismatch`] when a value's width differs
+    ///   from its declaration.
+    pub fn push_cycle(&mut self, values: Vec<Bits>) -> Result<(), TraceError> {
+        if values.len() != self.signals.len() {
+            return Err(TraceError::CycleShapeMismatch {
+                expected: self.signals.len(),
+                actual: values.len(),
+            });
+        }
+        for ((_, decl), value) in self.signals.iter().zip(&values) {
+            if decl.width() != value.width() {
+                return Err(TraceError::SignalWidthMismatch {
+                    signal: decl.name().to_owned(),
+                    expected: decl.width(),
+                    actual: value.width(),
+                });
+            }
+        }
+        self.cycles.push(values);
+        Ok(())
+    }
+
+    /// Number of simulation instants recorded.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Returns `true` when no instant has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Value of `signal` at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range or `signal` does not belong to this
+    /// trace's interface.
+    pub fn value(&self, signal: SignalId, t: usize) -> &Bits {
+        &self.cycles[t][signal.index()]
+    }
+
+    /// All signal values at instant `t`, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn cycle(&self, t: usize) -> &[Bits] {
+        &self.cycles[t]
+    }
+
+    /// Iterates over instants in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Bits]> {
+        self.cycles.iter().map(|c| c.as_slice())
+    }
+
+    /// Concatenation of all *input* values at instant `t` (declaration
+    /// order, earlier declarations in lower bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range or the interface has no inputs.
+    pub fn input_word(&self, t: usize) -> Bits {
+        self.direction_word(t, true)
+    }
+
+    /// Concatenation of all *output* values at instant `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range or the interface has no outputs.
+    pub fn output_word(&self, t: usize) -> Bits {
+        self.direction_word(t, false)
+    }
+
+    fn direction_word(&self, t: usize, inputs: bool) -> Bits {
+        let ids = if inputs {
+            self.signals.inputs()
+        } else {
+            self.signals.outputs()
+        };
+        assert!(!ids.is_empty(), "interface has no signals of that direction");
+        let mut word = self.value(ids[0], t).clone();
+        for id in &ids[1..] {
+            word = word.concat(self.value(*id, t));
+        }
+        word
+    }
+
+    /// Hamming distance of the primary-input values between consecutive
+    /// instants `t-1` and `t` (equivalently: of the concatenated input
+    /// words, computed per signal to avoid building them).
+    ///
+    /// This sequence (for t = 1..n) is the predictor used by the paper's §IV
+    /// linear-regression calibration of data-dependent power states. By
+    /// convention the distance at `t = 0` is 0 (no prior instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn input_hamming(&self, t: usize) -> u32 {
+        if t == 0 {
+            return 0;
+        }
+        self.signals
+            .inputs()
+            .into_iter()
+            .map(|id| {
+                self.value(id, t - 1)
+                    .hamming_distance(self.value(id, t))
+                    .expect("one signal's values share a width")
+            })
+            .sum()
+    }
+
+    /// The full input-Hamming-distance series, one entry per instant.
+    pub fn input_hamming_series(&self) -> Vec<u32> {
+        let inputs = self.signals.inputs();
+        let mut out = Vec::with_capacity(self.len());
+        if !self.is_empty() {
+            out.push(0);
+        }
+        for t in 1..self.len() {
+            out.push(
+                inputs
+                    .iter()
+                    .map(|id| {
+                        self.value(*id, t - 1)
+                            .hamming_distance(self.value(*id, t))
+                            .expect("one signal's values share a width")
+                    })
+                    .sum(),
+            );
+        }
+        out
+    }
+
+    /// Splits the trace into windows of at most `window` instants each
+    /// (the last window may be shorter). Useful for turning one long
+    /// testbench run into the paper's "set of functional traces".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn split_windows(&self, window: usize) -> Vec<FunctionalTrace> {
+        assert!(window > 0, "window must be positive");
+        self.cycles
+            .chunks(window)
+            .map(|chunk| FunctionalTrace {
+                signals: self.signals.clone(),
+                cycles: chunk.to_vec(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Direction;
+
+    fn simple_trace() -> (FunctionalTrace, SignalId, SignalId) {
+        let mut s = SignalSet::new();
+        let a = s.push("a", 4, Direction::Input).unwrap();
+        let b = s.push("b", 4, Direction::Output).unwrap();
+        let mut t = FunctionalTrace::new(s);
+        for (x, y) in [(0u64, 1u64), (3, 1), (15, 2)] {
+            t.push_cycle(vec![Bits::from_u64(x, 4), Bits::from_u64(y, 4)])
+                .unwrap();
+        }
+        (t, a, b)
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let (t, a, b) = simple_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(a, 1).to_u64().unwrap(), 3);
+        assert_eq!(t.value(b, 2).to_u64().unwrap(), 2);
+        assert_eq!(t.cycle(0).len(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (mut t, _, _) = simple_trace();
+        assert!(matches!(
+            t.push_cycle(vec![Bits::zero(4)]),
+            Err(TraceError::CycleShapeMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let (mut t, _, _) = simple_trace();
+        let r = t.push_cycle(vec![Bits::zero(5), Bits::zero(4)]);
+        assert!(matches!(
+            r,
+            Err(TraceError::SignalWidthMismatch { expected: 4, actual: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn input_hamming_series() {
+        let (t, _, _) = simple_trace();
+        // inputs: 0 → 3 (2 bits) → 15 (2 bits)
+        assert_eq!(t.input_hamming_series(), vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn input_output_words() {
+        let (t, _, _) = simple_trace();
+        assert_eq!(t.input_word(1).to_u64().unwrap(), 3);
+        assert_eq!(t.output_word(2).to_u64().unwrap(), 2);
+        assert_eq!(t.input_word(0).width(), 4);
+    }
+
+    #[test]
+    fn split_windows_covers_everything() {
+        let (t, a, _) = simple_trace();
+        let parts = t.split_windows(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[1].len(), 1);
+        assert_eq!(parts[1].value(a, 0).to_u64().unwrap(), 15);
+    }
+
+    #[test]
+    fn iter_visits_all_cycles() {
+        let (t, _, _) = simple_trace();
+        assert_eq!(t.iter().count(), 3);
+    }
+}

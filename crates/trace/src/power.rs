@@ -1,0 +1,191 @@
+//! Power traces: per-instant dynamic energy consumption.
+
+use std::ops::Index;
+
+/// A dynamic power trace Δ = ⟨δ₁, …, δₙ⟩ (paper Def. 2): one power sample
+/// per simulation instant, in milliwatts.
+///
+/// Each δᵢ follows the classic dynamic-power formula
+/// `δᵢ = ½ · V²dd · f · C · α(tᵢ)` — in this workspace the values are
+/// produced by the gate-level estimator in `psm-rtl`, which plays the role
+/// of the paper's Synopsys PrimeTime PX.
+///
+/// # Examples
+///
+/// ```
+/// use psm_trace::PowerTrace;
+///
+/// let trace: PowerTrace = [3.349, 3.339, 3.353, 1.902].into_iter().collect();
+/// assert_eq!(trace.len(), 4);
+/// assert_eq!(trace[3], 1.902);
+/// let window = trace.window(0, 2);
+/// assert_eq!(window.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerTrace {
+    samples: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates an empty power trace.
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PowerTrace {
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an existing sample vector.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        PowerTrace { samples }
+    }
+
+    /// Appends one sample (mW).
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample at instant `t`, if present.
+    pub fn get(&self, t: usize) -> Option<f64> {
+        self.samples.get(t).copied()
+    }
+
+    /// All samples as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The inclusive window `[start, stop]` of samples — the interval shape
+    /// used by the paper's `getPowerAttributes(Δ, start, stop)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start > stop` or `stop` is out of range.
+    pub fn window(&self, start: usize, stop: usize) -> &[f64] {
+        assert!(start <= stop, "window start {start} > stop {stop}");
+        &self.samples[start..=stop]
+    }
+
+    /// Iterates over samples in time order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Arithmetic mean over the whole trace (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Total energy: the sum of all samples (sample value × one time unit).
+    pub fn total_energy(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Splits the trace into windows of at most `window` samples, mirroring
+    /// [`FunctionalTrace::split_windows`](crate::FunctionalTrace::split_windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn split_windows(&self, window: usize) -> Vec<PowerTrace> {
+        assert!(window > 0, "window must be positive");
+        self.samples
+            .chunks(window)
+            .map(|c| PowerTrace {
+                samples: c.to_vec(),
+            })
+            .collect()
+    }
+}
+
+impl Index<usize> for PowerTrace {
+    type Output = f64;
+    fn index(&self, t: usize) -> &f64 {
+        &self.samples[t]
+    }
+}
+
+impl FromIterator<f64> for PowerTrace {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        PowerTrace {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for PowerTrace {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl From<Vec<f64>> for PowerTrace {
+    fn from(samples: Vec<f64>) -> Self {
+        PowerTrace { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index() {
+        let mut t = PowerTrace::new();
+        t.push(1.5);
+        t.push(2.5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], 1.5);
+        assert_eq!(t.get(1), Some(2.5));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn inclusive_window() {
+        let t = PowerTrace::from_samples(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.window(1, 3), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.window(2, 2), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window start")]
+    fn inverted_window_panics() {
+        let t = PowerTrace::from_samples(vec![0.0, 1.0]);
+        let _ = t.window(1, 0);
+    }
+
+    #[test]
+    fn mean_and_energy() {
+        let t = PowerTrace::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.total_energy(), 6.0);
+        assert_eq!(PowerTrace::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn split_windows() {
+        let t: PowerTrace = (0..5).map(|i| i as f64).collect();
+        let parts = t.split_windows(2);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[2].as_slice(), &[4.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the trace substrate's core invariants.
+
+use proptest::prelude::*;
+use psm_trace::Bits;
+
+fn arb_bits(max_width: usize) -> impl Strategy<Value = Bits> {
+    (1..=max_width, proptest::collection::vec(any::<u8>(), max_width.div_ceil(8)))
+        .prop_map(|(w, bytes)| Bits::from_le_bytes(&bytes, w))
+}
+
+proptest! {
+    #[test]
+    fn le_bytes_round_trip(bits in arb_bits(200)) {
+        let again = Bits::from_le_bytes(&bits.to_le_bytes(), bits.width());
+        prop_assert_eq!(again, bits);
+    }
+
+    #[test]
+    fn u64_round_trip(v in any::<u64>(), w in 1usize..=64) {
+        let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+        let bits = Bits::from_u64(v, w);
+        prop_assert_eq!(bits.to_u64().expect("fits"), masked);
+        prop_assert_eq!(bits.count_ones(), masked.count_ones());
+    }
+
+    #[test]
+    fn hamming_is_a_metric(w in 1usize..=150,
+                           a in proptest::collection::vec(any::<u8>(), 19),
+                           b in proptest::collection::vec(any::<u8>(), 19),
+                           c in proptest::collection::vec(any::<u8>(), 19)) {
+        let x = Bits::from_le_bytes(&a, w);
+        let y = Bits::from_le_bytes(&b, w);
+        let z = Bits::from_le_bytes(&c, w);
+        let d = |p: &Bits, q: &Bits| p.hamming_distance(q).expect("same width");
+        prop_assert_eq!(d(&x, &x), 0);
+        prop_assert_eq!(d(&x, &y), d(&y, &x));
+        prop_assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z));
+        // Hamming distance equals xor popcount.
+        prop_assert_eq!(d(&x, &y), x.checked_xor(&y).expect("same width").count_ones());
+    }
+
+    #[test]
+    fn slice_concat_inverse(bits in arb_bits(190), split in 1usize..189) {
+        prop_assume!(split < bits.width());
+        let lo = bits.slice(0, split);
+        let hi = bits.slice(split, bits.width() - split);
+        prop_assert_eq!(lo.concat(&hi), bits);
+    }
+
+    #[test]
+    fn compare_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let (am, bm) = (a & mask, b & mask);
+        let x = Bits::from_u64(a, w);
+        let y = Bits::from_u64(b, w);
+        prop_assert_eq!(x.compare(&y).expect("same width"), am.cmp(&bm));
+    }
+
+    #[test]
+    fn not_is_involution(bits in arb_bits(130)) {
+        let double = !!bits.clone();
+        prop_assert_eq!(double, bits);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero(bits in arb_bits(130)) {
+        prop_assert!(bits.checked_xor(&bits).expect("same width").is_zero());
+    }
+}

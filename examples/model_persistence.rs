@@ -1,0 +1,67 @@
+//! Train once, ship the model: persistence workflow.
+//!
+//! Training needs the slow golden (gate-level) power simulation; the
+//! trained model does not. This example trains a MAC power model, saves it
+//! as JSON, reloads it in a fresh "deployment" context and estimates a new
+//! workload without ever touching the netlist again.
+//!
+//! ```sh
+//! cargo run --release --example model_persistence
+//! ```
+
+use psmgen::flow::{PsmFlow, TrainedModel};
+use psmgen::ips::{behavioural_trace, testbench, MultSum};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("multsum_power_model.json");
+
+    // --- Vendor side: train against the golden simulator and publish. ----
+    {
+        let flow = PsmFlow::for_ip("MultSum");
+        let t0 = Instant::now();
+        let model = flow.train(&mut MultSum::new(), &[testbench::multsum_short_ts(1)])?;
+        println!(
+            "trained in {:?} ({} states, {} transitions)",
+            t0.elapsed(),
+            model.stats.states,
+            model.stats.transitions
+        );
+        model.save(&path)?;
+        println!(
+            "published {} ({} bytes)",
+            path.display(),
+            std::fs::metadata(&path)?.len()
+        );
+    }
+
+    // --- Integrator side: load and estimate, no gate-level anything. -----
+    {
+        let flow = PsmFlow::for_ip("MultSum");
+        let model = TrainedModel::load(&path)?;
+        let workload = testbench::multsum_long_ts(99, 20_000);
+        let t0 = Instant::now();
+        let trace = behavioural_trace(&mut MultSum::new(), &workload)?;
+        let outcome = flow.estimate_from_trace(&model, &trace);
+        println!(
+            "estimated {} instants in {:?}: {:.3} mW mean, {:.1} mW·cycles total",
+            workload.len(),
+            t0.elapsed(),
+            outcome.estimate.mean(),
+            outcome.estimate.total_energy()
+        );
+        // Error tails, for the integrator's sign-off report.
+        let golden = flow.reference_power(&MultSum::new(), &workload)?;
+        let errs = psmgen::stats::relative_errors(
+            outcome.estimate.as_slice(),
+            golden.as_slice(),
+        )?;
+        println!(
+            "relative error: {}",
+            psmgen::stats::Summary::of(&errs)?
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

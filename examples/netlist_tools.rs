@@ -1,0 +1,66 @@
+//! Netlist tooling tour: synthesise a benchmark, optimise it, export
+//! structural Verilog, profile signal activity and print the PSM report.
+//!
+//! ```sh
+//! cargo run --release --example netlist_tools
+//! ```
+
+use psmgen::flow::PsmFlow;
+use psmgen::ips::{ip_by_name, testbench};
+use psmgen::psm::report;
+use psmgen::rtl::{logic_depth, optimize, write_verilog};
+use psmgen::trace::activity_profile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = "MultSum";
+    let ip = ip_by_name(name).expect("benchmark exists");
+
+    // 1. Synthesise and optimise the gate-level twin.
+    let netlist = ip.netlist()?;
+    let before = netlist.stats();
+    let (optimised, opt_stats) = optimize(&netlist)?;
+    let after = optimised.stats();
+    println!(
+        "{name}: {} cells (depth {}) → {} cells after optimisation \
+         ({} folded, {} dead, {} stuck flops)",
+        before.combinational,
+        logic_depth(&netlist)?,
+        after.combinational,
+        opt_stats.folded,
+        opt_stats.dead,
+        opt_stats.const_dffs,
+    );
+
+    // 2. Export structural Verilog for external tooling.
+    let mut verilog = Vec::new();
+    write_verilog(&optimised, &mut verilog)?;
+    std::fs::write("multsum_netlist.v", &verilog)?;
+    println!("wrote multsum_netlist.v ({} bytes)", verilog.len());
+
+    // 3. Profile the training trace's signal activity — the numbers that
+    //    guide the mining thresholds.
+    let flow = PsmFlow::for_ip(name);
+    let mut core = ip_by_name(name).expect("benchmark exists");
+    let stim = testbench::short_ts(name, 1).expect("benchmark exists");
+    let trace = psmgen::ips::behavioural_trace(core.as_mut(), &stim)?;
+    println!("\nsignal activity over the training trace:");
+    for a in activity_profile(&trace, 256) {
+        let decl = trace.signals().decl(a.signal);
+        println!(
+            "  {:>6}: {:6.2} toggles/cycle, duty {:4.1} %, {} distinct value(s)",
+            decl.name(),
+            a.toggles_per_cycle,
+            a.nonzero_duty * 100.0,
+            a.distinct_values
+        );
+    }
+
+    // 4. Train, show what the miner extracted and the model report.
+    let model = flow.train(core.as_mut(), &[stim])?;
+    println!(
+        "\n{}",
+        psmgen::mining::MiningReport::new(&model.table, &[&trace]).render()
+    );
+    println!("{}", report(&model.psm, Some(&model.table)));
+    Ok(())
+}

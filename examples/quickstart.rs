@@ -1,0 +1,59 @@
+//! Quickstart: train power state machines for the 1 KB RAM benchmark and
+//! estimate the power of a fresh workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use psmgen::flow::PsmFlow;
+use psmgen::ips::{testbench, Ram1k};
+use psmgen::psm::to_dot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A per-IP tuned pipeline (mining thresholds, merge policy,
+    //    calibration, golden power model).
+    let flow = PsmFlow::for_ip("RAM");
+
+    // 2. Train on the verification-style testbench (the paper's short-TS):
+    //    one gate-level golden run, assertion mining, PSM generation,
+    //    simplify/join, calibration and HMM construction.
+    let mut ram = Ram1k::new();
+    let training = testbench::short_ts("RAM", 1).expect("RAM is a benchmark");
+    let model = flow.train(&mut ram, &[training])?;
+
+    println!("trained in {:?} on {} instants:", model.stats.generation_time, model.stats.training_instants);
+    println!(
+        "  {} states, {} transitions, {} regression-calibrated",
+        model.stats.states, model.stats.transitions, model.stats.calibrated_states
+    );
+    for (id, state) in model.psm.states() {
+        println!(
+            "  {id}: {}  —  {}",
+            state.attrs(),
+            state.chains()[0].render(&model.table)
+        );
+    }
+
+    // 3. Estimate a never-seen randomised workload and compare against the
+    //    golden gate-level reference.
+    let workload = testbench::long_ts("RAM", 99, 10_000).expect("RAM is a benchmark");
+    let estimate = flow.estimate(&model, &mut ram, &workload)?;
+    println!(
+        "\nworkload: {} instants, mean estimated power {:.3} mW (golden {:.3} mW)",
+        workload.len(),
+        estimate.outcome.estimate.mean(),
+        estimate.reference.mean()
+    );
+    println!(
+        "MRE {:.2} %, wrong-state predictions {:.2} %, unknown behaviour {:.2} %",
+        estimate.mre_vs_reference()? * 100.0,
+        estimate.outcome.wsp_rate() * 100.0,
+        estimate.outcome.unknown_rate() * 100.0
+    );
+
+    // 4. Export the PSM for graphviz rendering.
+    let dot = to_dot(&model.psm, Some(&model.table));
+    std::fs::write("ram_psm.dot", &dot)?;
+    println!("\nwrote ram_psm.dot ({} bytes) — render with `dot -Tsvg`", dot.len());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! `psmgen` — automatic generation of power state machines through dynamic
+//! mining of temporal assertions.
+//!
+//! This crate is the facade of a workspace reproducing Danese, Pravadelli
+//! and Zandonà, *DATE 2016*. It re-exports the layer crates and adds the
+//! end-to-end [`PsmFlow`](flow::PsmFlow) pipeline that the paper's Fig. 1
+//! describes:
+//!
+//! ```text
+//! functional traces ─┬─► assertion mining ─► PSM generation ─► simplify
+//! power traces ──────┘                                           │
+//!        HMM simulation ◄─ calibration ◄─ join ◄─────────────────┘
+//! ```
+//!
+//! # Quickstart
+//!
+//! Train PSMs for the 1 KB RAM benchmark and estimate power on a fresh
+//! workload:
+//!
+//! ```
+//! use psmgen::flow::PsmFlow;
+//! use psmgen::ips::{testbench, Ram1k};
+//!
+//! let flow = PsmFlow::default();
+//! let training = testbench::short_ts("RAM", 1).expect("RAM exists");
+//! let model = flow.train(&mut Ram1k::new(), &[training])?;
+//!
+//! let workload = testbench::long_ts("RAM", 2, 2_000).expect("RAM exists");
+//! let estimate = flow.estimate(&model, &mut Ram1k::new(), &workload)?;
+//! assert_eq!(estimate.outcome.estimate.len(), workload.len());
+//! // The reference power of the same workload tells us the accuracy:
+//! assert!(estimate.mre_vs_reference()? < 0.2);
+//! # Ok::<(), psmgen::flow::FlowError>(())
+//! ```
+//!
+//! The layer crates are re-exported under short names: [`stats`],
+//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`] and [`hmm`].
+
+pub use psm_hmm as hmm;
+pub use psm_ips as ips;
+pub use psm_mining as mining;
+pub use psm_rtl as rtl;
+pub use psm_stats as stats;
+pub use psm_trace as trace;
+/// The PSM core crate (`psm-core`).
+pub use psm_core as psm;
+
+pub mod flow;

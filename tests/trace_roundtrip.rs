@@ -1,0 +1,68 @@
+//! Trace I/O round-trips on real benchmark traffic.
+
+use psmgen::ips::{behavioural_trace, ip_by_name, testbench};
+use psmgen::trace::{
+    read_functional_csv, read_power_csv, write_functional_csv, write_power_csv, write_vcd,
+};
+
+#[test]
+fn functional_csv_round_trips_ram_traffic() {
+    let mut ip = ip_by_name("RAM").expect("benchmark exists");
+    let stim = testbench::ram_long_ts(3, 800);
+    let trace = behavioural_trace(ip.as_mut(), &stim).expect("stimulus fits");
+
+    let mut csv = Vec::new();
+    write_functional_csv(&trace, &mut csv).expect("in-memory write");
+    let back =
+        read_functional_csv(trace.signals().clone(), csv.as_slice()).expect("parses back");
+    assert_eq!(back, trace);
+}
+
+#[test]
+fn functional_csv_rejects_wrong_interface() {
+    let mut ip = ip_by_name("RAM").expect("benchmark exists");
+    let stim = testbench::ram_short_ts(3);
+    let trace = behavioural_trace(ip.as_mut(), &stim).expect("stimulus fits");
+    let mut csv = Vec::new();
+    write_functional_csv(&trace, &mut csv).expect("in-memory write");
+
+    let mut other = ip_by_name("MultSum").expect("benchmark exists");
+    let r = read_functional_csv(other.as_mut().signals(), csv.as_slice());
+    assert!(r.is_err(), "MultSum's interface must not parse a RAM trace");
+}
+
+#[test]
+fn power_csv_round_trips_golden_trace() {
+    use psmgen::flow::PsmFlow;
+    let flow = PsmFlow::for_ip("MultSum");
+    let ip = ip_by_name("MultSum").expect("benchmark exists");
+    let stim = testbench::multsum_long_ts(9, 500);
+    let golden = flow
+        .reference_power(ip.as_ref(), &stim)
+        .expect("capture succeeds");
+    let mut csv = Vec::new();
+    write_power_csv(&golden, &mut csv).expect("in-memory write");
+    let back = read_power_csv(csv.as_slice()).expect("parses back");
+    assert_eq!(back, golden);
+}
+
+#[test]
+fn vcd_export_produces_loadable_structure() {
+    let mut ip = ip_by_name("AES").expect("benchmark exists");
+    let stim = testbench::aes_long_ts(5, 300);
+    let trace = behavioural_trace(ip.as_mut(), &stim).expect("stimulus fits");
+    let mut vcd = Vec::new();
+    write_vcd("aes128", &trace, &mut vcd).expect("in-memory write");
+    let text = String::from_utf8(vcd).expect("vcd is utf-8");
+    assert!(text.contains("$scope module aes128 $end"));
+    // Every interface signal is declared.
+    for (_, decl) in trace.signals().iter() {
+        assert!(
+            text.contains(&format!(" {} $end", decl.name())),
+            "{} missing from VCD",
+            decl.name()
+        );
+    }
+    // Timestamps cover the trace.
+    assert!(text.contains(&format!("#{}", trace.len() - 1)));
+}
