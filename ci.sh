@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate, mirrored by .github/workflows/ci.yml.
+#
+# The workspace is fully offline-safe: every check below runs with
+# --offline and must succeed with no network and no registry cache.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --offline --release
+cargo test --offline -q
+
+echo "CI gate passed"

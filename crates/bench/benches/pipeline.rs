@@ -1,7 +1,11 @@
-//! Criterion benchmarks of the PSM pipeline stages: assertion mining, PSM
+//! Micro-benchmarks of the PSM pipeline stages: assertion mining, PSM
 //! generation + optimisation, and HMM-driven estimation throughput.
+//!
+//! ```sh
+//! cargo bench -p psm-bench --bench pipeline
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psm_bench::timing::{bench, bench_throughput};
 use psm_bench::{flow, ip};
 use psm_core::{classify_trace, generate_psm, join, simplify};
 use psm_hmm::{build_hmm, HmmSimulator};
@@ -9,33 +13,26 @@ use psm_ips::{behavioural_trace, testbench};
 use psm_mining::Miner;
 use psm_rtl::capture_traces;
 
-fn mining(c: &mut Criterion) {
+fn mining() {
     let pipeline = flow("MultSum");
     let netlist = ip("MultSum").netlist().expect("netlist builds");
     let stim = testbench::multsum_short_ts(1);
-    let cap =
-        capture_traces(&netlist, &pipeline.power_model, &stim, 1).expect("capture succeeds");
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(cap.functional.len() as u64));
-    group.bench_function("mine_multsum_short_ts", |b| {
-        let miner = Miner::new(pipeline.mining);
-        b.iter(|| std::hint::black_box(miner.mine(&[&cap.functional]).expect("mines")))
-    });
+    let cap = capture_traces(&netlist, &pipeline.power_model, &stim, 1).expect("capture succeeds");
 
     let miner = Miner::new(pipeline.mining);
-    let mined = miner.mine(&[&cap.functional]).expect("mines");
-    group.bench_function("generate_simplify_join", |b| {
-        b.iter(|| {
-            let mut psm =
-                generate_psm(&mined.traces[0], &cap.power, 0).expect("generates");
-            simplify(&mut psm, &pipeline.merge);
-            std::hint::black_box(join(&[psm], &pipeline.merge))
-        })
+    bench_throughput("mine_multsum_short_ts", cap.functional.len(), || {
+        miner.mine(&[&cap.functional]).expect("mines")
     });
-    group.finish();
+
+    let mined = miner.mine(&[&cap.functional]).expect("mines");
+    bench("generate_simplify_join", || {
+        let mut psm = generate_psm(&mined.traces[0], &cap.power, 0).expect("generates");
+        simplify(&mut psm, &pipeline.merge);
+        join(&[psm], &pipeline.merge)
+    });
 }
 
-fn estimation(c: &mut Criterion) {
+fn estimation() {
     let pipeline = flow("MultSum");
     let mut core = ip("MultSum");
     let model = pipeline
@@ -46,22 +43,17 @@ fn estimation(c: &mut Criterion) {
     let obs = classify_trace(&model.table, &trace);
     let hamming = trace.input_hamming_series();
 
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(obs.len() as u64));
-    group.bench_function("hmm_estimate_5k_cycles", |b| {
-        b.iter(|| {
-            let sim = HmmSimulator::new(&model.psm, model.hmm.clone());
-            std::hint::black_box(sim.run(&obs, &hamming))
-        })
+    bench_throughput("hmm_estimate_5k_cycles", obs.len(), || {
+        let sim = HmmSimulator::new(&model.psm, model.hmm.clone());
+        sim.run(&obs, &hamming)
     });
-    group.bench_function("classify_5k_cycles", |b| {
-        b.iter(|| std::hint::black_box(classify_trace(&model.table, &trace)))
+    bench_throughput("classify_5k_cycles", obs.len(), || {
+        classify_trace(&model.table, &trace)
     });
-    group.bench_function("hmm_build", |b| {
-        b.iter(|| std::hint::black_box(build_hmm(&model.psm, model.table.len())))
-    });
-    group.finish();
+    bench("hmm_build", || build_hmm(&model.psm, model.table.len()));
 }
 
-criterion_group!(benches, mining, estimation);
-criterion_main!(benches);
+fn main() {
+    mining();
+    estimation();
+}

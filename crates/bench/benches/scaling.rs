@@ -1,0 +1,86 @@
+//! Multi-stimulus parallel-scaling bench: trains one model over many
+//! training stimuli with the sequential engine and with increasing worker
+//! counts, reporting wall-clock and speedup, and verifying that every
+//! configuration serialises to byte-identical JSON (the engine's
+//! determinism contract).
+//!
+//! ```sh
+//! cargo bench -p psm-bench --bench scaling
+//! # knobs: PSM_SCALING_STIMULI (default 6), PSM_SCALING_CYCLES (default 1500)
+//! ```
+
+use psm_bench::{flow, ip};
+use psm_ips::testbench;
+use psm_rtl::Stimulus;
+use psmgen::flow::Parallelism;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn main() {
+    let name = "MultSum";
+    let n_stimuli = env_usize("PSM_SCALING_STIMULI", 6);
+    let cycles = env_usize("PSM_SCALING_CYCLES", 1_500);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let stimuli: Vec<Stimulus> = (0..n_stimuli)
+        .map(|k| testbench::multsum_long_ts(100 + k as u64, cycles))
+        .collect();
+    println!("{name}: {n_stimuli} training stimuli x {cycles} cycles, {cores} cores available\n");
+
+    let base = flow(name);
+    let mut worker_counts = vec![1usize, 2, 4, 8];
+    worker_counts.retain(|&w| w == 1 || w <= cores.max(2));
+    if !worker_counts.contains(&cores) && cores > 1 {
+        worker_counts.push(cores);
+    }
+
+    let mut sequential: Option<(f64, String)> = None;
+    psm_bench::header(&["workers", "wall-clock (s)", "speedup", "model bytes"]);
+    for &w in &worker_counts {
+        let parallelism = if w == 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Workers(w)
+        };
+        let run = psmgen::flow::PsmFlow {
+            parallelism,
+            ..base.clone()
+        };
+        let t0 = Instant::now();
+        let model = run
+            .train(ip(name).as_mut(), &stimuli)
+            .expect("training succeeds");
+        let secs = t0.elapsed().as_secs_f64();
+        let json = model.to_json_string();
+
+        let speedup = match &sequential {
+            None => {
+                sequential = Some((secs, json.clone()));
+                1.0
+            }
+            Some((base_secs, base_json)) => {
+                assert_eq!(
+                    &json, base_json,
+                    "parallel model diverged from the sequential one at {w} workers"
+                );
+                base_secs / secs
+            }
+        };
+        psm_bench::row(&[
+            format!("{w}"),
+            format!("{secs:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{}", json.len()),
+        ]);
+    }
+    println!("\nall worker counts serialised byte-identically");
+}

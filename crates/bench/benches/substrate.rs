@@ -1,83 +1,75 @@
-//! Criterion micro-benchmarks of the substrate layers: gate-level
-//! simulation throughput, bit-vector operations, statistics and HMM
-//! filtering.
+//! Micro-benchmarks of the substrate layers: gate-level simulation
+//! throughput, bit-vector operations, statistics and HMM filtering.
+//!
+//! ```sh
+//! cargo bench -p psm-bench --bench substrate
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use psm_bench::ip;
+use psm_bench::timing::{bench, bench_throughput};
 use psm_rtl::Simulator;
 use psm_stats::{welch_t_test, OnlineStats};
 use psm_trace::Bits;
 
-fn gate_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_sim");
+fn gate_sim() {
     for name in ["MultSum", "AES", "Camellia"] {
         let netlist = ip(name).netlist().expect("netlist builds");
-        group.throughput(Throughput::Elements(100));
-        group.bench_function(format!("{name}_100_cycles"), |b| {
-            let mut sim = Simulator::new(&netlist).expect("acyclic");
-            let inputs = sim.input_handles();
-            let widths: Vec<usize> = {
-                let set = netlist.signal_set();
-                inputs
-                    .iter()
-                    .map(|(n, _)| set.decl(set.by_name(n).expect("port exists")).width())
-                    .collect()
-            };
-            let mut k = 0u64;
-            b.iter(|| {
-                for _ in 0..100 {
-                    k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    for ((_, h), w) in inputs.iter().zip(&widths) {
-                        sim.set_input_by_handle(*h, &Bits::from_u64(k, (*w).min(64)))
-                            .ok();
-                    }
-                    std::hint::black_box(sim.step());
+        let mut sim = Simulator::new(&netlist).expect("acyclic");
+        let inputs = sim.input_handles();
+        let widths: Vec<usize> = {
+            let set = netlist.signal_set();
+            inputs
+                .iter()
+                .map(|(n, _)| set.decl(set.by_name(n).expect("port exists")).width())
+                .collect()
+        };
+        let mut k = 0u64;
+        bench_throughput(&format!("{name}_100_cycles"), 100, || {
+            for _ in 0..100 {
+                k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+                for ((_, h), w) in inputs.iter().zip(&widths) {
+                    sim.set_input_by_handle(*h, &Bits::from_u64(k, (*w).min(64)))
+                        .ok();
                 }
-            });
+                std::hint::black_box(sim.step());
+            }
         });
     }
-    group.finish();
 }
 
-fn bits_ops(c: &mut Criterion) {
+fn bits_ops() {
     let a = Bits::from_le_bytes(&[0xA5; 32], 256);
     let b = Bits::from_le_bytes(&[0x3C; 32], 256);
-    c.bench_function("bits_hamming_256", |bch| {
-        bch.iter(|| std::hint::black_box(a.hamming_distance(&b).expect("equal widths")))
+    bench("bits_hamming_256", || {
+        a.hamming_distance(&b).expect("equal widths")
     });
-    c.bench_function("bits_xor_256", |bch| {
-        bch.iter_batched(
-            || (a.clone(), b.clone()),
-            |(x, y)| std::hint::black_box(x ^ y),
-            BatchSize::SmallInput,
-        )
-    });
+    bench("bits_xor_256", || a.clone() ^ b.clone());
 }
 
-fn stats_ops(c: &mut Criterion) {
+fn stats_ops() {
     let xs: OnlineStats = (0..1000).map(|i| 3.0 + 0.01 * (i % 7) as f64).collect();
     let ys: OnlineStats = (0..800).map(|i| 3.01 + 0.01 * (i % 5) as f64).collect();
-    c.bench_function("welch_t_test", |b| {
-        b.iter(|| std::hint::black_box(welch_t_test(&xs, &ys).expect("n >= 2")))
-    });
+    bench("welch_t_test", || welch_t_test(&xs, &ys).expect("n >= 2"));
 }
 
-fn hmm_filter(c: &mut Criterion) {
+fn hmm_filter() {
     let m = 16;
     let a = vec![vec![1.0; m]; m];
     let bm = vec![vec![1.0; 8]; m];
     let pi = vec![1.0; m];
     let hmm = psm_hmm::Hmm::new(a, bm, pi).expect("well-formed");
-    c.bench_function("hmm_filter_1000_steps", |bch| {
-        bch.iter(|| {
-            let mut belief = hmm.initial_belief(0).expect("symbol in range");
-            for t in 0..1000 {
-                hmm.filter_step(&mut belief, t % 8).expect("in range");
-            }
-            std::hint::black_box(belief)
-        })
+    bench("hmm_filter_1000_steps", || {
+        let mut belief = hmm.initial_belief(0).expect("symbol in range");
+        for t in 0..1000 {
+            hmm.filter_step(&mut belief, t % 8).expect("in range");
+        }
+        belief
     });
 }
 
-criterion_group!(benches, gate_sim, bits_ops, stats_ops, hmm_filter);
-criterion_main!(benches);
+fn main() {
+    gate_sim();
+    bits_ops();
+    stats_ops();
+    hmm_filter();
+}

@@ -21,17 +21,14 @@ fn main() {
                 .train(core.as_mut(), &[short_ts(name)])
                 .expect("training succeeds");
             let workload = long_ts(name);
-            let functional =
-                behavioural_trace(core.as_mut(), &workload).expect("workload fits");
+            let functional = behavioural_trace(core.as_mut(), &workload).expect("workload fits");
             let outcome = pipeline.estimate_from_trace(&model, &functional);
             let reference = pipeline
                 .reference_power(core.as_ref(), &workload)
                 .expect("capture succeeds");
-            let mre = psm_stats::mean_relative_error(
-                outcome.estimate.as_slice(),
-                reference.as_slice(),
-            )
-            .expect("non-empty traces");
+            let mre =
+                psm_stats::mean_relative_error(outcome.estimate.as_slice(), reference.as_slice())
+                    .expect("non-empty traces");
             row(&[
                 name.to_owned(),
                 format!("{eps}"),

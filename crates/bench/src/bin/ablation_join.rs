@@ -8,9 +8,7 @@
 //! bigger and resynchronises more.
 
 use psm_bench::{flow, header, ip, row, short_ts, BENCHMARKS};
-use psm_core::{
-    calibrate, classify_trace, generate_psm, join, simplify, MergePolicy,
-};
+use psm_core::{calibrate, classify_trace, generate_psm, join, simplify, MergePolicy};
 use psm_hmm::{build_hmm, HmmSimulator};
 use psm_ips::{behavioural_trace, testbench};
 use psm_mining::Miner;
@@ -31,13 +29,20 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                capture_traces(&netlist, &pipeline.power_model, s, pipeline.noise_seed + i as u64)
-                    .expect("capture succeeds")
+                capture_traces(
+                    &netlist,
+                    &pipeline.power_model,
+                    s,
+                    pipeline.noise_seed + i as u64,
+                )
+                .expect("capture succeeds")
             })
             .collect();
         let functional: Vec<&FunctionalTrace> = caps.iter().map(|c| &c.functional).collect();
         let power: Vec<&PowerTrace> = caps.iter().map(|c| &c.power).collect();
-        let mined = Miner::new(pipeline.mining).mine(&functional).expect("mining succeeds");
+        let mined = Miner::new(pipeline.mining)
+            .mine(&functional)
+            .expect("mining succeeds");
 
         // A policy that never merges: ε = 0 and a rejection level so high
         // the t-tests always reject.
@@ -63,8 +68,8 @@ fn main() {
             // The non-joined model has hundreds of states; its O(states²)
             // filtering makes long workloads impractical, and the point
             // (model size vs accuracy) shows at moderate length.
-            let workload = psm_ips::testbench::long_ts(name, 7, 10_000)
-                .expect("benchmark names are valid");
+            let workload =
+                psm_ips::testbench::long_ts(name, 7, 10_000).expect("benchmark names are valid");
             let mut core = ip(name);
             let trace = behavioural_trace(core.as_mut(), &workload).expect("workload fits");
             let obs = classify_trace(&mined.table, &trace);
@@ -73,11 +78,9 @@ fn main() {
             let reference = pipeline
                 .reference_power(core.as_ref(), &workload)
                 .expect("capture succeeds");
-            let mre = psm_stats::mean_relative_error(
-                outcome.estimate.as_slice(),
-                reference.as_slice(),
-            )
-            .expect("non-empty traces");
+            let mre =
+                psm_stats::mean_relative_error(outcome.estimate.as_slice(), reference.as_slice())
+                    .expect("non-empty traces");
             row(&[
                 name.to_owned(),
                 label.to_owned(),

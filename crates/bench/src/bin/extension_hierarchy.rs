@@ -37,9 +37,8 @@ fn main() {
         let golden = pipeline
             .reference_power(&ip, &workload)
             .expect("capture succeeds");
-        let mre =
-            psm_stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
-                .expect("non-empty");
+        let mre = psm_stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
+            .expect("non-empty");
         row(&[
             "flat black-box (paper)".into(),
             model.stats.states.to_string(),
@@ -61,9 +60,8 @@ fn main() {
             .expect("training succeeds");
         let trace = behavioural_trace(&mut wb, &workload).expect("workload fits");
         let outcome = pipeline.estimate_from_trace(&model, &trace);
-        let mre =
-            psm_stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
-                .expect("non-empty");
+        let mre = psm_stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
+            .expect("non-empty");
         row(&[
             "flat white-box (+fl_active probe)".into(),
             model.stats.states.to_string(),
@@ -80,15 +78,11 @@ fn main() {
             .expect("training succeeds");
         let trace = behavioural_trace(&mut wb, &workload).expect("workload fits");
         let outcome = pipeline.estimate_hierarchical(&model, &trace);
-        let mre =
-            psm_stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
-                .expect("non-empty");
+        let mre = psm_stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
+            .expect("non-empty");
         let states: usize = model.models.iter().map(|m| m.stats.states).sum();
         row(&[
-            format!(
-                "hierarchical white-box ({} domains)",
-                model.domains.len()
-            ),
+            format!("hierarchical white-box ({} domains)", model.domains.len()),
             states.to_string(),
             format!("{:.2} %", mre * 100.0),
             format!("{:.2} %", outcome.wsp_rate() * 100.0),

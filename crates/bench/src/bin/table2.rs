@@ -29,9 +29,14 @@ fn run_row(name: &str, label: &str, stimulus: &Stimulus) {
     let reference = {
         // Reproduce the training reference exactly (same noise seed).
         let netlist = core.netlist().expect("netlist builds");
-        psm_rtl::capture_traces(&netlist, &pipeline.power_model, stimulus, pipeline.noise_seed)
-            .expect("capture succeeds")
-            .power
+        psm_rtl::capture_traces(
+            &netlist,
+            &pipeline.power_model,
+            stimulus,
+            pipeline.noise_seed,
+        )
+        .expect("capture succeeds")
+        .power
     };
     let mre = psm_stats::mean_relative_error(outcome.estimate.as_slice(), reference.as_slice())
         .expect("non-empty traces");
@@ -49,7 +54,15 @@ fn run_row(name: &str, label: &str, stimulus: &Stimulus) {
 
 fn main() {
     println!("# Table II — characteristics of the generated PSMs\n");
-    header(&["IP", "TS", "PX (s)", "PSMs gen. (s)", "States", "Trans.", "MRE"]);
+    header(&[
+        "IP",
+        "TS",
+        "PX (s)",
+        "PSMs gen. (s)",
+        "States",
+        "Trans.",
+        "MRE",
+    ]);
     for name in BENCHMARKS {
         run_row(name, "short-TS", &short_ts(name));
     }

@@ -61,9 +61,8 @@ fn main() {
             .expect("gate-level capture succeeds");
         let px = t0.elapsed();
 
-        let mre =
-            psm_stats::mean_relative_error(outcome.estimate.as_slice(), reference.as_slice())
-                .expect("non-empty traces");
+        let mre = psm_stats::mean_relative_error(outcome.estimate.as_slice(), reference.as_slice())
+            .expect("non-empty traces");
         let errs = psm_stats::relative_errors(outcome.estimate.as_slice(), reference.as_slice())
             .expect("aligned traces");
         let p95 = psm_stats::quantile(&errs, 0.95).expect("non-empty");

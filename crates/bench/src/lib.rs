@@ -5,10 +5,16 @@
 //! Trace lengths are scaled down by default so the whole suite runs in
 //! minutes — set `PSM_BENCH_CYCLES` (long-TS length, default 60 000;
 //! the paper uses 500 000) to change the budget.
+//!
+//! The benches use the in-tree [`timing`] harness (mean/min over a fixed
+//! iteration budget) instead of an external benchmarking crate, so the
+//! whole workspace builds offline.
 
 use psm_ips::{ip_by_name, testbench, Ip};
 use psm_rtl::Stimulus;
-use psmgen::flow::PsmFlow;
+use psmgen::flow::{IpPreset, PsmFlow};
+
+pub mod timing;
 
 /// The Table I benchmark names, in paper order.
 pub const BENCHMARKS: [&str; 4] = ["RAM", "MultSum", "AES", "Camellia"];
@@ -23,8 +29,13 @@ pub fn ip(name: &str) -> Box<dyn Ip> {
 }
 
 /// The per-IP tuned pipeline (mirrors the paper's per-design knobs).
+///
+/// # Panics
+///
+/// Panics on unknown names — the binaries iterate over [`BENCHMARKS`].
 pub fn flow(name: &str) -> PsmFlow {
-    PsmFlow::for_ip(name)
+    let preset = IpPreset::from_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    PsmFlow::builder().preset(preset).build()
 }
 
 /// The verification-style training set (paper *short-TS*).
@@ -69,6 +80,8 @@ mod tests {
         for name in BENCHMARKS {
             assert_eq!(ip(name).name(), name);
             assert!(!short_ts(name).is_empty());
+            // The preset resolves too (flow() panics otherwise).
+            let _ = flow(name);
         }
     }
 

@@ -1,0 +1,118 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace builds with no network access, so the benches cannot pull
+//! in an external benchmarking crate. This module provides the small slice
+//! of that functionality they need: run a closure for a warm-up pass plus
+//! a fixed number of measured iterations, and report mean / best-case
+//! wall-clock (optionally as throughput).
+//!
+//! Iteration budgets scale with `PSM_BENCH_ITERS` (default 10).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Measured iterations (excludes the warm-up pass).
+    pub iters: u32,
+    /// Mean wall-clock per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+}
+
+impl Measurement {
+    /// `elems / mean` in millions of elements per second.
+    pub fn melems_per_sec(&self, elems: usize) -> f64 {
+        let secs = self.mean.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            elems as f64 / secs / 1.0e6
+        }
+    }
+}
+
+/// Measured iterations per bench: `PSM_BENCH_ITERS` or 10.
+pub fn iters() -> u32 {
+    std::env::var("PSM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+        .max(1)
+}
+
+/// Times `f` over [`iters`] iterations (after one warm-up call) and prints
+/// a one-line summary.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    bench_iters(name, iters(), &mut f)
+}
+
+/// Like [`bench`] with an explicit iteration count.
+pub fn bench_iters<T>(name: &str, iters: u32, f: &mut impl FnMut() -> T) -> Measurement {
+    std::hint::black_box(f()); // warm-up: page in code and caches
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let m = Measurement {
+        name: name.to_owned(),
+        iters,
+        mean: total / iters,
+        min,
+    };
+    println!(
+        "{:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+        m.name, m.mean, m.min, m.iters
+    );
+    m
+}
+
+/// Times `f` and additionally reports throughput for `elems` elements
+/// processed per iteration.
+pub fn bench_throughput<T>(name: &str, elems: usize, mut f: impl FnMut() -> T) -> Measurement {
+    let m = bench_iters(name, iters(), &mut f);
+    println!(
+        "{:<40} {:>10.2} Melem/s over {} elements",
+        format!("{} (throughput)", m.name),
+        m.melems_per_sec(elems),
+        elems
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_reports() {
+        let mut calls = 0u32;
+        let m = bench_iters("unit", 5, &mut || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(m.iters, 5);
+        assert_eq!(calls, 6); // warm-up + 5 measured
+        assert!(m.min <= m.mean);
+    }
+
+    #[test]
+    fn throughput_is_finite_for_real_work() {
+        let m = bench_iters("sum", 3, &mut || (0..10_000u64).sum::<u64>());
+        let tp = m.melems_per_sec(10_000);
+        assert!(tp > 0.0);
+    }
+
+    #[test]
+    fn iters_respects_floor() {
+        assert!(iters() >= 1);
+    }
+}

@@ -25,7 +25,6 @@ use std::fmt;
 /// assert!(attrs.sigma() < 0.01);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerAttributes {
     stats: OnlineStats,
 }
@@ -74,6 +73,18 @@ impl PowerAttributes {
     /// to recomputing over the union of both windows.
     pub fn merge(&mut self, other: &PowerAttributes) {
         self.stats.merge(&other.stats);
+    }
+}
+
+impl psm_persist::Persist for PowerAttributes {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        psm_persist::Persist::to_json(&self.stats)
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        Ok(PowerAttributes {
+            stats: <OnlineStats as psm_persist::Persist>::from_json(v)?,
+        })
     }
 }
 

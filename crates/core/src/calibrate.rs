@@ -181,7 +181,9 @@ mod tests {
         }
         props.extend(std::iter::repeat_n(0u32, 10));
         // Busy: alternating data with varying Hamming distance.
-        let pattern = [0x00u64, 0xFF, 0x0F, 0xFF, 0x00, 0xF0, 0xFF, 0x3C, 0xC3, 0x00];
+        let pattern = [
+            0x00u64, 0xFF, 0x0F, 0xFF, 0x00, 0xF0, 0xFF, 0x3C, 0xC3, 0x00,
+        ];
         for (k, &v) in pattern.iter().enumerate() {
             phi.push_cycle(vec![Bits::from_u64(v, 8)]).unwrap();
             let t = 10 + k;

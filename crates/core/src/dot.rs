@@ -26,7 +26,8 @@ use std::fmt::Write as _;
 /// # Ok::<(), psm_core::CoreError>(())
 /// ```
 pub fn to_dot(psm: &Psm, table: Option<&PropositionTable>) -> String {
-    let mut out = String::from("digraph psm {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n");
+    let mut out =
+        String::from("digraph psm {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n");
     for (id, state) in psm.states() {
         let chains: Vec<String> = state
             .chains()
@@ -36,12 +37,7 @@ pub fn to_dot(psm: &Psm, table: Option<&PropositionTable>) -> String {
                 None => c.to_string(),
             })
             .collect();
-        let label = format!(
-            "{}\\n{}\\n{}",
-            id,
-            chains.join(" ‖ "),
-            state.attrs()
-        );
+        let label = format!("{}\\n{}\\n{}", id, chains.join(" ‖ "), state.attrs());
         let _ = writeln!(out, "  {} [label=\"{}\"];", id, label.replace('"', "'"));
     }
     for (i, (s, count)) in psm.initials().iter().enumerate() {

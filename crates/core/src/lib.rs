@@ -119,7 +119,10 @@ impl fmt::Display for CoreError {
                 "proposition trace has {propositions} instant(s) but power trace has {power}"
             ),
             CoreError::NoBehaviours => {
-                write!(f, "trace exposes no temporal pattern; the PSM would be empty")
+                write!(
+                    f,
+                    "trace exposes no temporal pattern; the PSM would be empty"
+                )
             }
             CoreError::NonDeterministic { state } => write!(
                 f,
@@ -127,7 +130,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::UnknownState(s) => write!(f, "state s{s} does not belong to this PSM"),
             CoreError::MissingTrainingTrace(i) => {
-                write!(f, "calibration needs training trace {i}, which was not supplied")
+                write!(
+                    f,
+                    "calibration needs training trace {i}, which was not supplied"
+                )
             }
         }
     }

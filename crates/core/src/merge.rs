@@ -267,11 +267,23 @@ mod tests {
         // Two traces of the same IP: idle(3) → busy(9) → idle(3) → low(1);
         // a short distinct tail so the low state is recognised by XU.
         let a = psm_from(
-            &[(0, 3.0, 10), (1, 9.0, 10), (0, 3.0, 10), (2, 1.0, 5), (3, 5.0, 2)],
+            &[
+                (0, 3.0, 10),
+                (1, 9.0, 10),
+                (0, 3.0, 10),
+                (2, 1.0, 5),
+                (3, 5.0, 2),
+            ],
             0,
         );
         let b = psm_from(
-            &[(0, 3.0, 8), (1, 9.0, 12), (0, 3.0, 9), (2, 1.0, 5), (3, 5.0, 2)],
+            &[
+                (0, 3.0, 8),
+                (1, 9.0, 12),
+                (0, 3.0, 9),
+                (2, 1.0, 5),
+                (3, 5.0, 2),
+            ],
             1,
         );
         assert_eq!(a.state_count(), 4);
@@ -317,8 +329,14 @@ mod tests {
             .find(|(_, s)| (s.attrs().mu() - 9.0).abs() < 0.1)
             .unwrap()
             .0;
-        assert!(joined.transitions().iter().any(|t| t.from == idle && t.to == busy));
-        assert!(joined.transitions().iter().any(|t| t.from == busy && t.to == idle));
+        assert!(joined
+            .transitions()
+            .iter()
+            .any(|t| t.from == idle && t.to == busy));
+        assert!(joined
+            .transitions()
+            .iter()
+            .any(|t| t.from == busy && t.to == idle));
     }
 
     #[test]

@@ -10,7 +10,6 @@ use std::fmt;
 /// or [`join`](crate::join)) compacts the id space, so ids must not be held
 /// across merge operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateId(pub(crate) usize);
 
 impl StateId {
@@ -36,7 +35,6 @@ impl fmt::Display for StateId {
 /// Provenance of a state's power attributes: the inclusive interval of one
 /// training trace where the state's assertion held.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SourceWindow {
     /// Index of the training trace (position in the mining input set).
     pub trace: usize,
@@ -65,7 +63,6 @@ pub struct SourceWindow {
 /// assert_eq!(seq.exit_proposition(), p(2));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChainAssertion {
     parts: Vec<TemporalAssertion>,
 }
@@ -136,7 +133,6 @@ impl fmt::Display for ChainAssertion {
 
 /// The power output function ω of a state.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OutputFunction {
     /// The constant μ of the state's power attributes (the paper's default).
     Constant(f64),
@@ -175,7 +171,6 @@ impl OutputFunction {
 /// `simplify` lengthens chains, `join` adds *alternative* chains
 /// (`{p_i ‖ p_j ‖ …}`).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerState {
     chains: Vec<ChainAssertion>,
     windows: Vec<SourceWindow>,
@@ -257,7 +252,6 @@ impl PowerState {
 
 /// A transition with its enabling proposition (the guard that fires it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transition {
     /// Source state.
     pub from: StateId,
@@ -276,7 +270,6 @@ pub struct Transition {
 /// Generated PSMs are chains; [`join`](crate::join) folds many chains into
 /// one graph-shaped, possibly non-deterministic model.
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Psm {
     states: Vec<PowerState>,
     transitions: Vec<Transition>,
@@ -380,10 +373,7 @@ impl Psm {
                     distinct.push(c);
                 }
             }
-            let mut entries: Vec<_> = distinct
-                .iter()
-                .map(|c| c.entry_proposition())
-                .collect();
+            let mut entries: Vec<_> = distinct.iter().map(|c| c.entry_proposition()).collect();
             entries.sort();
             if entries.windows(2).any(|w| w[0] == w[1]) {
                 return false;
@@ -421,7 +411,11 @@ impl Psm {
             if s == remove {
                 // Account for `keep` itself shifting when it sits after
                 // `remove` in the vector.
-                StateId(if keep.0 > remove.0 { keep.0 - 1 } else { keep.0 })
+                StateId(if keep.0 > remove.0 {
+                    keep.0 - 1
+                } else {
+                    keep.0
+                })
             } else if s.0 > remove.0 {
                 StateId(s.0 - 1)
             } else {
@@ -474,6 +468,178 @@ impl Psm {
             } else {
                 self.initials.push((shifted, *count));
             }
+        }
+    }
+}
+
+mod persist {
+    //! [`Persist`] implementations for the PSM data structure. The JSON
+    //! layout mirrors the in-memory structure; referential invariants
+    //! (transition endpoints, initial states, chain shapes) are re-validated
+    //! on load so a hand-edited document cannot produce a PSM that panics
+    //! later.
+
+    use super::*;
+    use psm_persist::{JsonValue, Persist, PersistError};
+
+    impl Persist for StateId {
+        fn to_json(&self) -> JsonValue {
+            JsonValue::from(self.0)
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            Ok(StateId(v.as_usize()?))
+        }
+    }
+
+    impl Persist for SourceWindow {
+        fn to_json(&self) -> JsonValue {
+            JsonValue::obj([
+                ("trace", JsonValue::from(self.trace)),
+                ("start", JsonValue::from(self.start)),
+                ("stop", JsonValue::from(self.stop)),
+            ])
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            let w = SourceWindow {
+                trace: v.usize_field("trace")?,
+                start: v.usize_field("start")?,
+                stop: v.usize_field("stop")?,
+            };
+            if w.start > w.stop {
+                return Err(PersistError::schema("window start after stop"));
+            }
+            Ok(w)
+        }
+    }
+
+    impl Persist for ChainAssertion {
+        fn to_json(&self) -> JsonValue {
+            self.parts.to_json()
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            let parts: Vec<TemporalAssertion> = Vec::from_json(v)?;
+            if parts.is_empty() {
+                return Err(PersistError::schema("assertion chains are never empty"));
+            }
+            Ok(ChainAssertion { parts })
+        }
+    }
+
+    impl Persist for OutputFunction {
+        fn to_json(&self) -> JsonValue {
+            match self {
+                OutputFunction::Constant(mu) => {
+                    JsonValue::obj([("const", JsonValue::from_f64(*mu))])
+                }
+                OutputFunction::Regression { slope, intercept } => JsonValue::obj([
+                    ("slope", JsonValue::from_f64(*slope)),
+                    ("intercept", JsonValue::from_f64(*intercept)),
+                ]),
+            }
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            if let Some(mu) = v.get("const") {
+                Ok(OutputFunction::Constant(mu.as_f64()?))
+            } else {
+                Ok(OutputFunction::Regression {
+                    slope: v.f64_field("slope")?,
+                    intercept: v.f64_field("intercept")?,
+                })
+            }
+        }
+    }
+
+    impl Persist for PowerState {
+        fn to_json(&self) -> JsonValue {
+            JsonValue::obj([
+                ("chains", self.chains.to_json()),
+                ("windows", self.windows.to_json()),
+                ("attrs", self.attrs.to_json()),
+                ("output", self.output.to_json()),
+            ])
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            let chains: Vec<ChainAssertion> = Vec::from_json(v.field("chains")?)?;
+            if chains.is_empty() {
+                return Err(PersistError::schema("a power state needs a chain"));
+            }
+            Ok(PowerState {
+                chains,
+                windows: Vec::from_json(v.field("windows")?)?,
+                attrs: PowerAttributes::from_json(v.field("attrs")?)?,
+                output: OutputFunction::from_json(v.field("output")?)?,
+            })
+        }
+    }
+
+    impl Persist for Transition {
+        fn to_json(&self) -> JsonValue {
+            JsonValue::obj([
+                ("from", self.from.to_json()),
+                ("to", self.to.to_json()),
+                ("guard", self.guard.to_json()),
+            ])
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            Ok(Transition {
+                from: StateId::from_json(v.field("from")?)?,
+                to: StateId::from_json(v.field("to")?)?,
+                guard: PropositionId::from_json(v.field("guard")?)?,
+            })
+        }
+    }
+
+    impl Persist for Psm {
+        fn to_json(&self) -> JsonValue {
+            JsonValue::obj([
+                ("states", self.states.to_json()),
+                ("transitions", self.transitions.to_json()),
+                (
+                    "initials",
+                    JsonValue::arr(self.initials.iter().map(|(s, count)| {
+                        JsonValue::obj([("state", s.to_json()), ("count", JsonValue::from(*count))])
+                    })),
+                ),
+            ])
+        }
+
+        fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+            let states: Vec<PowerState> = Vec::from_json(v.field("states")?)?;
+            let transitions: Vec<Transition> = Vec::from_json(v.field("transitions")?)?;
+            let n = states.len();
+            for t in &transitions {
+                if t.from.0 >= n || t.to.0 >= n {
+                    return Err(PersistError::schema(format!(
+                        "transition {}→{} references a state outside 0..{n}",
+                        t.from, t.to
+                    )));
+                }
+            }
+            let mut initials: Vec<(StateId, usize)> = Vec::new();
+            for item in v.arr_field("initials")? {
+                let state = StateId::from_json(item.field("state")?)?;
+                let count = item.usize_field("count")?;
+                if state.0 >= n {
+                    return Err(PersistError::schema(format!(
+                        "initial state {state} outside 0..{n}"
+                    )));
+                }
+                if count == 0 || initials.iter().any(|(s, _)| *s == state) {
+                    return Err(PersistError::schema("invalid initial-state table"));
+                }
+                initials.push((state, count));
+            }
+            Ok(Psm {
+                states,
+                transitions,
+                initials,
+            })
         }
     }
 }
@@ -629,6 +795,37 @@ mod tests {
         let before = psm.transition_count();
         psm.add_transition(StateId(0), StateId(1), p(1));
         assert_eq!(psm.transition_count(), before);
+    }
+
+    #[test]
+    fn psm_round_trips_through_json() {
+        use psm_persist::{JsonValue, Persist};
+        let mut psm = three_state_chain();
+        psm.state_mut(StateId(1))
+            .set_output(OutputFunction::Regression {
+                slope: 0.125,
+                intercept: 1.75,
+            });
+        let text = psm.to_json().render();
+        let back = Psm::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, psm);
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn psm_load_rejects_dangling_references() {
+        use psm_persist::{JsonValue, Persist};
+        let psm = three_state_chain();
+        let text = psm.to_json().render();
+        // Point a transition at a non-existent state.
+        let bad = text.replace("\"to\":2", "\"to\":9");
+        assert!(Psm::from_json(&JsonValue::parse(&bad).unwrap()).is_err());
+        // Duplicate initial entry.
+        let bad = text.replace(
+            "[{\"state\":0,\"count\":1}]",
+            "[{\"state\":0,\"count\":1},{\"state\":0,\"count\":1}]",
+        );
+        assert!(Psm::from_json(&JsonValue::parse(&bad).unwrap()).is_err());
     }
 
     #[test]

@@ -107,11 +107,8 @@ impl<'a> PsmSimulator<'a> {
                     let mut guards: Vec<_> = psm.successors(*id).map(|t| t.guard).collect();
                     guards.sort();
                     let dup_guard = guards.windows(2).any(|w| w[0] == w[1]);
-                    let mut entries: Vec<_> = s
-                        .chains()
-                        .iter()
-                        .map(|c| c.entry_proposition())
-                        .collect();
+                    let mut entries: Vec<_> =
+                        s.chains().iter().map(|c| c.entry_proposition()).collect();
                     entries.sort();
                     dup_guard || entries.windows(2).any(|w| w[0] == w[1])
                 })
@@ -341,7 +338,13 @@ mod tests {
         // deterministic (identical duplicates add multiplicity only).
         let mut props = Vec::new();
         let mut power = Vec::new();
-        let phases = [(0u32, 3.0, 6), (1, 9.0, 6), (0, 3.0, 6), (1, 9.0, 6), (0, 3.0, 6)];
+        let phases = [
+            (0u32, 3.0, 6),
+            (1, 9.0, 6),
+            (0, 3.0, 6),
+            (1, 9.0, 6),
+            (0, 3.0, 6),
+        ];
         for &(id, mw, len) in &phases {
             for k in 0..len {
                 props.push(id);

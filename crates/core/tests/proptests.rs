@@ -1,101 +1,130 @@
-//! Property-based tests of PSM generation and optimisation invariants.
+//! Randomised property tests of PSM generation and optimisation
+//! invariants, driven by the workspace PRNG so runs are deterministic and
+//! offline.
 
-use proptest::prelude::*;
-use psm_core::{
-    generate_psm, join, mine_xu_assertions, simplify, MergePolicy, PsmSimulator,
-};
+use psm_core::{generate_psm, join, mine_xu_assertions, simplify, MergePolicy, PsmSimulator};
 use psm_mining::PropositionTrace;
+use psm_prng::Prng;
 use psm_trace::PowerTrace;
 
+const CASES: usize = 128;
+
 /// A proposition trace as run-length phases plus a matching power trace.
-fn arb_phases() -> impl Strategy<Value = (PropositionTrace, PowerTrace)> {
-    proptest::collection::vec((0u32..5, 0.5f64..10.0, 1usize..8), 2..12).prop_map(|phases| {
-        let mut props = Vec::new();
-        let mut power = Vec::new();
-        for (id, mw, len) in phases {
-            for k in 0..len {
-                props.push(id);
-                power.push(mw + 0.002 * (k % 3) as f64);
-            }
+fn random_phases(rng: &mut Prng) -> (PropositionTrace, PowerTrace) {
+    let n = 2 + rng.range_usize(0..10);
+    let mut props = Vec::new();
+    let mut power = Vec::new();
+    for _ in 0..n {
+        let id = rng.range_u32(0..5);
+        let mw = rng.f64_in(0.5, 10.0);
+        let len = 1 + rng.range_usize(0..7);
+        for k in 0..len {
+            props.push(id);
+            power.push(mw + 0.002 * (k % 3) as f64);
         }
-        (PropositionTrace::from_indices(&props), power.into_iter().collect())
-    })
+    }
+    (
+        PropositionTrace::from_indices(&props),
+        power.into_iter().collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn xu_intervals_partition_the_recognised_prefix((gamma, _) in arb_phases()) {
+#[test]
+fn xu_intervals_partition_the_recognised_prefix() {
+    let mut rng = Prng::seed_from_u64(0xC04E_0001);
+    for _ in 0..CASES {
+        let (gamma, _) = random_phases(&mut rng);
         let mined = mine_xu_assertions(&gamma);
         let mut expected = 0usize;
         for m in &mined {
-            prop_assert_eq!(m.start, expected);
-            prop_assert!(m.stop >= m.start);
+            assert_eq!(m.start, expected);
+            assert!(m.stop >= m.start);
             // Within the interval the left proposition holds throughout.
             for t in m.start..=m.stop {
-                prop_assert_eq!(gamma.id(t), m.assertion.left());
+                assert_eq!(gamma.id(t), m.assertion.left());
             }
             // The right proposition is observed immediately after.
-            prop_assert_eq!(gamma.get(m.stop + 1), Some(m.assertion.right()));
+            assert_eq!(gamma.get(m.stop + 1), Some(m.assertion.right()));
             expected = m.stop + 1;
         }
     }
+}
 
-    #[test]
-    fn generation_accounts_every_recognised_instant((gamma, delta) in arb_phases()) {
+#[test]
+fn generation_accounts_every_recognised_instant() {
+    let mut rng = Prng::seed_from_u64(0xC04E_0002);
+    for _ in 0..CASES {
+        let (gamma, delta) = random_phases(&mut rng);
         if let Ok(psm) = generate_psm(&gamma, &delta, 0) {
             let mined = mine_xu_assertions(&gamma);
             let covered: usize = mined.iter().map(|m| m.stop - m.start + 1).sum();
             let total_n: u64 = psm.states().map(|(_, s)| s.attrs().n()).sum();
-            prop_assert_eq!(total_n as usize, covered);
+            assert_eq!(total_n as usize, covered);
         }
     }
+}
 
-    #[test]
-    fn simplify_preserves_total_energy((gamma, delta) in arb_phases()) {
+#[test]
+fn simplify_preserves_total_energy() {
+    let mut rng = Prng::seed_from_u64(0xC04E_0003);
+    for _ in 0..CASES {
+        let (gamma, delta) = random_phases(&mut rng);
         if let Ok(mut psm) = generate_psm(&gamma, &delta, 0) {
             let energy = |p: &psm_core::Psm| -> f64 {
-                p.states().map(|(_, s)| s.attrs().mu() * s.attrs().n() as f64).sum()
+                p.states()
+                    .map(|(_, s)| s.attrs().mu() * s.attrs().n() as f64)
+                    .sum()
             };
             let before = energy(&psm);
             simplify(&mut psm, &MergePolicy::default());
-            prop_assert!((energy(&psm) - before).abs() < 1e-6 * (1.0 + before.abs()));
+            assert!((energy(&psm) - before).abs() < 1e-6 * (1.0 + before.abs()));
         }
     }
+}
 
-    #[test]
-    fn simplify_is_idempotent((gamma, delta) in arb_phases()) {
+#[test]
+fn simplify_is_idempotent() {
+    let mut rng = Prng::seed_from_u64(0xC04E_0004);
+    for _ in 0..CASES {
+        let (gamma, delta) = random_phases(&mut rng);
         if let Ok(mut psm) = generate_psm(&gamma, &delta, 0) {
             let policy = MergePolicy::default();
             simplify(&mut psm, &policy);
             let after_first = psm.clone();
             let more = simplify(&mut psm, &policy);
-            prop_assert_eq!(more, 0);
-            prop_assert_eq!(psm, after_first);
+            assert_eq!(more, 0);
+            assert_eq!(psm, after_first);
         }
     }
+}
 
-    #[test]
-    fn join_preserves_instants_and_energy((gamma, delta) in arb_phases()) {
+#[test]
+fn join_preserves_instants_and_energy() {
+    let mut rng = Prng::seed_from_u64(0xC04E_0005);
+    for _ in 0..CASES {
+        let (gamma, delta) = random_phases(&mut rng);
         if let Ok(psm) = generate_psm(&gamma, &delta, 0) {
             let energy = |p: &psm_core::Psm| -> f64 {
-                p.states().map(|(_, s)| s.attrs().mu() * s.attrs().n() as f64).sum()
+                p.states()
+                    .map(|(_, s)| s.attrs().mu() * s.attrs().n() as f64)
+                    .sum()
             };
-            let count = |p: &psm_core::Psm| -> u64 {
-                p.states().map(|(_, s)| s.attrs().n()).sum()
-            };
+            let count = |p: &psm_core::Psm| -> u64 { p.states().map(|(_, s)| s.attrs().n()).sum() };
             let (e0, n0) = (energy(&psm), count(&psm));
             let joined = join(&[psm], &MergePolicy::default());
-            prop_assert_eq!(count(&joined), n0);
-            prop_assert!((energy(&joined) - e0).abs() < 1e-6 * (1.0 + e0.abs()));
+            assert_eq!(count(&joined), n0);
+            assert!((energy(&joined) - e0).abs() < 1e-6 * (1.0 + e0.abs()));
             // Join never increases the state count.
-            prop_assert!(joined.state_count() as u64 <= n0);
+            assert!(joined.state_count() as u64 <= n0);
         }
     }
+}
 
-    #[test]
-    fn deterministic_replay_of_training_trace_never_desyncs_midway((gamma, delta) in arb_phases()) {
+#[test]
+fn deterministic_replay_of_training_trace_never_desyncs_midway() {
+    let mut rng = Prng::seed_from_u64(0xC04E_0006);
+    for _ in 0..CASES {
+        let (gamma, delta) = random_phases(&mut rng);
         // Replaying the exact training observations through a deterministic
         // chain PSM loses sync only in the dropped tail, never before.
         if let Ok(psm) = generate_psm(&gamma, &delta, 0) {
@@ -106,7 +135,7 @@ proptest! {
                 let mined = mine_xu_assertions(&gamma);
                 let recognised_until = mined.last().expect("non-empty").stop;
                 let tail = gamma.len() - 1 - recognised_until;
-                prop_assert!(
+                assert!(
                     outcome.sync_loss_instants <= tail + 1,
                     "lost {} instants with a tail of {}",
                     outcome.sync_loss_instants,

@@ -96,7 +96,13 @@ mod tests {
         // idle(6) busy(4) idle(6) busy(4) idle(2, dropped tail)
         let mut props = Vec::new();
         let mut power = Vec::new();
-        for &(id, mw, len) in &[(0u32, 3.0, 6), (1, 9.0, 4), (0, 3.0, 6), (1, 9.0, 4), (0, 3.0, 2)] {
+        for &(id, mw, len) in &[
+            (0u32, 3.0, 6),
+            (1, 9.0, 4),
+            (0, 3.0, 6),
+            (1, 9.0, 4),
+            (0, 3.0, 2),
+        ] {
             for k in 0..len {
                 props.push(id);
                 power.push(mw + 0.002 * (k % 3) as f64);

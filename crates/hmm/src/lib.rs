@@ -93,7 +93,10 @@ impl fmt::Display for HmmError {
                 write!(f, "row {row} of {matrix} sums to zero")
             }
             HmmError::UnknownSymbol { symbol, known } => {
-                write!(f, "observation symbol {symbol} out of range (model knows {known})")
+                write!(
+                    f,
+                    "observation symbol {symbol} out of range (model knows {known})"
+                )
             }
         }
     }

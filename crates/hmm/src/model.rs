@@ -33,7 +33,6 @@ use crate::HmmError;
 /// # Ok::<(), psm_hmm::HmmError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hmm {
     a: Vec<Vec<f64>>,
     b: Vec<Vec<f64>>,
@@ -66,7 +65,9 @@ impl Hmm {
     ) -> Result<Self, HmmError> {
         let m = pi.len();
         if a.len() != m || b.len() != m {
-            return Err(HmmError::DimensionMismatch("A and B need one row per state"));
+            return Err(HmmError::DimensionMismatch(
+                "A and B need one row per state",
+            ));
         }
         if a.iter().any(|r| r.len() != m) {
             return Err(HmmError::DimensionMismatch("A must be square"));
@@ -77,12 +78,18 @@ impl Hmm {
         }
         for (i, row) in a.iter_mut().enumerate() {
             if !normalize(row) {
-                return Err(HmmError::DegenerateDistribution { matrix: "A", row: i });
+                return Err(HmmError::DegenerateDistribution {
+                    matrix: "A",
+                    row: i,
+                });
             }
         }
         for (i, row) in b.iter_mut().enumerate() {
             if !normalize(row) {
-                return Err(HmmError::DegenerateDistribution { matrix: "B", row: i });
+                return Err(HmmError::DegenerateDistribution {
+                    matrix: "B",
+                    row: i,
+                });
             }
         }
         if !normalize(&mut pi) {
@@ -333,7 +340,10 @@ impl Hmm {
         }
         scale[0] = alpha[0].iter().sum();
         if scale[0] <= 0.0 {
-            return Err(HmmError::DegenerateDistribution { matrix: "A", row: 0 });
+            return Err(HmmError::DegenerateDistribution {
+                matrix: "A",
+                row: 0,
+            });
         }
         alpha[0].iter_mut().for_each(|v| *v /= scale[0]);
         for t in 1..n {
@@ -346,7 +356,10 @@ impl Hmm {
             }
             scale[t] = alpha[t].iter().sum();
             if scale[t] <= 0.0 {
-                return Err(HmmError::DegenerateDistribution { matrix: "A", row: t });
+                return Err(HmmError::DegenerateDistribution {
+                    matrix: "A",
+                    row: t,
+                });
             }
             alpha[t].iter_mut().for_each(|v| *v /= scale[t]);
         }
@@ -398,7 +411,10 @@ impl Hmm {
         }
         for &o in observations {
             if o >= k {
-                return Err(HmmError::UnknownSymbol { symbol: o, known: k });
+                return Err(HmmError::UnknownSymbol {
+                    symbol: o,
+                    known: k,
+                });
             }
         }
         // Scaled forward pass.
@@ -488,6 +504,50 @@ impl Hmm {
     }
 }
 
+/// The serialised model stores the already-normalised matrices. Loading
+/// validates shapes and row sums directly instead of renormalising through
+/// [`Hmm::new`], so a save/load cycle reproduces the stored probabilities
+/// bit-for-bit (renormalising an already-normalised row can perturb the
+/// last ulp).
+impl psm_persist::Persist for Hmm {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        JsonValue::obj([
+            ("a", self.a.to_json()),
+            ("b", self.b.to_json()),
+            ("pi", self.pi.to_json()),
+        ])
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        use psm_persist::PersistError;
+        let a: Vec<Vec<f64>> = Vec::from_json(v.field("a")?)?;
+        let b: Vec<Vec<f64>> = Vec::from_json(v.field("b")?)?;
+        let pi: Vec<f64> = Vec::from_json(v.field("pi")?)?;
+        let m = pi.len();
+        if a.len() != m || b.len() != m || a.iter().any(|r| r.len() != m) {
+            return Err(PersistError::schema("HMM matrix shapes disagree"));
+        }
+        let k = b.first().map_or(0, Vec::len);
+        if k == 0 || b.iter().any(|r| r.len() != k) {
+            return Err(PersistError::schema("HMM emission rows must share a width"));
+        }
+        let is_distribution = |row: &[f64]| {
+            let sum: f64 = row.iter().sum();
+            row.iter().all(|&p| (0.0..=1.0).contains(&p)) && (sum - 1.0).abs() < 1e-6
+        };
+        if !a.iter().all(|r| is_distribution(r))
+            || !b.iter().all(|r| is_distribution(r))
+            || !is_distribution(&pi)
+        {
+            return Err(PersistError::schema(
+                "HMM rows must be probability distributions",
+            ));
+        }
+        Ok(Hmm { a, b, pi })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,7 +586,10 @@ mod tests {
                 vec![vec![1.0], vec![1.0]],
                 vec![1.0, 1.0]
             ),
-            Err(HmmError::DegenerateDistribution { matrix: "A", row: 0 })
+            Err(HmmError::DegenerateDistribution {
+                matrix: "A",
+                row: 0
+            })
         ));
     }
 
@@ -595,10 +658,46 @@ mod tests {
         let h = toy();
         assert!(matches!(
             h.log_likelihood(&[5]),
-            Err(HmmError::UnknownSymbol { symbol: 5, known: 2 })
+            Err(HmmError::UnknownSymbol {
+                symbol: 5,
+                known: 2
+            })
         ));
         let mut b = h.initial_belief(0).unwrap();
         assert!(h.filter_step(&mut b, 9).is_err());
+    }
+
+    #[test]
+    fn hmm_round_trips_bit_for_bit() {
+        use psm_persist::{JsonValue, Persist};
+        let h = Hmm::new(
+            vec![
+                vec![1.0, 2.0, 0.5],
+                vec![0.1, 0.2, 0.3],
+                vec![5.0, 1.0, 1.0],
+            ],
+            vec![vec![0.3, 0.7], vec![0.9, 0.1], vec![0.5, 0.5]],
+            vec![0.2, 0.5, 0.3],
+        )
+        .unwrap();
+        let text = h.to_json().render();
+        let back = Hmm::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        for i in 0..h.num_states() {
+            for j in 0..h.num_states() {
+                assert_eq!(back.a()[i][j].to_bits(), h.a()[i][j].to_bits());
+            }
+        }
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn hmm_load_rejects_non_distributions() {
+        use psm_persist::{JsonValue, Persist};
+        let doc = JsonValue::parse(r#"{"a":[[0.5,0.5],[2.0,0.0]],"b":[[1],[1]],"pi":[0.5,0.5]}"#)
+            .unwrap();
+        assert!(Hmm::from_json(&doc).is_err());
+        let doc = JsonValue::parse(r#"{"a":[[1]],"b":[[1],[1]],"pi":[1]}"#).unwrap();
+        assert!(Hmm::from_json(&doc).is_err());
     }
 
     #[test]

@@ -253,10 +253,7 @@ impl<'a> HmmSimulator<'a> {
                 None => {
                     // Hold the previous estimate (or the stationary mean).
                     let v = estimate.get(t.wrapping_sub(1)).unwrap_or_else(|| {
-                        self.psm
-                            .states()
-                            .map(|(_, s)| s.attrs().mu())
-                            .sum::<f64>()
+                        self.psm.states().map(|(_, s)| s.attrs().mu()).sum::<f64>()
                             / self.psm.state_count() as f64
                     });
                     estimate.push(v);
@@ -287,8 +284,7 @@ impl<'a> HmmSimulator<'a> {
                         Err(_) => {
                             // Impossible segment under the model: fall back
                             // to the causal walker for these instants.
-                            let seg_obs: Vec<_> =
-                                observations[start..t].to_vec();
+                            let seg_obs: Vec<_> = observations[start..t].to_vec();
                             let seg_h = &input_hamming[start..t];
                             let causal = self.run(&seg_obs, seg_h);
                             estimate.extend(causal.estimate.iter());
@@ -344,11 +340,7 @@ impl<'a> HmmSimulator<'a> {
                         }
                         t += 1;
                     }
-                    let path = self
-                        .hmm
-                        .viterbi(&symbols)
-                        .ok()
-                        .flatten();
+                    let path = self.hmm.viterbi(&symbols).ok().flatten();
                     match path {
                         Some(states) => {
                             for (off, &s) in states.iter().enumerate() {
@@ -405,10 +397,7 @@ impl<'a> HmmSimulator<'a> {
         for alt in &cursor.alts {
             let chain = &state.chains()[alt.chain];
             let part = chain.parts()[alt.part];
-            if o == part.left()
-                && !alt.next_consumed
-                && part.pattern() == TemporalPattern::Until
-            {
+            if o == part.left() && !alt.next_consumed && part.pattern() == TemporalPattern::Until {
                 stays.push(*alt);
                 continue;
             }
@@ -504,8 +493,13 @@ mod tests {
     fn looped_model() -> (Psm, usize) {
         let mut props = Vec::new();
         let mut power = Vec::new();
-        for &(id, mw, len) in &[(0u32, 3.0, 6), (1, 9.0, 4), (0, 3.0, 6), (1, 9.0, 4), (0, 3.0, 2)]
-        {
+        for &(id, mw, len) in &[
+            (0u32, 3.0, 6),
+            (1, 9.0, 4),
+            (0, 3.0, 6),
+            (1, 9.0, 4),
+            (0, 3.0, 2),
+        ] {
             for k in 0..len {
                 props.push(id);
                 power.push(mw + 0.002 * (k % 3) as f64);
@@ -681,8 +675,13 @@ mod smoothing_tests {
     fn model() -> Psm {
         let mut props = Vec::new();
         let mut power = Vec::new();
-        for &(id, mw, len) in &[(0u32, 3.0, 6), (1, 9.0, 4), (0, 3.0, 6), (1, 9.0, 4), (0, 3.0, 2)]
-        {
+        for &(id, mw, len) in &[
+            (0u32, 3.0, 6),
+            (1, 9.0, 4),
+            (0, 3.0, 6),
+            (1, 9.0, 4),
+            (0, 3.0, 2),
+        ] {
             for k in 0..len {
                 props.push(id);
                 power.push(mw + 0.002 * (k % 3) as f64);
@@ -737,7 +736,11 @@ mod smoothing_tests {
             .iter()
             .enumerate()
         {
-            assert!((est[t] - expect).abs() < 0.2, "t={t}: {} vs {expect}", est[t]);
+            assert!(
+                (est[t] - expect).abs() < 0.2,
+                "t={t}: {} vs {expect}",
+                est[t]
+            );
         }
     }
 
@@ -759,8 +762,8 @@ mod smoothing_tests {
         let hmm = build_hmm(&psm, 2);
         let sim = HmmSimulator::new(&psm, hmm);
         let o = obs(&[0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0]);
-        let reference: Vec<f64> = [3.0, 3.0, 3.0, 3.0, 9.0, 9.0, 9.0, 3.0, 3.0, 9.0, 9.0, 3.0]
-            .to_vec();
+        let reference: Vec<f64> =
+            [3.0, 3.0, 3.0, 3.0, 9.0, 9.0, 9.0, 3.0, 3.0, 9.0, 9.0, 3.0].to_vec();
         let causal = sim.run(&o, &vec![0; o.len()]);
         let smoothed = sim.run_smoothed(&o, &vec![0; o.len()]);
         let err = |est: &[f64]| -> f64 {

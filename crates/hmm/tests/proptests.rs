@@ -1,80 +1,91 @@
-//! Property-based tests of the HMM layer.
+//! Randomised property tests of the HMM layer, driven by the workspace
+//! PRNG so runs are deterministic and offline.
 
-use proptest::prelude::*;
 use psm_hmm::Hmm;
+use psm_prng::Prng;
 
-fn arb_hmm() -> impl Strategy<Value = Hmm> {
-    (2usize..8, 2usize..6)
-        .prop_flat_map(|(m, k)| {
-            (
-                proptest::collection::vec(
-                    proptest::collection::vec(0.01f64..1.0, m),
-                    m,
-                ),
-                proptest::collection::vec(
-                    proptest::collection::vec(0.01f64..1.0, k),
-                    m,
-                ),
-                proptest::collection::vec(0.01f64..1.0, m),
-            )
-        })
-        .prop_map(|(a, b, pi)| Hmm::new(a, b, pi).expect("strictly positive weights"))
+const CASES: usize = 128;
+
+fn random_hmm(rng: &mut Prng) -> Hmm {
+    let m = 2 + rng.range_usize(0..6);
+    let k = 2 + rng.range_usize(0..4);
+    let row =
+        |rng: &mut Prng, n: usize| -> Vec<f64> { (0..n).map(|_| rng.f64_in(0.01, 1.0)).collect() };
+    let a: Vec<Vec<f64>> = (0..m).map(|_| row(rng, m)).collect();
+    let b: Vec<Vec<f64>> = (0..m).map(|_| row(rng, k)).collect();
+    let pi = row(rng, m);
+    Hmm::new(a, b, pi).expect("strictly positive weights")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_obs(rng: &mut Prng, k: usize, lo: usize, hi: usize) -> Vec<usize> {
+    let n = lo + rng.range_usize(0..hi - lo);
+    (0..n).map(|_| rng.range_usize(0..k)).collect()
+}
 
-    #[test]
-    fn construction_normalises_all_rows(hmm in arb_hmm()) {
+#[test]
+fn construction_normalises_all_rows() {
+    let mut rng = Prng::seed_from_u64(0x4447_0001);
+    for _ in 0..CASES {
+        let hmm = random_hmm(&mut rng);
         for row in hmm.a() {
-            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
         for row in hmm.b() {
-            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
-        prop_assert!((hmm.pi().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((hmm.pi().iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn filtering_preserves_normalisation(hmm in arb_hmm(),
-                                         obs in proptest::collection::vec(0usize..4, 1..60)) {
+#[test]
+fn filtering_preserves_normalisation() {
+    let mut rng = Prng::seed_from_u64(0x4447_0002);
+    for _ in 0..CASES {
+        let hmm = random_hmm(&mut rng);
         let k = hmm.num_symbols();
-        let mut belief = match hmm.initial_belief(obs[0] % k) {
-            Some(b) => b,
-            None => return Ok(()),
+        let obs = random_obs(&mut rng, k, 1, 60);
+        let Some(mut belief) = hmm.initial_belief(obs[0]) else {
+            continue;
         };
         for &o in &obs[1..] {
-            hmm.filter_step(&mut belief, o % k).expect("in range");
+            hmm.filter_step(&mut belief, o).expect("in range");
             let sum: f64 = belief.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9, "belief sum {}", sum);
-            prop_assert!(belief.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-9, "belief sum {}", sum);
+            assert!(belief.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
         }
     }
+}
 
-    #[test]
-    fn viterbi_path_has_positive_probability(hmm in arb_hmm(),
-                                             obs in proptest::collection::vec(0usize..4, 1..30)) {
-        let k = hmm.num_symbols();
-        let obs: Vec<usize> = obs.into_iter().map(|o| o % k).collect();
+#[test]
+fn viterbi_path_has_positive_probability() {
+    let mut rng = Prng::seed_from_u64(0x4447_0003);
+    for _ in 0..CASES {
+        let hmm = random_hmm(&mut rng);
+        let obs = random_obs(&mut rng, hmm.num_symbols(), 1, 30);
         // Strictly positive matrices: a path always exists and scores the
         // observations with non-zero probability.
-        let path = hmm.viterbi(&obs).expect("symbols in range").expect("positive model");
-        prop_assert_eq!(path.len(), obs.len());
-        prop_assert!(path.iter().all(|&s| s < hmm.num_states()));
+        let path = hmm
+            .viterbi(&obs)
+            .expect("symbols in range")
+            .expect("positive model");
+        assert_eq!(path.len(), obs.len());
+        assert!(path.iter().all(|&s| s < hmm.num_states()));
         let ll = hmm.log_likelihood(&obs).expect("symbols in range");
-        prop_assert!(ll.is_finite());
+        assert!(ll.is_finite());
     }
+}
 
-    #[test]
-    fn baum_welch_never_decreases_likelihood(hmm in arb_hmm(),
-                                             obs in proptest::collection::vec(0usize..4, 4..40)) {
-        let k = hmm.num_symbols();
-        let obs: Vec<usize> = obs.into_iter().map(|o| o % k).collect();
+#[test]
+fn baum_welch_never_decreases_likelihood() {
+    let mut rng = Prng::seed_from_u64(0x4447_0004);
+    for _ in 0..CASES {
+        let hmm = random_hmm(&mut rng);
+        let obs = random_obs(&mut rng, hmm.num_symbols(), 4, 40);
         let mut model = hmm;
         let mut last = f64::NEG_INFINITY;
         for _ in 0..4 {
             let (next, ll) = model.baum_welch_step(&obs).expect("positive model");
-            prop_assert!(ll >= last - 1e-6, "EM decreased: {} -> {}", last, ll);
+            assert!(ll >= last - 1e-6, "EM decreased: {} -> {}", last, ll);
             last = ll;
             model = next;
         }

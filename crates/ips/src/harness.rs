@@ -37,7 +37,10 @@ pub fn ip_by_name(name: &str) -> Option<Box<dyn Ip>> {
 ///
 /// Propagates [`TraceError`] when a stimulus cycle does not fit the IP's
 /// interface.
-pub fn behavioural_trace(ip: &mut dyn Ip, stimulus: &Stimulus) -> Result<FunctionalTrace, TraceError> {
+pub fn behavioural_trace(
+    ip: &mut dyn Ip,
+    stimulus: &Stimulus,
+) -> Result<FunctionalTrace, TraceError> {
     ip.reset();
     let signals = ip.signals();
     let mut trace = FunctionalTrace::with_capacity(signals, stimulus.len());

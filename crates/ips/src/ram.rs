@@ -125,7 +125,15 @@ impl Ip for Ram1k {
 mod tests {
     use super::*;
 
-    fn drive(ram: &mut Ram1k, addr: u64, wdata: u64, we: bool, re: bool, ce: bool, clr: bool) -> u64 {
+    fn drive(
+        ram: &mut Ram1k,
+        addr: u64,
+        wdata: u64,
+        we: bool,
+        re: bool,
+        ce: bool,
+        clr: bool,
+    ) -> u64 {
         let outs = ram.step(&[
             Bits::from_u64(addr, 8),
             Bits::from_u64(wdata, 32),

@@ -9,10 +9,9 @@
 //!
 //! All generators are deterministic in their seed.
 
+use psm_prng::Prng;
 use psm_rtl::Stimulus;
 use psm_trace::Bits;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds the short (verification-style) testset for a Table I benchmark.
 ///
@@ -69,33 +68,40 @@ fn ram_idle(stim: &mut Stimulus, cycles: usize) {
     }
 }
 
-fn ram_random_phases(stim: &mut Stimulus, rng: &mut StdRng, bursts: usize) {
+fn ram_random_phases(stim: &mut Stimulus, rng: &mut Prng, bursts: usize) {
     for _ in 0..bursts {
-        let writes = rng.gen_range(8..32);
+        let writes = rng.range_usize(8..32);
         for _ in 0..writes {
             stim.push_cycle(ram_cycle(
-                rng.gen_range(0..256),
-                rng.gen::<u32>() as u64,
+                rng.range_u64(0..256),
+                rng.next_u32() as u64,
                 true,
                 false,
                 true,
                 false,
             ));
         }
-        let reads = rng.gen_range(8..32);
+        let reads = rng.range_usize(8..32);
         for _ in 0..reads {
-            stim.push_cycle(ram_cycle(rng.gen_range(0..256), 0, false, true, true, false));
+            stim.push_cycle(ram_cycle(
+                rng.range_u64(0..256),
+                0,
+                false,
+                true,
+                true,
+                false,
+            ));
         }
-        if rng.gen_bool(0.1) {
+        if rng.chance(0.1) {
             stim.push_cycle(ram_cycle(0, 0, false, false, true, true)); // clr
         }
-        ram_idle(stim, rng.gen_range(5..20));
+        ram_idle(stim, rng.range_usize(5..20));
     }
 }
 
 /// Verification-style testset for the RAM.
 pub fn ram_short_ts(seed: u64) -> Stimulus {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut stim = Stimulus::new();
     ram_idle(&mut stim, 50);
     // Walking writes covering the whole array with a data pattern.
@@ -122,7 +128,7 @@ pub fn ram_short_ts(seed: u64) -> Stimulus {
 
 /// Long randomised re-stimulation for the RAM.
 pub fn ram_long_ts(seed: u64, target_cycles: usize) -> Stimulus {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A11_5EED_0001u64);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x4A11_5EED_0001u64);
     let mut stim = Stimulus::new();
     ram_idle(&mut stim, 30);
     while stim.len() < target_cycles {
@@ -150,21 +156,21 @@ fn mac_idle(stim: &mut Stimulus, cycles: usize) {
     }
 }
 
-fn mac_random_phases(stim: &mut Stimulus, rng: &mut StdRng, bursts: usize) {
+fn mac_random_phases(stim: &mut Stimulus, rng: &mut Prng, bursts: usize) {
     let mut last = (0u64, 0u64);
     for _ in 0..bursts {
         // Occasional clear between jobs, operands held (quiet buses).
-        if rng.gen_bool(0.25) {
+        if rng.chance(0.25) {
             stim.push_cycle(mac_cycle(last.0, last.1, false, true));
             stim.push_cycle(mac_cycle(last.0, last.1, false, false));
         }
-        let len = rng.gen_range(16..48);
+        let len = rng.range_usize(16..48);
         for _ in 0..len {
-            last = (rng.gen::<u16>() as u64, rng.gen::<u16>() as u64);
+            last = (rng.next_u16() as u64, rng.next_u16() as u64);
             stim.push_cycle(mac_cycle(last.0, last.1, true, false));
         }
         // Idle gaps hold the last operands (no pointless bus toggling).
-        for _ in 0..rng.gen_range(5..20) {
+        for _ in 0..rng.range_usize(5..20) {
             stim.push_cycle(mac_cycle(last.0, last.1, false, false));
         }
     }
@@ -172,7 +178,7 @@ fn mac_random_phases(stim: &mut Stimulus, rng: &mut StdRng, bursts: usize) {
 
 /// Verification-style testset for the MAC.
 pub fn multsum_short_ts(seed: u64) -> Stimulus {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut stim = Stimulus::new();
     mac_idle(&mut stim, 40);
     // Directed corner operands.
@@ -193,7 +199,7 @@ pub fn multsum_short_ts(seed: u64) -> Stimulus {
 
 /// Long randomised re-stimulation for the MAC.
 pub fn multsum_long_ts(seed: u64, target_cycles: usize) -> Stimulus {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4A11_5EED_0002u64);
+    let mut rng = Prng::seed_from_u64(seed ^ 0x4A11_5EED_0002u64);
     let mut stim = Stimulus::new();
     mac_idle(&mut stim, 25);
     while stim.len() < target_cycles {
@@ -245,8 +251,14 @@ fn cipher_op(
 
 /// `key_latency`/`block_latency`: cycles from pulse to `ready`;
 /// `blocks_per_key`: how many blocks reuse one loaded key on average.
-fn cipher_ts(seed: u64, key_latency: usize, block_latency: usize, ops: usize, directed: bool) -> Stimulus {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn cipher_ts(
+    seed: u64,
+    key_latency: usize,
+    block_latency: usize,
+    ops: usize,
+    directed: bool,
+) -> Stimulus {
+    let mut rng = Prng::seed_from_u64(seed);
     let mut stim = Stimulus::new();
     // Initial idle.
     for _ in 0..15 {
@@ -265,17 +277,17 @@ fn cipher_ts(seed: u64, key_latency: usize, block_latency: usize, ops: usize, di
             cipher_op(&mut stim, block_latency, k, d, true, 8);
         }
     }
-    let mut key: u128 = rng.gen();
+    let mut key: u128 = rng.next_u128();
     cipher_load_key(&mut stim, key_latency, key);
     for i in 0..ops {
         // Re-key every ~12 blocks on average (key-agile usage).
-        if rng.gen_bool(1.0 / 12.0) {
-            key = rng.gen();
+        if rng.chance(1.0 / 12.0) {
+            key = rng.next_u128();
             cipher_load_key(&mut stim, key_latency, key);
         }
-        let data: u128 = rng.gen();
-        let decrypt = i % 3 == 2 || rng.gen_bool(0.2);
-        let gap = rng.gen_range(3..18);
+        let data: u128 = rng.next_u128();
+        let decrypt = i % 3 == 2 || rng.chance(0.2);
+        let gap = rng.range_usize(3..18);
         cipher_op(&mut stim, block_latency, key, data, decrypt, gap);
     }
     stim

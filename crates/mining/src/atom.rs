@@ -6,7 +6,6 @@ use std::fmt;
 
 /// Relational operator between two signals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Comparison {
     /// `left = right`
     Eq,
@@ -55,7 +54,6 @@ impl fmt::Display for Comparison {
 /// * `v ∘ w` — a relation between two equal-width signals
 ///   (e.g. the paper's `v3 > v4`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AtomicProposition {
     /// `signal = value`
     VarEqConst {
@@ -118,6 +116,63 @@ impl AtomicProposition {
                     signals.decl(*right).name()
                 )
             }
+        }
+    }
+}
+
+impl psm_persist::Persist for Comparison {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        psm_persist::JsonValue::from(match self {
+            Comparison::Eq => "eq",
+            Comparison::Lt => "lt",
+            Comparison::Gt => "gt",
+        })
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        match v.as_str()? {
+            "eq" => Ok(Comparison::Eq),
+            "lt" => Ok(Comparison::Lt),
+            "gt" => Ok(Comparison::Gt),
+            other => Err(psm_persist::PersistError::schema(format!(
+                "unknown comparison {other:?}"
+            ))),
+        }
+    }
+}
+
+impl psm_persist::Persist for AtomicProposition {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        match self {
+            AtomicProposition::VarEqConst { signal, value } => JsonValue::obj([
+                ("kind", JsonValue::from("eq_const")),
+                ("signal", signal.to_json()),
+                ("value", value.to_json()),
+            ]),
+            AtomicProposition::VarCmpVar { left, cmp, right } => JsonValue::obj([
+                ("kind", JsonValue::from("cmp_var")),
+                ("left", left.to_json()),
+                ("cmp", cmp.to_json()),
+                ("right", right.to_json()),
+            ]),
+        }
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        match v.str_field("kind")? {
+            "eq_const" => Ok(AtomicProposition::VarEqConst {
+                signal: SignalId::from_json(v.field("signal")?)?,
+                value: Bits::from_json(v.field("value")?)?,
+            }),
+            "cmp_var" => Ok(AtomicProposition::VarCmpVar {
+                left: SignalId::from_json(v.field("left")?)?,
+                cmp: Comparison::from_json(v.field("cmp")?)?,
+                right: SignalId::from_json(v.field("right")?)?,
+            }),
+            other => Err(psm_persist::PersistError::schema(format!(
+                "unknown atom kind {other:?}"
+            ))),
         }
     }
 }

@@ -120,8 +120,7 @@ impl Miner {
 
         let min_count = (self.config.min_support() * total as f64).ceil() as usize;
         let keep = |support: usize| -> bool {
-            support >= min_count.max(1)
-                && (!self.config.drop_invariants() || support < total)
+            support >= min_count.max(1) && (!self.config.drop_invariants() || support < total)
         };
 
         let mut atoms = Vec::new();
@@ -150,9 +149,8 @@ impl Miner {
             }
             // Deterministic order: sort observed constants numerically.
             let mut observed: Vec<(Bits, usize)> = counts.into_iter().collect();
-            observed.sort_by(|(a, _), (b, _)| {
-                a.compare(b).expect("one signal's values share a width")
-            });
+            observed
+                .sort_by(|(a, _), (b, _)| a.compare(b).expect("one signal's values share a width"));
             for (value, support) in observed {
                 if keep(support) {
                     atoms.push(AtomicProposition::VarEqConst { signal: id, value });
@@ -290,7 +288,10 @@ mod tests {
             .map(|a| a.render(vocab.signals()))
             .collect();
         assert!(!rendered.iter().any(|r| r == "v3<v4"), "{rendered:?}");
-        assert!(!rendered.iter().any(|r| r.starts_with("v3=4'h")), "{rendered:?}");
+        assert!(
+            !rendered.iter().any(|r| r.starts_with("v3=4'h")),
+            "{rendered:?}"
+        );
     }
 
     #[test]
@@ -379,7 +380,10 @@ mod tests {
         };
         let refined = miner.mine_with_atoms(&[&phi], vec![special]).unwrap();
         assert!(refined.table.vocabulary().len() > plain.table.vocabulary().len());
-        assert!(refined.table.len() > plain.table.len(), "finer propositions");
+        assert!(
+            refined.table.len() > plain.table.len(),
+            "finer propositions"
+        );
         // The designer atom appears in renders.
         let any_mode = refined
             .table

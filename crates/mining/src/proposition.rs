@@ -8,7 +8,6 @@ use std::fmt;
 
 /// Identifier of a proposition within one [`PropositionTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PropositionId(pub(crate) u32);
 
 impl PropositionId {
@@ -27,7 +26,6 @@ impl fmt::Display for PropositionId {
 /// The mined atomic propositions — the columns of the paper's truth matrix
 /// *m* — together with the interface they predicate over.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PropositionVocabulary {
     signals: SignalSet,
     atoms: Vec<AtomicProposition>,
@@ -79,7 +77,6 @@ impl PropositionVocabulary {
 /// **exactly one proposition of the set holds at every instant** on any
 /// trace whatsoever.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Proposition {
     row: Vec<u64>,
     atom_count: usize,
@@ -98,7 +95,9 @@ impl Proposition {
 
     /// Indices of the atoms that hold in this proposition.
     pub fn satisfied_atoms(&self) -> Vec<usize> {
-        (0..self.atom_count).filter(|&i| self.atom_truth(i)).collect()
+        (0..self.atom_count)
+            .filter(|&i| self.atom_truth(i))
+            .collect()
     }
 
     /// The packed truth row.
@@ -116,49 +115,10 @@ impl Proposition {
 /// and returns `None` for behaviour never seen in training — the paper's
 /// "unknown functional behaviour".
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(from = "PropositionTableRepr", into = "PropositionTableRepr"))]
 pub struct PropositionTable {
     vocabulary: PropositionVocabulary,
     props: Vec<Proposition>,
     index: HashMap<Vec<u64>, PropositionId>,
-}
-
-/// Serialised form of a [`PropositionTable`]: the row index is derived
-/// data (and not representable as JSON map keys), so it is rebuilt on
-/// deserialisation.
-#[cfg(feature = "serde")]
-#[derive(serde::Serialize, serde::Deserialize)]
-struct PropositionTableRepr {
-    vocabulary: PropositionVocabulary,
-    props: Vec<Proposition>,
-}
-
-#[cfg(feature = "serde")]
-impl From<PropositionTableRepr> for PropositionTable {
-    fn from(r: PropositionTableRepr) -> Self {
-        let index = r
-            .props
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.row().to_vec(), PropositionId(i as u32)))
-            .collect();
-        PropositionTable {
-            vocabulary: r.vocabulary,
-            props: r.props,
-            index,
-        }
-    }
-}
-
-#[cfg(feature = "serde")]
-impl From<PropositionTable> for PropositionTableRepr {
-    fn from(t: PropositionTable) -> Self {
-        PropositionTableRepr {
-            vocabulary: t.vocabulary,
-            props: t.props,
-        }
-    }
 }
 
 impl PropositionTable {
@@ -245,6 +205,99 @@ impl PropositionTable {
     }
 }
 
+impl psm_persist::Persist for PropositionId {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        psm_persist::JsonValue::from(self.0)
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        let raw = v.as_u64()?;
+        u32::try_from(raw)
+            .map(PropositionId)
+            .map_err(|_| psm_persist::PersistError::schema("proposition id out of range"))
+    }
+}
+
+impl psm_persist::Persist for PropositionVocabulary {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        JsonValue::obj([
+            ("signals", self.signals.to_json()),
+            ("atoms", self.atoms.to_json()),
+        ])
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        Ok(PropositionVocabulary {
+            signals: SignalSet::from_json(v.field("signals")?)?,
+            atoms: Vec::from_json(v.field("atoms")?)?,
+        })
+    }
+}
+
+impl psm_persist::Persist for Proposition {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        JsonValue::obj([
+            ("row", self.row.to_json()),
+            ("atoms", JsonValue::from(self.atom_count)),
+        ])
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        let row: Vec<u64> = Vec::from_json(v.field("row")?)?;
+        let atom_count = v.usize_field("atoms")?;
+        if row.len() != atom_count.div_ceil(64).max(1) {
+            return Err(psm_persist::PersistError::schema(
+                "proposition row length does not match its atom count",
+            ));
+        }
+        Ok(Proposition { row, atom_count })
+    }
+}
+
+/// The serialised table stores only the vocabulary and the interned
+/// propositions; the row→id lookup index is derived data and is rebuilt on
+/// load.
+impl psm_persist::Persist for PropositionTable {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        JsonValue::obj([
+            ("vocabulary", self.vocabulary.to_json()),
+            ("props", self.props.to_json()),
+        ])
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        let vocabulary = PropositionVocabulary::from_json(v.field("vocabulary")?)?;
+        let props: Vec<Proposition> = Vec::from_json(v.field("props")?)?;
+        for (i, p) in props.iter().enumerate() {
+            if p.atom_count != vocabulary.len() {
+                return Err(psm_persist::PersistError::schema(format!(
+                    "proposition {i} predicates over {} atom(s), vocabulary has {}",
+                    p.atom_count,
+                    vocabulary.len()
+                )));
+            }
+        }
+        let index: HashMap<Vec<u64>, PropositionId> = props
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.row.clone(), PropositionId(i as u32)))
+            .collect();
+        if index.len() != props.len() {
+            return Err(psm_persist::PersistError::schema(
+                "duplicate proposition rows in table",
+            ));
+        }
+        Ok(PropositionTable {
+            vocabulary,
+            props,
+            index,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +380,34 @@ mod tests {
         assert_eq!(ids.len(), 2);
         assert_eq!(ids[0].index(), 0);
         assert_eq!(ids[1].to_string(), "p1");
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        use psm_persist::{JsonValue, Persist};
+        let mut t = table();
+        let p1 = t.intern_cycle(&cycle(1, 5, 3));
+        t.intern_cycle(&cycle(0, 5, 3));
+        let text = t.to_json().render();
+        let back = PropositionTable::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), t.len());
+        // The rebuilt index classifies exactly like the original.
+        assert_eq!(back.classify(&cycle(1, 9, 2)), Some(p1));
+        assert_eq!(back.classify(&cycle(1, 9, 9)), None);
+        assert_eq!(back.render(p1), t.render(p1));
+        // Serialisation is deterministic.
+        assert_eq!(text, back.to_json().render());
+    }
+
+    #[test]
+    fn table_rejects_inconsistent_documents() {
+        use psm_persist::{JsonValue, Persist};
+        let mut t = table();
+        t.intern_cycle(&cycle(1, 5, 3));
+        let good = t.to_json().render();
+        // Corrupt the atom count of the proposition.
+        let bad = good.replace("\"atoms\":2", "\"atoms\":1");
+        assert!(PropositionTable::from_json(&JsonValue::parse(&bad).unwrap()).is_err());
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl MiningReport {
             .map(|(atom, h)| AtomSupport {
                 atom: atom.render(vocab.signals()),
                 holds: h,
-                support: if total > 0 { h as f64 / total as f64 } else { 0.0 },
+                support: if total > 0 {
+                    h as f64 / total as f64
+                } else {
+                    0.0
+                },
             })
             .collect();
         MiningReport {
@@ -99,7 +103,9 @@ mod tests {
     #[test]
     fn supports_match_the_trace() {
         let t = trace();
-        let mined = Miner::new(MiningConfig::default()).mine(&[&t]).expect("mines");
+        let mined = Miner::new(MiningConfig::default())
+            .mine(&[&t])
+            .expect("mines");
         let report = MiningReport::new(&mined.table, &[&t]);
         assert_eq!(report.instants, 10);
         assert_eq!(report.propositions, 2);
@@ -115,7 +121,9 @@ mod tests {
     #[test]
     fn render_is_nonempty_and_lists_atoms() {
         let t = trace();
-        let mined = Miner::new(MiningConfig::default()).mine(&[&t]).expect("mines");
+        let mined = Miner::new(MiningConfig::default())
+            .mine(&[&t])
+            .expect("mines");
         let text = MiningReport::new(&mined.table, &[&t]).render();
         assert!(text.contains("mining report"));
         assert!(text.contains("en=true"));

@@ -5,7 +5,6 @@ use std::fmt;
 
 /// The two temporal patterns the paper mines (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TemporalPattern {
     /// `p X q`: after one instant of `p`, `q` holds at the very next
     /// instant — `(state = p) → next (state = q)`.
@@ -52,7 +51,6 @@ impl fmt::Display for TemporalPattern {
 /// assert!(a.is_until());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TemporalAssertion {
     pattern: TemporalPattern,
     left: PropositionId,
@@ -106,6 +104,41 @@ impl TemporalAssertion {
     }
 }
 
+impl psm_persist::Persist for TemporalPattern {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        psm_persist::JsonValue::from(self.symbol())
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        match v.as_str()? {
+            "X" => Ok(TemporalPattern::Next),
+            "U" => Ok(TemporalPattern::Until),
+            other => Err(psm_persist::PersistError::schema(format!(
+                "unknown temporal pattern {other:?}"
+            ))),
+        }
+    }
+}
+
+impl psm_persist::Persist for TemporalAssertion {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        JsonValue::obj([
+            ("pattern", self.pattern.to_json()),
+            ("left", self.left.to_json()),
+            ("right", self.right.to_json()),
+        ])
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        Ok(TemporalAssertion {
+            pattern: TemporalPattern::from_json(v.field("pattern")?)?,
+            left: PropositionId::from_json(v.field("left")?)?,
+            right: PropositionId::from_json(v.field("right")?)?,
+        })
+    }
+}
+
 impl fmt::Display for TemporalAssertion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} {} {}", self.left, self.pattern, self.right)
@@ -133,10 +166,25 @@ mod tests {
 
     #[test]
     fn equality_is_structural() {
-        let mk = |p, l, r| TemporalAssertion::new(p, PropositionId::from_index(l), PropositionId::from_index(r));
-        assert_eq!(mk(TemporalPattern::Until, 0, 1), mk(TemporalPattern::Until, 0, 1));
-        assert_ne!(mk(TemporalPattern::Until, 0, 1), mk(TemporalPattern::Next, 0, 1));
-        assert_ne!(mk(TemporalPattern::Until, 0, 1), mk(TemporalPattern::Until, 1, 0));
+        let mk = |p, l, r| {
+            TemporalAssertion::new(
+                p,
+                PropositionId::from_index(l),
+                PropositionId::from_index(r),
+            )
+        };
+        assert_eq!(
+            mk(TemporalPattern::Until, 0, 1),
+            mk(TemporalPattern::Until, 0, 1)
+        );
+        assert_ne!(
+            mk(TemporalPattern::Until, 0, 1),
+            mk(TemporalPattern::Next, 0, 1)
+        );
+        assert_ne!(
+            mk(TemporalPattern::Until, 0, 1),
+            mk(TemporalPattern::Until, 1, 0)
+        );
     }
 
     #[test]

@@ -8,7 +8,6 @@ use crate::proposition::PropositionId;
 /// Produced by [`Miner::mine`](crate::Miner::mine); consumed by the XU
 /// automaton in `psm-core` to recognise `next`/`until` temporal patterns.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PropositionTrace {
     ids: Vec<PropositionId>,
 }

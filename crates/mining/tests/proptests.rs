@@ -1,69 +1,80 @@
-//! Property-based tests of the mining invariants.
+//! Randomised property tests of the mining invariants, driven by the
+//! workspace PRNG so runs are deterministic and offline.
 
-use proptest::prelude::*;
 use psm_mining::{Miner, MiningConfig};
+use psm_prng::Prng;
 use psm_trace::{Bits, Direction, FunctionalTrace, SignalSet};
 
+const CASES: usize = 64;
+
 /// A random functional trace over a small control-style interface.
-fn arb_trace() -> impl Strategy<Value = FunctionalTrace> {
-    proptest::collection::vec((any::<bool>(), any::<bool>(), 0u64..16, 0u64..16), 4..120)
-        .prop_map(|rows| {
-            let mut signals = SignalSet::new();
-            signals.push("c0", 1, Direction::Input).expect("unique");
-            signals.push("c1", 1, Direction::Input).expect("unique");
-            signals.push("d0", 4, Direction::Input).expect("unique");
-            signals.push("d1", 4, Direction::Output).expect("unique");
-            let mut t = FunctionalTrace::new(signals);
-            for (c0, c1, d0, d1) in rows {
-                t.push_cycle(vec![
-                    Bits::from_bool(c0),
-                    Bits::from_bool(c1),
-                    Bits::from_u64(d0, 4),
-                    Bits::from_u64(d1, 4),
-                ])
-                .expect("well-formed");
-            }
-            t
-        })
+fn random_trace(rng: &mut Prng) -> FunctionalTrace {
+    let mut signals = SignalSet::new();
+    signals.push("c0", 1, Direction::Input).expect("unique");
+    signals.push("c1", 1, Direction::Input).expect("unique");
+    signals.push("d0", 4, Direction::Input).expect("unique");
+    signals.push("d1", 4, Direction::Output).expect("unique");
+    let mut t = FunctionalTrace::new(signals);
+    let n = 4 + rng.range_usize(0..116);
+    for _ in 0..n {
+        t.push_cycle(vec![
+            Bits::from_bool(rng.chance(0.5)),
+            Bits::from_bool(rng.chance(0.5)),
+            Bits::from_u64(rng.range_u64(0..16), 4),
+            Bits::from_u64(rng.range_u64(0..16), 4),
+        ])
+        .expect("well-formed");
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn exactly_one_proposition_holds_per_instant(trace in arb_trace()) {
+#[test]
+fn exactly_one_proposition_holds_per_instant() {
+    let mut rng = Prng::seed_from_u64(0x417E_0001);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         // The paper's defining invariant of Prop: at every training instant
         // exactly one proposition holds — i.e. classification of every
         // training cycle returns the interned id.
         let miner = Miner::new(MiningConfig::default());
         if let Ok(mined) = miner.mine(&[&trace]) {
             for t in 0..trace.len() {
-                prop_assert_eq!(
+                assert_eq!(
                     mined.table.classify(trace.cycle(t)),
                     Some(mined.traces[0].id(t)),
-                    "instant {}", t
+                    "instant {}",
+                    t
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn mining_is_deterministic(trace in arb_trace()) {
+#[test]
+fn mining_is_deterministic() {
+    let mut rng = Prng::seed_from_u64(0x417E_0002);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         let miner = Miner::new(MiningConfig::default());
         let a = miner.mine(&[&trace]);
         let b = miner.mine(&[&trace]);
         match (a, b) {
             (Ok(x), Ok(y)) => {
-                prop_assert_eq!(x.traces, y.traces);
-                prop_assert_eq!(x.table.len(), y.table.len());
+                assert_eq!(x.traces, y.traces);
+                assert_eq!(x.table.len(), y.table.len());
             }
-            (Err(x), Err(y)) => prop_assert_eq!(x, y),
-            _ => prop_assert!(false, "nondeterministic outcome"),
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            _ => panic!("nondeterministic outcome"),
         }
     }
+}
 
-    #[test]
-    fn atoms_respect_support_threshold(trace in arb_trace(), support in 0.01f64..0.6) {
+#[test]
+fn atoms_respect_support_threshold() {
+    let mut rng = Prng::seed_from_u64(0x417E_0003);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let support = rng.f64_in(0.01, 0.6);
         let config = MiningConfig::default().with_min_support(support);
         let miner = Miner::new(config);
         if let Ok(vocab) = miner.mine_vocabulary(&[&trace]) {
@@ -72,33 +83,39 @@ proptest! {
                 let holds = (0..trace.len())
                     .filter(|&t| atom.eval(trace.cycle(t)))
                     .count() as f64;
-                prop_assert!(
+                assert!(
                     holds >= (support * n).ceil().max(1.0) - 0.5,
                     "atom below support: {}/{} < {}",
-                    holds, n, support
+                    holds,
+                    n,
+                    support
                 );
                 // With invariant dropping on (the default), no atom holds
                 // everywhere.
-                prop_assert!(holds < n, "invariant atom survived");
+                assert!(holds < n, "invariant atom survived");
             }
         }
     }
+}
 
-    #[test]
-    fn runs_partition_the_trace(trace in arb_trace()) {
+#[test]
+fn runs_partition_the_trace() {
+    let mut rng = Prng::seed_from_u64(0x417E_0004);
+    for _ in 0..CASES {
+        let trace = random_trace(&mut rng);
         let miner = Miner::new(MiningConfig::default());
         if let Ok(mined) = miner.mine(&[&trace]) {
             let runs = mined.traces[0].runs();
             let mut expected_start = 0;
             for (id, start, stop) in runs {
-                prop_assert_eq!(start, expected_start);
-                prop_assert!(stop >= start);
+                assert_eq!(start, expected_start);
+                assert!(stop >= start);
                 for t in start..=stop {
-                    prop_assert_eq!(mined.traces[0].id(t), id);
+                    assert_eq!(mined.traces[0].id(t), id);
                 }
                 expected_start = stop + 1;
             }
-            prop_assert_eq!(expected_start, trace.len());
+            assert_eq!(expected_start, trace.len());
         }
     }
 }

@@ -1,0 +1,80 @@
+//! Deterministic compact JSON writer.
+//!
+//! Equal [`JsonValue`]s render to equal bytes: object fields are written in
+//! stored order, floats use Rust's shortest round-trip `Display`, and there
+//! is no optional whitespace. The facade's parallel trainer relies on this
+//! to keep serialized models byte-identical to the sequential path.
+
+use crate::JsonValue;
+use std::fmt::Write;
+
+pub(crate) fn render_value(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Float(v) => render_float(*v, out),
+        JsonValue::Str(s) => render_string(s, out),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(key, out);
+                out.push(':');
+                render_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_float(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's Display prints the shortest decimal string that parses back
+        // to the same f64, which is what makes float round trips exact.
+        let _ = write!(out, "{v}");
+    } else {
+        // `from_f64` encodes non-finite floats as strings before rendering;
+        // a raw non-finite Float falls back to null (JSON has no syntax for
+        // it).
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

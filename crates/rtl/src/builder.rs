@@ -407,7 +407,8 @@ impl NetlistBuilder {
 
     fn zip(&mut self, a: &Word, b: &Word, kind: GateKind) -> Word {
         assert_eq!(a.width(), b.width(), "word width mismatch in {kind:?}");
-        let pairs: Vec<(NetId, NetId)> = a.nets.iter().copied().zip(b.nets.iter().copied()).collect();
+        let pairs: Vec<(NetId, NetId)> =
+            a.nets.iter().copied().zip(b.nets.iter().copied()).collect();
         Word {
             nets: pairs
                 .into_iter()
@@ -419,9 +420,13 @@ impl NetlistBuilder {
     /// Word-wide 2:1 mux: `sel ? b : a`.
     pub fn mux_word(&mut self, sel: NetId, a: &Word, b: &Word) -> Word {
         assert_eq!(a.width(), b.width(), "word width mismatch in mux");
-        let pairs: Vec<(NetId, NetId)> = a.nets.iter().copied().zip(b.nets.iter().copied()).collect();
+        let pairs: Vec<(NetId, NetId)> =
+            a.nets.iter().copied().zip(b.nets.iter().copied()).collect();
         Word {
-            nets: pairs.into_iter().map(|(x, y)| self.mux(sel, x, y)).collect(),
+            nets: pairs
+                .into_iter()
+                .map(|(x, y)| self.mux(sel, x, y))
+                .collect(),
         }
     }
 
@@ -647,7 +652,10 @@ impl NetlistBuilder {
     /// Panics if `contents.len() != 2^addr.width()` or `out_width` is zero
     /// or wider than 64.
     pub fn rom(&mut self, addr: &Word, contents: &[u64], out_width: usize) -> Word {
-        assert!(out_width > 0 && out_width <= 64, "rom entries are 1..=64 bits");
+        assert!(
+            out_width > 0 && out_width <= 64,
+            "rom entries are 1..=64 bits"
+        );
         assert_eq!(
             contents.len(),
             1usize << addr.width(),
@@ -672,13 +680,7 @@ impl NetlistBuilder {
     pub fn shl_const(&mut self, a: &Word, n: usize) -> Word {
         let w = a.width();
         let nets = (0..w)
-            .map(|i| {
-                if i < n {
-                    Netlist::CONST0
-                } else {
-                    a.bit(i - n)
-                }
-            })
+            .map(|i| if i < n { Netlist::CONST0 } else { a.bit(i - n) })
             .collect();
         Word { nets }
     }
@@ -729,8 +731,14 @@ impl NetlistBuilder {
         re: NetId,
         clear: NetId,
     ) -> Word {
-        assert!(wdata.width() <= 64, "memory macros store at most 64-bit words");
-        assert!(addr.width() <= 24, "memory macros support at most 2^24 words");
+        assert!(
+            wdata.width() <= 64,
+            "memory macros store at most 64-bit words"
+        );
+        assert!(
+            addr.width() <= 24,
+            "memory macros support at most 2^24 words"
+        );
         let rdata: Vec<NetId> = (0..wdata.width()).map(|_| self.fresh()).collect();
         self.mem_domains.push(self.current_domain);
         self.memories.push(MemoryMacro {
@@ -925,8 +933,7 @@ mod tests {
             let r = run_comb(
                 |b| {
                     let s = b.input("s", 2);
-                    let opts: Vec<Word> =
-                        (0..4).map(|i| b.const_word(10 + i, 8)).collect();
+                    let opts: Vec<Word> = (0..4).map(|i| b.const_word(10 + i, 8)).collect();
                     let o = b.mux_tree(&s, &opts);
                     b.output("o", &o);
                 },
@@ -1023,10 +1030,7 @@ mod tests {
     fn unconnected_register_rejected() {
         let mut b = NetlistBuilder::new("bad");
         let _r = b.register("r", 2);
-        assert!(matches!(
-            b.finish(),
-            Err(RtlError::UnconnectedRegister(_))
-        ));
+        assert!(matches!(b.finish(), Err(RtlError::UnconnectedRegister(_))));
     }
 
     #[test]

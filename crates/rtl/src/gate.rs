@@ -64,11 +64,9 @@ impl GateKind {
     pub fn arity(&self) -> Option<usize> {
         match self {
             GateKind::Buf | GateKind::Not => Some(1),
-            GateKind::And2
-            | GateKind::Or2
-            | GateKind::Xor2
-            | GateKind::Nand2
-            | GateKind::Nor2 => Some(2),
+            GateKind::And2 | GateKind::Or2 | GateKind::Xor2 | GateKind::Nand2 | GateKind::Nor2 => {
+                Some(2)
+            }
             GateKind::Mux2 => Some(3),
             GateKind::Lut { .. } => None,
         }

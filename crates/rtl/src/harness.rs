@@ -228,9 +228,7 @@ mod tests {
     #[test]
     fn captures_matching_lengths() {
         let n = accumulator();
-        let stim: Stimulus = (0..50)
-            .map(|i| vec![Bits::from_u64(i % 7, 8)])
-            .collect();
+        let stim: Stimulus = (0..50).map(|i| vec![Bits::from_u64(i % 7, 8)]).collect();
         let r = capture_traces(&n, &PowerModel::default(), &stim, 11).unwrap();
         assert_eq!(r.functional.len(), 50);
         assert_eq!(r.power.len(), 50);

@@ -1,6 +1,5 @@
 //! Topological ordering of combinational cells.
 
-
 use crate::netlist::Netlist;
 use crate::RtlError;
 

@@ -63,13 +63,15 @@ mod verilog;
 
 pub use builder::{AddResult, NetlistBuilder, Register, Word};
 pub use gate::{Gate, GateKind, NetId};
-pub use harness::{capture_traces, capture_traces_by_domain, CaptureResult, HierarchicalCapture, Stimulus};
+pub use harness::{
+    capture_traces, capture_traces_by_domain, CaptureResult, HierarchicalCapture, Stimulus,
+};
 pub use levelize::{levelize, logic_depth};
 pub use netlist::{Dff, MemoryMacro, Netlist, NetlistStats, Port};
 pub use opt::{optimize, OptStats};
-pub use verilog::write_verilog;
 pub use power::{CycleActivity, PowerEstimator, PowerModel};
 pub use sim::{PortHandle, Simulator};
+pub use verilog::write_verilog;
 
 use std::error::Error;
 use std::fmt;

@@ -308,7 +308,11 @@ impl Netlist {
         let mut drivers = vec![0u8; self.net_count];
         drivers[Self::CONST0.index()] = 1;
         drivers[Self::CONST1.index()] = 1;
-        for p in self.ports.iter().filter(|p| p.direction == Direction::Input) {
+        for p in self
+            .ports
+            .iter()
+            .filter(|p| p.direction == Direction::Input)
+        {
             for n in &p.nets {
                 drivers[n.index()] = drivers[n.index()].saturating_add(1);
             }
@@ -368,11 +372,8 @@ impl Netlist {
     /// Returns `(domain name, combinational cells, flip-flops, macro bits)`
     /// tuples.
     pub fn domain_stats(&self) -> Vec<(String, usize, usize, usize)> {
-        let mut out: Vec<(String, usize, usize, usize)> = self
-            .domains
-            .iter()
-            .map(|d| (d.clone(), 0, 0, 0))
-            .collect();
+        let mut out: Vec<(String, usize, usize, usize)> =
+            self.domains.iter().map(|d| (d.clone(), 0, 0, 0)).collect();
         for &d in &self.gate_domains {
             out[d].1 += 1;
         }

@@ -420,8 +420,14 @@ mod tests {
             );
             // Interfaces unchanged.
             assert_eq!(
-                ip.ports().iter().filter(|p| p.direction() == Direction::Output).count(),
-                opt.ports().iter().filter(|p| p.direction() == Direction::Output).count()
+                ip.ports()
+                    .iter()
+                    .filter(|p| p.direction() == Direction::Output)
+                    .count(),
+                opt.ports()
+                    .iter()
+                    .filter(|p| p.direction() == Direction::Output)
+                    .count()
             );
         }
     }

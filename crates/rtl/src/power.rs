@@ -7,8 +7,7 @@
 //!
 //! [`Simulator`]: crate::Simulator
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psm_prng::Prng;
 
 /// Switching activity of one simulated clock cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -139,7 +138,7 @@ impl Default for PowerModel {
 #[derive(Debug, Clone)]
 pub struct PowerEstimator {
     model: PowerModel,
-    rng: StdRng,
+    rng: Prng,
     spare_normal: Option<f64>,
 }
 
@@ -148,7 +147,7 @@ impl PowerEstimator {
     pub fn new(model: PowerModel, seed: u64) -> Self {
         PowerEstimator {
             model,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             spare_normal: None,
         }
     }
@@ -169,15 +168,15 @@ impl PowerEstimator {
         (clean * (1.0 + self.model.noise_fraction() * z)).max(0.0)
     }
 
-    /// Box–Muller standard normal (rand's distributions crate is not part
-    /// of the approved dependency set).
+    /// Box–Muller standard normal over the workspace's own generator (the
+    /// registry is unreachable offline, so no external distributions crate).
     fn standard_normal(&mut self) -> f64 {
         if let Some(z) = self.spare_normal.take() {
             return z;
         }
         loop {
-            let u1: f64 = self.rng.gen();
-            let u2: f64 = self.rng.gen();
+            let u1: f64 = self.rng.next_f64();
+            let u2: f64 = self.rng.next_f64();
             if u1 <= f64::MIN_POSITIVE {
                 continue;
             }
@@ -254,7 +253,10 @@ mod tests {
         let samples: Vec<f64> = (0..n).map(|_| e.next_sample(&a)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
-        assert!((mean - clean).abs() / clean < 0.01, "mean {mean} vs {clean}");
+        assert!(
+            (mean - clean).abs() / clean < 0.01,
+            "mean {mean} vs {clean}"
+        );
         let rel_std = var.sqrt() / clean;
         assert!((rel_std - 0.05).abs() < 0.01, "rel std {rel_std}");
     }

@@ -273,10 +273,9 @@ impl<'a> Simulator<'a> {
             }
             let (prev_addr, prev_wdata) = self.mem_prev_bus[mi];
             let mut mem_cap = 0.0;
-            mem_cap += MemoryMacro::ADDR_BUS_CAP_FF
-                * ((prev_addr ^ addr).count_ones()) as f64;
-            mem_cap += MemoryMacro::WDATA_BUS_CAP_FF
-                * ((prev_wdata ^ wdata_now).count_ones()) as f64;
+            mem_cap += MemoryMacro::ADDR_BUS_CAP_FF * ((prev_addr ^ addr).count_ones()) as f64;
+            mem_cap +=
+                MemoryMacro::WDATA_BUS_CAP_FF * ((prev_wdata ^ wdata_now).count_ones()) as f64;
             self.mem_prev_bus[mi] = (addr, wdata_now);
             if re || we {
                 // Word line + bitline precharge per access.
@@ -432,8 +431,14 @@ mod tests {
             idle_cap += a.switched_capacitance_ff;
         }
         let clock_floor = 16.0 * 8.0 * Simulator::CLOCK_PIN_CAP_FF;
-        assert!((idle_cap - clock_floor).abs() < 1e-9, "idle = clock tree only");
-        assert!(active_cap > 2.0 * idle_cap, "active {active_cap} vs idle {idle_cap}");
+        assert!(
+            (idle_cap - clock_floor).abs() < 1e-9,
+            "idle = clock tree only"
+        );
+        assert!(
+            active_cap > 2.0 * idle_cap,
+            "active {active_cap} vs idle {idle_cap}"
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! Property-based tests: the synthesised arithmetic blocks against native
-//! integer arithmetic, and structural invariants of the simulator.
+//! Randomised tests: the synthesised arithmetic blocks against native
+//! integer arithmetic, and structural invariants of the simulator. Driven
+//! by the workspace PRNG so runs are deterministic and offline.
 
-use proptest::prelude::*;
+use psm_prng::Prng;
 use psm_rtl::{NetlistBuilder, Simulator, Word};
 use psm_trace::Bits;
+
+const CASES: usize = 64;
 
 /// Builds a two-operand combinational design and evaluates it.
 fn eval2(
@@ -19,10 +22,15 @@ fn eval2(
     nb.output("o", &out);
     let netlist = nb.finish().expect("valid design");
     let mut sim = Simulator::new(&netlist).expect("acyclic");
-    sim.set_input("a", &Bits::from_u64(a, width)).expect("width ok");
-    sim.set_input("b", &Bits::from_u64(b, width)).expect("width ok");
+    sim.set_input("a", &Bits::from_u64(a, width))
+        .expect("width ok");
+    sim.set_input("b", &Bits::from_u64(b, width))
+        .expect("width ok");
     sim.step();
-    sim.output("o").expect("port exists").to_u64().expect("fits")
+    sim.output("o")
+        .expect("port exists")
+        .to_u64()
+        .expect("fits")
 }
 
 fn mask(w: usize) -> u64 {
@@ -33,25 +41,36 @@ fn mask(w: usize) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn adder_matches_wrapping_add(w in 1usize..=32, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn adder_matches_wrapping_add() {
+    let mut rng = Prng::seed_from_u64(0x271C_0001);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..32);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let m = mask(w);
         let got = eval2(w, a, b, |nb, x, y| nb.add(x, y).sum);
-        prop_assert_eq!(got, (a & m).wrapping_add(b & m) & m);
+        assert_eq!(got, (a & m).wrapping_add(b & m) & m);
     }
+}
 
-    #[test]
-    fn subtractor_matches_wrapping_sub(w in 1usize..=32, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn subtractor_matches_wrapping_sub() {
+    let mut rng = Prng::seed_from_u64(0x271C_0002);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..32);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let m = mask(w);
         let got = eval2(w, a, b, |nb, x, y| nb.sub(x, y).sum);
-        prop_assert_eq!(got, (a & m).wrapping_sub(b & m) & m);
+        assert_eq!(got, (a & m).wrapping_sub(b & m) & m);
     }
+}
 
-    #[test]
-    fn multiplier_matches_native(w in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn multiplier_matches_native() {
+    let mut rng = Prng::seed_from_u64(0x271C_0003);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..16);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let m = mask(w);
         let mut nb = NetlistBuilder::new("mul");
         let x = nb.input("a", w);
@@ -64,23 +83,33 @@ proptest! {
         sim.set_input("b", &Bits::from_u64(b, w)).expect("ok");
         sim.step();
         let got = sim.output("o").expect("port").to_u64().expect("fits");
-        prop_assert_eq!(got, (a & m) * (b & m));
+        assert_eq!(got, (a & m) * (b & m));
     }
+}
 
-    #[test]
-    fn comparators_match_native(w in 1usize..=24, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn comparators_match_native() {
+    let mut rng = Prng::seed_from_u64(0x271C_0004);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..24);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let m = mask(w);
         let got = eval2(w, a, b, |nb, x, y| {
             let eq = nb.eq(x, y);
             let lt = nb.lt(x, y);
             Word::from_nets(vec![eq, lt])
         });
-        prop_assert_eq!(got & 1 == 1, (a & m) == (b & m));
-        prop_assert_eq!(got >> 1 & 1 == 1, (a & m) < (b & m));
+        assert_eq!(got & 1 == 1, (a & m) == (b & m));
+        assert_eq!(got >> 1 & 1 == 1, (a & m) < (b & m));
     }
+}
 
-    #[test]
-    fn reductions_match_native(w in 1usize..=32, a in any::<u64>()) {
+#[test]
+fn reductions_match_native() {
+    let mut rng = Prng::seed_from_u64(0x271C_0005);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..32);
+        let a = rng.next_u64();
         let m = mask(w);
         let got = eval2(w, a, 0, |nb, x, _| {
             let and = nb.reduce_and(x);
@@ -88,13 +117,19 @@ proptest! {
             let xor = nb.reduce_xor(x);
             Word::from_nets(vec![and, or, xor])
         });
-        prop_assert_eq!(got & 1 == 1, (a & m) == m);
-        prop_assert_eq!(got >> 1 & 1 == 1, (a & m) != 0);
-        prop_assert_eq!(got >> 2 & 1 == 1, (a & m).count_ones() % 2 == 1);
+        assert_eq!(got & 1 == 1, (a & m) == m);
+        assert_eq!(got >> 1 & 1 == 1, (a & m) != 0);
+        assert_eq!(got >> 2 & 1 == 1, (a & m).count_ones() % 2 == 1);
     }
+}
 
-    #[test]
-    fn rom_returns_its_contents(addr_w in 1usize..=6, a in any::<u64>(), seed in any::<u64>()) {
+#[test]
+fn rom_returns_its_contents() {
+    let mut rng = Prng::seed_from_u64(0x271C_0006);
+    for _ in 0..CASES {
+        let addr_w = 1 + rng.range_usize(0..6);
+        let a = rng.next_u64();
+        let seed = rng.next_u64();
         let entries = 1usize << addr_w;
         let contents: Vec<u64> = (0..entries)
             .map(|i| (seed.wrapping_mul(i as u64 + 1)) & 0xFF)
@@ -107,15 +142,18 @@ proptest! {
         nb.output("o", &o);
         let netlist = nb.finish().expect("valid");
         let mut sim = Simulator::new(&netlist).expect("acyclic");
-        sim.set_input("a", &Bits::from_u64(addr, addr_w)).expect("ok");
+        sim.set_input("a", &Bits::from_u64(addr, addr_w))
+            .expect("ok");
         sim.step();
         let got = sim.output("o").expect("port").to_u64().expect("fits");
-        prop_assert_eq!(got, contents[addr as usize]);
+        assert_eq!(got, contents[addr as usize]);
     }
+}
 
-    #[test]
-    fn memory_macro_behaves_like_an_array(ops in proptest::collection::vec(
-        (any::<u8>(), any::<u32>(), any::<bool>(), any::<bool>()), 1..120)) {
+#[test]
+fn memory_macro_behaves_like_an_array() {
+    let mut rng = Prng::seed_from_u64(0x271C_0007);
+    for _ in 0..CASES {
         // 4-bit address space so collisions are frequent.
         let mut nb = NetlistBuilder::new("mem");
         let addr = nb.input("addr", 4);
@@ -130,16 +168,22 @@ proptest! {
 
         let mut model = [0u32; 16];
         let mut model_out = 0u32;
-        for (a, d, we_v, re_v) in ops {
-            let a = (a & 0xF) as usize;
-            sim.set_input("addr", &Bits::from_u64(a as u64, 4)).expect("ok");
-            sim.set_input("wdata", &Bits::from_u64(d as u64, 32)).expect("ok");
+        let ops = 1 + rng.range_usize(0..119);
+        for _ in 0..ops {
+            let a = rng.range_usize(0..16);
+            let d = rng.next_u32();
+            let we_v = rng.chance(0.5);
+            let re_v = rng.chance(0.5);
+            sim.set_input("addr", &Bits::from_u64(a as u64, 4))
+                .expect("ok");
+            sim.set_input("wdata", &Bits::from_u64(d as u64, 32))
+                .expect("ok");
             sim.set_input("we", &Bits::from_bool(we_v)).expect("ok");
             sim.set_input("re", &Bits::from_bool(re_v)).expect("ok");
             sim.step();
             // The settled output shows the *previous* cycle's read.
             let got = sim.output("rdata").expect("port").to_u64().expect("fits") as u32;
-            prop_assert_eq!(got, model_out);
+            assert_eq!(got, model_out);
             // Model the edge: read-before-write, registered output.
             if re_v {
                 model_out = model[a];
@@ -149,9 +193,14 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn idle_design_draws_only_clock_power(w in 1usize..=16, v in any::<u64>()) {
+#[test]
+fn idle_design_draws_only_clock_power() {
+    let mut rng = Prng::seed_from_u64(0x271C_0008);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..16);
+        let v = rng.next_u64();
         let mut nb = NetlistBuilder::new("idle");
         let d = nb.input("d", w);
         let r = nb.register("r", w);
@@ -164,8 +213,8 @@ proptest! {
         sim.step();
         // Input held: after settling, only the clock tree switches.
         let idle = sim.step();
-        prop_assert_eq!(idle.toggled_nets, 0);
+        assert_eq!(idle.toggled_nets, 0);
         let clock = w as f64 * Simulator::CLOCK_PIN_CAP_FF;
-        prop_assert!((idle.switched_capacitance_ff - clock).abs() < 1e-9);
+        assert!((idle.switched_capacitance_ff - clock).abs() < 1e-9);
     }
 }

@@ -26,7 +26,6 @@ use crate::StatsError;
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -181,6 +180,29 @@ impl OnlineStats {
     /// Total of all observations (`mean * n`).
     pub fn sum(&self) -> f64 {
         self.mean * self.count as f64
+    }
+}
+
+impl psm_persist::Persist for OnlineStats {
+    fn to_json(&self) -> psm_persist::JsonValue {
+        use psm_persist::JsonValue;
+        JsonValue::obj([
+            ("count", JsonValue::from(self.count)),
+            ("mean", JsonValue::from_f64(self.mean)),
+            ("m2", JsonValue::from_f64(self.m2)),
+            ("min", JsonValue::from_f64(self.min)),
+            ("max", JsonValue::from_f64(self.max)),
+        ])
+    }
+
+    fn from_json(v: &psm_persist::JsonValue) -> Result<Self, psm_persist::PersistError> {
+        Ok(OnlineStats {
+            count: v.u64_field("count")?,
+            mean: v.f64_field("mean")?,
+            m2: v.f64_field("m2")?,
+            min: v.f64_field("min")?,
+            max: v.f64_field("max")?,
+        })
     }
 }
 

@@ -24,7 +24,6 @@ use crate::StatsError;
 /// # Ok::<(), psm_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinearRegression {
     slope: f64,
     intercept: f64,

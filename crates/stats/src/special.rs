@@ -146,10 +146,7 @@ mod tests {
         let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
         for (i, &f) in facts.iter().enumerate() {
             let n = (i + 1) as f64;
-            assert!(
-                (ln_gamma(n) - f.ln()).abs() < 1e-10,
-                "ln_gamma({n})"
-            );
+            assert!((ln_gamma(n) - f.ln()).abs() < 1e-10, "ln_gamma({n})");
         }
     }
 

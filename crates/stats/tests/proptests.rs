@@ -1,88 +1,126 @@
-//! Property-based tests of the statistics substrate.
+//! Randomised property tests of the statistics substrate, driven by the
+//! workspace PRNG so runs are deterministic and offline.
 
-use proptest::prelude::*;
+use psm_prng::Prng;
 use psm_stats::{
-    mean_relative_error, one_sample_t_test, pearson_r, welch_t_test, LinearRegression,
-    OnlineStats, StudentsT,
+    mean_relative_error, one_sample_t_test, pearson_r, welch_t_test, LinearRegression, OnlineStats,
+    StudentsT,
 };
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, len)
+const CASES: usize = 256;
+
+fn finite_vec(rng: &mut Prng, lo: usize, hi: usize) -> Vec<f64> {
+    let n = lo + rng.range_usize(0..hi - lo);
+    (0..n).map(|_| rng.f64_in(-1e6, 1e6)).collect()
 }
 
-proptest! {
-    #[test]
-    fn welford_merge_equals_sequential(xs in finite_vec(2..60), split in 1usize..59) {
-        prop_assume!(split < xs.len());
+#[test]
+fn welford_merge_equals_sequential() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0001);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 2, 60);
+        let split = 1 + rng.range_usize(0..xs.len() - 1);
         let (l, r) = xs.split_at(split);
         let merged = OnlineStats::from_slice(l).merged(&OnlineStats::from_slice(r));
         let all = OnlineStats::from_slice(&xs);
-        prop_assert_eq!(merged.count(), all.count());
-        prop_assert!((merged.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
         let (mv, av) = (merged.population_variance(), all.population_variance());
-        prop_assert!((mv - av).abs() <= 1e-6 * (1.0 + av.abs()));
+        assert!((mv - av).abs() <= 1e-6 * (1.0 + av.abs()));
     }
+}
 
-    #[test]
-    fn welch_is_symmetric(a in finite_vec(2..20), b in finite_vec(2..20)) {
+#[test]
+fn welch_is_symmetric() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0002);
+    for _ in 0..CASES {
+        let a = finite_vec(&mut rng, 2, 20);
+        let b = finite_vec(&mut rng, 2, 20);
         let sa = OnlineStats::from_slice(&a);
         let sb = OnlineStats::from_slice(&b);
         let ab = welch_t_test(&sa, &sb).expect("n >= 2");
         let ba = welch_t_test(&sb, &sa).expect("n >= 2");
-        prop_assert!((ab.statistic + ba.statistic).abs() < 1e-9 * (1.0 + ab.statistic.abs()));
-        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        assert!((ab.statistic + ba.statistic).abs() < 1e-9 * (1.0 + ab.statistic.abs()));
+        assert!((ab.p_value - ba.p_value).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn t_cdf_is_monotone_and_bounded(df in 0.5f64..200.0, a in -50.0f64..50.0, b in -50.0f64..50.0) {
+#[test]
+fn t_cdf_is_monotone_and_bounded() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0003);
+    for _ in 0..CASES {
+        let df = rng.f64_in(0.5, 200.0);
+        let a = rng.f64_in(-50.0, 50.0);
+        let b = rng.f64_in(-50.0, 50.0);
         let t = StudentsT::new(df).expect("positive df");
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let (cl, ch) = (t.cdf(lo), t.cdf(hi));
-        prop_assert!((0.0..=1.0).contains(&cl));
-        prop_assert!((0.0..=1.0).contains(&ch));
-        prop_assert!(cl <= ch + 1e-12);
+        assert!((0.0..=1.0).contains(&cl));
+        assert!((0.0..=1.0).contains(&ch));
+        assert!(cl <= ch + 1e-12);
     }
+}
 
-    #[test]
-    fn one_sample_detects_its_own_mean(xs in finite_vec(3..40)) {
+#[test]
+fn one_sample_detects_its_own_mean() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0004);
+    for _ in 0..CASES {
+        let xs = finite_vec(&mut rng, 3, 40);
         let s = OnlineStats::from_slice(&xs);
         let t = one_sample_t_test(&s, s.mean()).expect("n >= 2");
-        prop_assert!(t.p_value > 0.99, "testing the sample mean itself: p = {}", t.p_value);
+        assert!(
+            t.p_value > 0.99,
+            "testing the sample mean itself: p = {}",
+            t.p_value
+        );
     }
+}
 
-    #[test]
-    fn regression_interpolates_affine_data(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        xs in proptest::collection::vec(-1e3f64..1e3, 2..40),
-    ) {
-        let distinct = xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9);
-        prop_assume!(distinct);
+#[test]
+fn regression_interpolates_affine_data() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0005);
+    let mut done = 0;
+    while done < CASES {
+        let slope = rng.f64_in(-100.0, 100.0);
+        let intercept = rng.f64_in(-100.0, 100.0);
+        let n = 2 + rng.range_usize(0..38);
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64_in(-1e3, 1e3)).collect();
+        if !xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9) {
+            continue;
+        }
+        done += 1;
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let lr = LinearRegression::fit(&xs, &ys).expect("x varies");
-        prop_assert!((lr.slope() - slope).abs() < 1e-5 * (1.0 + slope.abs()));
-        prop_assert!((lr.intercept() - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
+        assert!((lr.slope() - slope).abs() < 1e-5 * (1.0 + slope.abs()));
+        assert!((lr.intercept() - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
     }
+}
 
-    #[test]
-    fn pearson_is_bounded_and_scale_invariant(
-        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..30),
-        scale in 0.1f64..100.0,
-    ) {
-        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn pearson_is_bounded_and_scale_invariant() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0006);
+    for _ in 0..CASES {
+        let n = 3 + rng.range_usize(0..27);
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64_in(-1e3, 1e3)).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.f64_in(-1e3, 1e3)).collect();
+        let scale = rng.f64_in(0.1, 100.0);
         let r = pearson_r(&xs, &ys).expect("same length");
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         let scaled: Vec<f64> = ys.iter().map(|y| y * scale).collect();
         let rs = pearson_r(&xs, &scaled).expect("same length");
-        prop_assert!((r - rs).abs() < 1e-6);
+        assert!((r - rs).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn mre_of_scaled_estimate(reference in proptest::collection::vec(0.1f64..1e3, 1..40),
-                              factor in 0.5f64..2.0) {
+#[test]
+fn mre_of_scaled_estimate() {
+    let mut rng = Prng::seed_from_u64(0x57A7_0007);
+    for _ in 0..CASES {
+        let n = 1 + rng.range_usize(0..39);
+        let reference: Vec<f64> = (0..n).map(|_| rng.f64_in(0.1, 1e3)).collect();
+        let factor = rng.f64_in(0.5, 2.0);
         let estimate: Vec<f64> = reference.iter().map(|r| r * factor).collect();
         let mre = mean_relative_error(&estimate, &reference).expect("non-empty");
-        prop_assert!((mre - (factor - 1.0).abs()).abs() < 1e-9);
+        assert!((mre - (factor - 1.0).abs()).abs() < 1e-9);
     }
 }

@@ -87,7 +87,11 @@ pub fn activity_profile(trace: &FunctionalTrace, distinct_cap: usize) -> Vec<Sig
                 } else {
                     0.0
                 },
-                nonzero_duty: if n > 0 { nonzero as f64 / n as f64 } else { 0.0 },
+                nonzero_duty: if n > 0 {
+                    nonzero as f64 / n as f64
+                } else {
+                    0.0
+                },
                 distinct_values: distinct.len(),
             }
         })

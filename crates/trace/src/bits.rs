@@ -29,7 +29,6 @@ use std::ops::{BitAnd, BitOr, BitXor, Not};
 /// # Ok::<(), psm_trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bits {
     width: usize,
     words: Vec<u64>,
@@ -134,13 +133,23 @@ impl Bits {
         self.width
     }
 
+    /// The backing words, least-significant first; bits above `width` are
+    /// always zero.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Reads bit `index` (0 = least significant).
     ///
     /// # Panics
     ///
     /// Panics if `index >= width`.
     pub fn bit(&self, index: usize) -> bool {
-        assert!(index < self.width, "bit {index} out of width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} out of width {}",
+            self.width
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -150,7 +159,11 @@ impl Bits {
     ///
     /// Panics if `index >= width`.
     pub fn set_bit(&mut self, index: usize, value: bool) {
-        assert!(index < self.width, "bit {index} out of width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} out of width {}",
+            self.width
+        );
         let mask = 1u64 << (index % 64);
         if value {
             self.words[index / 64] |= mask;
@@ -282,9 +295,7 @@ impl Bits {
         let (width_str, rest) = text
             .split_once('\'')
             .ok_or_else(|| bad("missing width separator `'`"))?;
-        let width: usize = width_str
-            .parse()
-            .map_err(|_| bad("bad width prefix"))?;
+        let width: usize = width_str.parse().map_err(|_| bad("bad width prefix"))?;
         if width == 0 {
             return Err(TraceError::ZeroWidth);
         }
@@ -334,11 +345,7 @@ impl Bits {
         self.zip_words(other, |a, b| a | b)
     }
 
-    fn zip_words(
-        &self,
-        other: &Bits,
-        f: impl Fn(u64, u64) -> u64,
-    ) -> Result<Bits, TraceError> {
+    fn zip_words(&self, other: &Bits, f: impl Fn(u64, u64) -> u64) -> Result<Bits, TraceError> {
         if self.width != other.width {
             return Err(TraceError::WidthMismatch {
                 left: self.width,

@@ -30,7 +30,6 @@ use crate::TraceError;
 /// # Ok::<(), psm_trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FunctionalTrace {
     signals: SignalSet,
     cycles: Vec<Vec<Bits>>,
@@ -147,7 +146,10 @@ impl FunctionalTrace {
         } else {
             self.signals.outputs()
         };
-        assert!(!ids.is_empty(), "interface has no signals of that direction");
+        assert!(
+            !ids.is_empty(),
+            "interface has no signals of that direction"
+        );
         let mut word = self.value(ids[0], t).clone();
         for id in &ids[1..] {
             word = word.concat(self.value(*id, t));
@@ -266,7 +268,11 @@ mod tests {
         let r = t.push_cycle(vec![Bits::zero(5), Bits::zero(4)]);
         assert!(matches!(
             r,
-            Err(TraceError::SignalWidthMismatch { expected: 4, actual: 5, .. })
+            Err(TraceError::SignalWidthMismatch {
+                expected: 4,
+                actual: 5,
+                ..
+            })
         ));
     }
 

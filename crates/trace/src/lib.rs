@@ -44,13 +44,16 @@ mod activity;
 mod bits;
 mod functional;
 mod io;
+mod persist;
 mod power;
 mod signal;
 
 pub use activity::{activity_profile, SignalActivity};
 pub use bits::Bits;
 pub use functional::FunctionalTrace;
-pub use io::{read_functional_csv, read_power_csv, write_functional_csv, write_power_csv, write_vcd};
+pub use io::{
+    read_functional_csv, read_power_csv, write_functional_csv, write_power_csv, write_vcd,
+};
 pub use power::PowerTrace;
 pub use signal::{Direction, SignalDecl, SignalId, SignalSet};
 

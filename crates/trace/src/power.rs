@@ -22,7 +22,6 @@ use std::ops::Index;
 /// assert_eq!(window.len(), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerTrace {
     samples: Vec<f64>,
 }

@@ -5,7 +5,6 @@ use std::fmt;
 
 /// Direction of a primary signal as seen from the IP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Direction {
     /// A primary input (PI).
     Input,
@@ -27,7 +26,6 @@ impl fmt::Display for Direction {
 /// IDs are dense indices assigned in declaration order, so they can index
 /// per-cycle value vectors directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignalId(pub(crate) usize);
 
 impl SignalId {
@@ -45,7 +43,6 @@ impl fmt::Display for SignalId {
 
 /// Declaration of one primary signal: name, bit width and direction.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignalDecl {
     name: String,
     width: usize,
@@ -53,6 +50,14 @@ pub struct SignalDecl {
 }
 
 impl SignalDecl {
+    pub(crate) fn new(name: String, width: usize, direction: Direction) -> Self {
+        SignalDecl {
+            name,
+            width,
+            direction,
+        }
+    }
+
     /// Signal name (unique within its [`SignalSet`]).
     pub fn name(&self) -> &str {
         &self.name
@@ -97,7 +102,6 @@ impl fmt::Display for SignalDecl {
 /// # Ok::<(), psm_trace::TraceError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignalSet {
     decls: Vec<SignalDecl>,
 }
@@ -156,10 +160,7 @@ impl SignalSet {
 
     /// Looks a signal up by name.
     pub fn by_name(&self, name: &str) -> Option<SignalId> {
-        self.decls
-            .iter()
-            .position(|d| d.name == name)
-            .map(SignalId)
+        self.decls.iter().position(|d| d.name == name).map(SignalId)
     }
 
     /// Iterates over `(id, declaration)` pairs in declaration order.

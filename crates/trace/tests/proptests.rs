@@ -1,69 +1,109 @@
-//! Property-based tests of the trace substrate's core invariants.
+//! Randomised property tests of the trace substrate's core invariants,
+//! driven by the workspace PRNG so runs are deterministic and offline.
 
-use proptest::prelude::*;
+use psm_prng::Prng;
 use psm_trace::Bits;
 
-fn arb_bits(max_width: usize) -> impl Strategy<Value = Bits> {
-    (1..=max_width, proptest::collection::vec(any::<u8>(), max_width.div_ceil(8)))
-        .prop_map(|(w, bytes)| Bits::from_le_bytes(&bytes, w))
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut Prng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.next_u8()).collect()
 }
 
-proptest! {
-    #[test]
-    fn le_bytes_round_trip(bits in arb_bits(200)) {
-        let again = Bits::from_le_bytes(&bits.to_le_bytes(), bits.width());
-        prop_assert_eq!(again, bits);
-    }
+fn random_bits(rng: &mut Prng, max_width: usize) -> Bits {
+    let w = 1 + rng.range_usize(0..max_width);
+    let bytes = random_bytes(rng, max_width.div_ceil(8));
+    Bits::from_le_bytes(&bytes, w)
+}
 
-    #[test]
-    fn u64_round_trip(v in any::<u64>(), w in 1usize..=64) {
+#[test]
+fn le_bytes_round_trip() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0001);
+    for _ in 0..CASES {
+        let bits = random_bits(&mut rng, 200);
+        let again = Bits::from_le_bytes(&bits.to_le_bytes(), bits.width());
+        assert_eq!(again, bits);
+    }
+}
+
+#[test]
+fn u64_round_trip() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0002);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
+        let w = 1 + rng.range_usize(0..64);
         let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
         let bits = Bits::from_u64(v, w);
-        prop_assert_eq!(bits.to_u64().expect("fits"), masked);
-        prop_assert_eq!(bits.count_ones(), masked.count_ones());
+        assert_eq!(bits.to_u64().expect("fits"), masked);
+        assert_eq!(bits.count_ones(), masked.count_ones());
     }
+}
 
-    #[test]
-    fn hamming_is_a_metric(w in 1usize..=150,
-                           a in proptest::collection::vec(any::<u8>(), 19),
-                           b in proptest::collection::vec(any::<u8>(), 19),
-                           c in proptest::collection::vec(any::<u8>(), 19)) {
-        let x = Bits::from_le_bytes(&a, w);
-        let y = Bits::from_le_bytes(&b, w);
-        let z = Bits::from_le_bytes(&c, w);
+#[test]
+fn hamming_is_a_metric() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0003);
+    for _ in 0..CASES {
+        let w = 1 + rng.range_usize(0..150);
+        let x = Bits::from_le_bytes(&random_bytes(&mut rng, 19), w);
+        let y = Bits::from_le_bytes(&random_bytes(&mut rng, 19), w);
+        let z = Bits::from_le_bytes(&random_bytes(&mut rng, 19), w);
         let d = |p: &Bits, q: &Bits| p.hamming_distance(q).expect("same width");
-        prop_assert_eq!(d(&x, &x), 0);
-        prop_assert_eq!(d(&x, &y), d(&y, &x));
-        prop_assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z));
+        assert_eq!(d(&x, &x), 0);
+        assert_eq!(d(&x, &y), d(&y, &x));
+        assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z));
         // Hamming distance equals xor popcount.
-        prop_assert_eq!(d(&x, &y), x.checked_xor(&y).expect("same width").count_ones());
+        assert_eq!(
+            d(&x, &y),
+            x.checked_xor(&y).expect("same width").count_ones()
+        );
     }
+}
 
-    #[test]
-    fn slice_concat_inverse(bits in arb_bits(190), split in 1usize..189) {
-        prop_assume!(split < bits.width());
+#[test]
+fn slice_concat_inverse() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0004);
+    for _ in 0..CASES {
+        let bits = random_bits(&mut rng, 190);
+        if bits.width() < 2 {
+            continue;
+        }
+        let split = 1 + rng.range_usize(0..bits.width() - 1);
         let lo = bits.slice(0, split);
         let hi = bits.slice(split, bits.width() - split);
-        prop_assert_eq!(lo.concat(&hi), bits);
+        assert_eq!(lo.concat(&hi), bits);
     }
+}
 
-    #[test]
-    fn compare_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+#[test]
+fn compare_matches_u64() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0005);
+    for _ in 0..CASES {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let w = 1 + rng.range_usize(0..64);
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
         let (am, bm) = (a & mask, b & mask);
         let x = Bits::from_u64(a, w);
         let y = Bits::from_u64(b, w);
-        prop_assert_eq!(x.compare(&y).expect("same width"), am.cmp(&bm));
+        assert_eq!(x.compare(&y).expect("same width"), am.cmp(&bm));
     }
+}
 
-    #[test]
-    fn not_is_involution(bits in arb_bits(130)) {
+#[test]
+fn not_is_involution() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0006);
+    for _ in 0..CASES {
+        let bits = random_bits(&mut rng, 130);
         let double = !!bits.clone();
-        prop_assert_eq!(double, bits);
+        assert_eq!(double, bits);
     }
+}
 
-    #[test]
-    fn xor_with_self_is_zero(bits in arb_bits(130)) {
-        prop_assert!(bits.checked_xor(&bits).expect("same width").is_zero());
+#[test]
+fn xor_with_self_is_zero() {
+    let mut rng = Prng::seed_from_u64(0x7A5E_0007);
+    for _ in 0..CASES {
+        let bits = random_bits(&mut rng, 130);
+        assert!(bits.checked_xor(&bits).expect("same width").is_zero());
     }
 }

@@ -7,12 +7,14 @@
 //! cargo run --release --example cipher_power_model
 //! ```
 
-use psmgen::flow::PsmFlow;
+use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{ip_by_name, testbench};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["AES", "Camellia"] {
-        let flow = PsmFlow::for_ip(name);
+        let flow = PsmFlow::builder()
+            .preset(IpPreset::from_name(name).expect("benchmark preset"))
+            .build();
         let mut core = ip_by_name(name).expect("benchmark exists");
         let training = testbench::short_ts(name, 1).expect("benchmark exists");
         let model = flow.train(core.as_mut(), &[training])?;
@@ -25,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 a.mu(),
                 a.sigma(),
                 a.n(),
-                if a.mu() > 0.0 { a.sigma() / a.mu() } else { 0.0 }
+                if a.mu() > 0.0 {
+                    a.sigma() / a.mu()
+                } else {
+                    0.0
+                }
             );
         }
 

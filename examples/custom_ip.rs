@@ -103,7 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.push_cycle(vec![Bits::from_u64(0, 8), Bits::from_bool(false)]);
         }
         for _ in 0..frames {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let byte = (x >> 33) & 0xFF;
             s.push_cycle(vec![Bits::from_u64(byte, 8), Bits::from_bool(true)]);
             for _ in 0..8 {
@@ -122,9 +124,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     flow.mining = flow.mining.with_pair_relations(false);
     let mut ip = TxByte::default();
     let model = flow.train(&mut ip, &[make_stimulus(1, 150)])?;
-    println!("TxByte model: {} states, {} transitions", model.stats.states, model.stats.transitions);
+    println!(
+        "TxByte model: {} states, {} transitions",
+        model.stats.states, model.stats.transitions
+    );
     for (id, state) in model.psm.states() {
-        println!("  {id}: {}  —  {}", state.attrs(), state.chains()[0].render(&model.table));
+        println!(
+            "  {id}: {}  —  {}",
+            state.attrs(),
+            state.chains()[0].render(&model.table)
+        );
     }
 
     let workload = make_stimulus(777, 300);

@@ -11,7 +11,7 @@
 //! cargo run --release --example dpm_exploration
 //! ```
 
-use psmgen::flow::PsmFlow;
+use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{behavioural_trace, testbench, MultSum};
 use psmgen::rtl::Stimulus;
 use psmgen::trace::Bits;
@@ -48,7 +48,7 @@ fn schedule(jobs: usize, len: usize, gap: usize) -> Stimulus {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let flow = PsmFlow::for_ip("MultSum");
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
     let mut mac = MultSum::new();
     let model = flow.train(&mut mac, &[testbench::multsum_short_ts(1)])?;
     println!(
@@ -58,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Two schedules with identical total work (96 × 32 MACs).
     let candidates = [
-        ("race-to-idle (3 bursts × 1024, long gaps)", schedule(3, 1024, 1024)),
-        ("always-on (96 bursts × 32, short gaps)", schedule(96, 32, 32)),
+        (
+            "race-to-idle (3 bursts × 1024, long gaps)",
+            schedule(3, 1024, 1024),
+        ),
+        (
+            "always-on (96 bursts × 32, short gaps)",
+            schedule(96, 32, 32),
+        ),
     ];
 
     for (label, stim) in &candidates {

@@ -9,7 +9,7 @@
 //! cargo run --release --example model_persistence
 //! ```
 
-use psmgen::flow::{PsmFlow, TrainedModel};
+use psmgen::flow::{IpPreset, PsmFlow, TrainedModel};
 use psmgen::ips::{behavioural_trace, testbench, MultSum};
 use std::time::Instant;
 
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Vendor side: train against the golden simulator and publish. ----
     {
-        let flow = PsmFlow::for_ip("MultSum");
+        let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
         let t0 = Instant::now();
         let model = flow.train(&mut MultSum::new(), &[testbench::multsum_short_ts(1)])?;
         println!(
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Integrator side: load and estimate, no gate-level anything. -----
     {
-        let flow = PsmFlow::for_ip("MultSum");
+        let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
         let model = TrainedModel::load(&path)?;
         let workload = testbench::multsum_long_ts(99, 20_000);
         let t0 = Instant::now();
@@ -52,14 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         // Error tails, for the integrator's sign-off report.
         let golden = flow.reference_power(&MultSum::new(), &workload)?;
-        let errs = psmgen::stats::relative_errors(
-            outcome.estimate.as_slice(),
-            golden.as_slice(),
-        )?;
-        println!(
-            "relative error: {}",
-            psmgen::stats::Summary::of(&errs)?
-        );
+        let errs = psmgen::stats::relative_errors(outcome.estimate.as_slice(), golden.as_slice())?;
+        println!("relative error: {}", psmgen::stats::Summary::of(&errs)?);
     }
 
     std::fs::remove_file(&path).ok();

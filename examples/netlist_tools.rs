@@ -5,7 +5,7 @@
 //! cargo run --release --example netlist_tools
 //! ```
 
-use psmgen::flow::PsmFlow;
+use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{ip_by_name, testbench};
 use psmgen::psm::report;
 use psmgen::rtl::{logic_depth, optimize, write_verilog};
@@ -39,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Profile the training trace's signal activity — the numbers that
     //    guide the mining thresholds.
-    let flow = PsmFlow::for_ip(name);
+    let flow = PsmFlow::builder()
+        .preset(IpPreset::from_name(name).expect("benchmark preset"))
+        .build();
     let mut core = ip_by_name(name).expect("benchmark exists");
     let stim = testbench::short_ts(name, 1).expect("benchmark exists");
     let trace = psmgen::ips::behavioural_trace(core.as_mut(), &stim)?;

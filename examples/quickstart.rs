@@ -5,26 +5,34 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use psmgen::flow::PsmFlow;
+use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{testbench, Ram1k};
 use psmgen::psm::to_dot;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A per-IP tuned pipeline (mining thresholds, merge policy,
-    //    calibration, golden power model).
-    let flow = PsmFlow::for_ip("RAM");
+    //    calibration, golden power model), built fluently. Training fans
+    //    across all cores by default (`Parallelism::Auto`).
+    let flow = PsmFlow::builder().preset(IpPreset::Ram1k).build();
 
     // 2. Train on the verification-style testbench (the paper's short-TS):
     //    one gate-level golden run, assertion mining, PSM generation,
-    //    simplify/join, calibration and HMM construction.
+    //    simplify/join, calibration and HMM construction. The telemetry
+    //    variant additionally returns per-stage timing spans.
     let mut ram = Ram1k::new();
     let training = testbench::short_ts("RAM", 1).expect("RAM is a benchmark");
-    let model = flow.train(&mut ram, &[training])?;
+    let (model, telemetry) = flow.train_with_telemetry(&mut ram, &[training])?;
 
-    println!("trained in {:?} on {} instants:", model.stats.generation_time, model.stats.training_instants);
     println!(
-        "  {} states, {} transitions, {} regression-calibrated",
-        model.stats.states, model.stats.transitions, model.stats.calibrated_states
+        "trained in {:?} on {} instants:",
+        model.stats.generation_time, model.stats.training_instants
+    );
+    println!(
+        "  {} states, {} transitions, {} merged away, {} regression-calibrated",
+        model.stats.states,
+        model.stats.transitions,
+        model.stats.states_merged,
+        model.stats.calibrated_states
     );
     for (id, state) in model.psm.states() {
         println!(
@@ -33,13 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             state.chains()[0].render(&model.table)
         );
     }
+    println!("\nper-stage telemetry:\n{}", telemetry.text());
 
     // 3. Estimate a never-seen randomised workload and compare against the
     //    golden gate-level reference.
     let workload = testbench::long_ts("RAM", 99, 10_000).expect("RAM is a benchmark");
     let estimate = flow.estimate(&model, &mut ram, &workload)?;
     println!(
-        "\nworkload: {} instants, mean estimated power {:.3} mW (golden {:.3} mW)",
+        "workload: {} instants, mean estimated power {:.3} mW (golden {:.3} mW)",
         workload.len(),
         estimate.outcome.estimate.mean(),
         estimate.reference.mean()
@@ -54,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Export the PSM for graphviz rendering.
     let dot = to_dot(&model.psm, Some(&model.table));
     std::fs::write("ram_psm.dot", &dot)?;
-    println!("\nwrote ram_psm.dot ({} bytes) — render with `dot -Tsvg`", dot.len());
+    println!(
+        "\nwrote ram_psm.dot ({} bytes) — render with `dot -Tsvg`",
+        dot.len()
+    );
     Ok(())
 }

@@ -10,7 +10,21 @@
 //!   concurrently with the PSMs (through the HMM) on a fresh workload and
 //!   return the power estimate, plus the golden reference for accuracy
 //!   evaluation.
+//!
+//! Flows are configured through [`PsmFlow::builder`] (with [`IpPreset`]
+//! for the paper's Table I benchmarks). The training engine fans the
+//! per-stimulus golden captures and the per-trace PSM generation across
+//! scoped worker threads ([`Parallelism`]); the merge is deterministic, so
+//! a parallel run produces a [`TrainedModel`] byte-identical to a
+//! sequential one. Every stage is instrumented
+//! ([`train_with_telemetry`](PsmFlow::train_with_telemetry)), and batch
+//! entry points ([`train_batch`](PsmFlow::train_batch),
+//! [`estimate_batch`](PsmFlow::estimate_batch)) spread whole jobs over the
+//! same worker pool.
 
+pub use crate::parallel::Parallelism;
+use crate::parallel::{collect_ordered, run_indexed};
+use crate::telemetry::{Stage, Telemetry, TelemetryReport};
 use psm_core::{
     calibrate, classify_trace, generate_psm, join, simplify, CalibrationConfig, CoreError,
     MergePolicy, Psm,
@@ -23,7 +37,26 @@ use psm_stats::{mean_relative_error, StatsError};
 use psm_trace::{FunctionalTrace, PowerTrace, TraceError};
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// What went wrong while saving or loading a model file.
+#[derive(Debug)]
+pub enum PersistenceError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file's contents did not parse or validate as a model.
+    Format(psm_persist::PersistError),
+}
+
+impl fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistenceError::Io(e) => write!(f, "i/o: {e}"),
+            PersistenceError::Format(e) => write!(f, "format: {e}"),
+        }
+    }
+}
 
 /// Errors surfaced by the pipeline.
 #[derive(Debug)]
@@ -41,8 +74,32 @@ pub enum FlowError {
     Stats(StatsError),
     /// No training stimulus was provided.
     NoTrainingData,
-    /// Saving or loading a trained model failed.
-    Persistence(String),
+    /// Saving or loading a model file failed.
+    Persistence {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying i/o or format failure.
+        source: PersistenceError,
+    },
+}
+
+impl FlowError {
+    pub(crate) fn persistence_io(path: impl Into<PathBuf>, e: std::io::Error) -> Self {
+        FlowError::Persistence {
+            path: path.into(),
+            source: PersistenceError::Io(e),
+        }
+    }
+
+    pub(crate) fn persistence_format(
+        path: impl Into<PathBuf>,
+        e: psm_persist::PersistError,
+    ) -> Self {
+        FlowError::Persistence {
+            path: path.into(),
+            source: PersistenceError::Format(e),
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -54,7 +111,13 @@ impl fmt::Display for FlowError {
             FlowError::Trace(e) => write!(f, "trace: {e}"),
             FlowError::Stats(e) => write!(f, "metric: {e}"),
             FlowError::NoTrainingData => write!(f, "at least one training stimulus is required"),
-            FlowError::Persistence(msg) => write!(f, "model persistence failed: {msg}"),
+            FlowError::Persistence { path, source } => {
+                write!(
+                    f,
+                    "model persistence failed at {}: {source}",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -67,7 +130,11 @@ impl Error for FlowError {
             FlowError::Rtl(e) => Some(e),
             FlowError::Trace(e) => Some(e),
             FlowError::Stats(e) => Some(e),
-            FlowError::NoTrainingData | FlowError::Persistence(_) => None,
+            FlowError::NoTrainingData => None,
+            FlowError::Persistence { source, .. } => match source {
+                PersistenceError::Io(e) => Some(e),
+                PersistenceError::Format(e) => Some(e),
+            },
         }
     }
 }
@@ -100,7 +167,12 @@ impl From<StatsError> for FlowError {
 
 /// Timing and size measurements gathered while training — the raw material
 /// of the paper's Table II.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+///
+/// The two `Duration` fields are wall-clock and therefore machine- and
+/// schedule-dependent; they are **excluded from the serialised form** so
+/// that a parallel and a sequential training run of the same flow produce
+/// byte-identical model files. Loading a model restores them as zero.
+#[derive(Debug, Clone, Default)]
 pub struct TrainingStats {
     /// Total training instants across all stimuli (Table II column *TS*).
     pub training_instants: usize,
@@ -115,6 +187,8 @@ pub struct TrainingStats {
     pub transitions: usize,
     /// States before `simplify`/`join` (for the ablation benches).
     pub states_before_optimisation: usize,
+    /// States eliminated by `simplify` + `join`.
+    pub states_merged: usize,
     /// States replaced by a regression output during calibration.
     pub calibrated_states: usize,
 }
@@ -124,7 +198,7 @@ pub struct TrainingStats {
 /// Serialisable: a model trained once against the slow golden simulator can
 /// be saved ([`TrainedModel::save`]) and shipped alongside the IP for
 /// instant reuse in system-level explorations.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainedModel {
     /// The shared proposition set mined from the training traces.
     pub table: PropositionTable,
@@ -136,16 +210,6 @@ pub struct TrainedModel {
     pub stats: TrainingStats,
 }
 
-/// A hierarchical power model: one trained PSM set per power domain of the
-/// IP's netlist (the paper's future-work extension).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct HierarchicalModel {
-    /// Domain names, aligned with [`models`](Self::models).
-    pub domains: Vec<String>,
-    /// One trained model per domain (sharing one proposition table).
-    pub models: Vec<TrainedModel>,
-}
-
 impl TrainedModel {
     /// Saves the model as JSON.
     ///
@@ -153,8 +217,7 @@ impl TrainedModel {
     ///
     /// Returns [`FlowError::Persistence`] on serialisation or I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), FlowError> {
-        let json = serde_json::to_string(self).map_err(|e| FlowError::Persistence(e.to_string()))?;
-        std::fs::write(path, json).map_err(|e| FlowError::Persistence(e.to_string()))
+        crate::persist::save_to_path(self, path.as_ref())
     }
 
     /// Loads a model previously written by [`TrainedModel::save`].
@@ -163,9 +226,51 @@ impl TrainedModel {
     ///
     /// Returns [`FlowError::Persistence`] on I/O or parse failure.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, FlowError> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| FlowError::Persistence(e.to_string()))?;
-        serde_json::from_str(&json).map_err(|e| FlowError::Persistence(e.to_string()))
+        crate::persist::load_from_path(path.as_ref())
+    }
+
+    /// The canonical serialised JSON text — exactly what
+    /// [`TrainedModel::save`] writes. Deterministic: equal models render to
+    /// equal bytes, regardless of the [`Parallelism`] they were trained
+    /// under.
+    pub fn to_json_string(&self) -> String {
+        crate::persist::render_model(self)
+    }
+}
+
+/// A hierarchical power model: one trained PSM set per power domain of the
+/// IP's netlist (the paper's future-work extension).
+#[derive(Debug, Clone)]
+pub struct HierarchicalModel {
+    /// Domain names, aligned with [`models`](Self::models).
+    pub domains: Vec<String>,
+    /// One trained model per domain (sharing one proposition table).
+    pub models: Vec<TrainedModel>,
+}
+
+impl HierarchicalModel {
+    /// Saves the hierarchical model as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Persistence`] on serialisation or I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), FlowError> {
+        crate::persist::save_to_path(self, path.as_ref())
+    }
+
+    /// Loads a model previously written by [`HierarchicalModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Persistence`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, FlowError> {
+        crate::persist::load_from_path(path.as_ref())
+    }
+
+    /// The canonical serialised JSON text — exactly what
+    /// [`HierarchicalModel::save`] writes.
+    pub fn to_json_string(&self) -> String {
+        crate::persist::render_model(self)
     }
 }
 
@@ -190,15 +295,151 @@ impl Estimate {
     }
 }
 
+/// The Table I benchmark presets — the paper's per-design configuration
+/// step, as a typed knob for [`PsmFlowBuilder::preset`].
+///
+/// All four benchmarks disable relational atoms: their wide data buses
+/// carry (pseudo-)random payloads whose pairwise order says nothing about
+/// *behaviour*, and under this crate's closed-world proposition composition
+/// such atoms would fragment every control state into data-dependent
+/// shards. Data-dependent *power* is instead handled where the paper
+/// handles it — by the Hamming-distance regression calibration.
+///
+/// The merge tests run at α = 0.3 (power traces are noisy, so a lenient
+/// rejection level keeps genuinely different behaviours apart), and the
+/// calibration accepts fits with |r| ≥ 0.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpPreset {
+    /// The 1 KB synchronous RAM (Table I row *RAM*).
+    Ram1k,
+    /// The multiply–accumulate datapath (row *MultSum*).
+    MultSum,
+    /// The AES-128 cipher round design (row *AES*).
+    Aes,
+    /// The Camellia cipher design (row *Camellia*).
+    Camellia,
+}
+
+impl IpPreset {
+    /// All presets, in Table I order.
+    pub const ALL: [IpPreset; 4] = [
+        IpPreset::Ram1k,
+        IpPreset::MultSum,
+        IpPreset::Aes,
+        IpPreset::Camellia,
+    ];
+
+    /// The benchmark name as the IP registry spells it
+    /// ([`psm_ips::ip_by_name`]).
+    pub fn benchmark_name(self) -> &'static str {
+        match self {
+            IpPreset::Ram1k => "RAM",
+            IpPreset::MultSum => "MultSum",
+            IpPreset::Aes => "AES",
+            IpPreset::Camellia => "Camellia",
+        }
+    }
+
+    /// Looks a preset up by benchmark name; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        IpPreset::ALL
+            .into_iter()
+            .find(|p| p.benchmark_name() == name)
+    }
+
+    fn apply(self, flow: &mut PsmFlow) {
+        flow.mining = flow.mining.with_pair_relations(false);
+        flow.merge = MergePolicy::new(0.05, 0.3);
+        flow.calibration = CalibrationConfig::default().with_min_abs_r(0.6);
+    }
+}
+
+impl fmt::Display for IpPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.benchmark_name())
+    }
+}
+
+/// Fluent constructor for [`PsmFlow`], started with [`PsmFlow::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use psmgen::flow::{IpPreset, Parallelism, PsmFlow};
+///
+/// let flow = PsmFlow::builder()
+///     .preset(IpPreset::Aes)
+///     .noise_seed(7)
+///     .parallelism(Parallelism::Sequential)
+///     .build();
+/// assert!(!flow.mining.pair_relations());
+/// assert_eq!(flow.noise_seed, 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "a builder does nothing until `.build()`"]
+pub struct PsmFlowBuilder {
+    flow: PsmFlow,
+}
+
+impl PsmFlowBuilder {
+    /// Applies a Table I benchmark preset (later knob calls still override
+    /// individual fields).
+    pub fn preset(mut self, preset: IpPreset) -> Self {
+        preset.apply(&mut self.flow);
+        self
+    }
+
+    /// Sets the assertion-mining thresholds (§III-A).
+    pub fn mining(mut self, mining: MiningConfig) -> Self {
+        self.flow.mining = mining;
+        self
+    }
+
+    /// Sets the mergeability policy of `simplify`/`join` (§IV-A).
+    pub fn merge(mut self, merge: MergePolicy) -> Self {
+        self.flow.merge = merge;
+        self
+    }
+
+    /// Sets the regression-calibration thresholds (§IV).
+    pub fn calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.flow.calibration = calibration;
+        self
+    }
+
+    /// Sets the electrical model of the golden power estimator.
+    pub fn power_model(mut self, power_model: PowerModel) -> Self {
+        self.flow.power_model = power_model;
+        self
+    }
+
+    /// Sets the seed of the golden estimator's measurement noise.
+    pub fn noise_seed(mut self, noise_seed: u64) -> Self {
+        self.flow.noise_seed = noise_seed;
+        self
+    }
+
+    /// Sets the worker budget of the parallel engine.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.flow.parallelism = parallelism;
+        self
+    }
+
+    /// Finishes the flow.
+    pub fn build(self) -> PsmFlow {
+        self.flow
+    }
+}
+
 /// Pipeline configuration: the designer-tunable knobs of the methodology.
 ///
 /// # Examples
 ///
 /// ```
-/// use psmgen::flow::PsmFlow;
+/// use psmgen::flow::{IpPreset, PsmFlow};
 ///
 /// // Per-benchmark tuning as the paper's designers would do it:
-/// let flow = PsmFlow::for_ip("AES");
+/// let flow = PsmFlow::builder().preset(IpPreset::Aes).build();
 /// assert!(!flow.mining.pair_relations());
 /// ```
 #[derive(Debug, Clone)]
@@ -213,6 +454,9 @@ pub struct PsmFlow {
     pub power_model: PowerModel,
     /// Seed of the golden estimator's measurement noise.
     pub noise_seed: u64,
+    /// Worker budget of the parallel training/estimation engine. Does not
+    /// affect results: any setting produces byte-identical models.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PsmFlow {
@@ -223,35 +467,29 @@ impl Default for PsmFlow {
             calibration: CalibrationConfig::default(),
             power_model: PowerModel::default(),
             noise_seed: 0xD5E_u64,
+            parallelism: Parallelism::Auto,
         }
     }
 }
 
 impl PsmFlow {
-    /// Defaults tuned for the Table I benchmarks, mirroring the paper's
-    /// per-design configuration step.
-    ///
-    /// All four benchmarks disable relational atoms: their wide data buses
-    /// carry (pseudo-)random payloads whose pairwise order says nothing
-    /// about *behaviour*, and under this crate's closed-world proposition
-    /// composition such atoms would fragment every control state into
-    /// data-dependent shards. Data-dependent *power* is instead handled
-    /// where the paper handles it — by the Hamming-distance regression
-    /// calibration.
-    ///
-    /// The merge tests run at α = 0.3 (power traces are noisy, so a lenient
-    /// rejection level keeps genuinely different behaviours apart), and the
-    /// calibration accepts fits with |r| ≥ 0.6.
+    /// Starts a fluent configuration ([`PsmFlowBuilder`]).
+    pub fn builder() -> PsmFlowBuilder {
+        PsmFlowBuilder::default()
+    }
+
+    /// Defaults tuned for the Table I benchmarks by name.
     ///
     /// Unknown names fall back to the stock defaults.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PsmFlow::builder().preset(IpPreset::…)` — presets are now typed"
+    )]
     pub fn for_ip(name: &str) -> Self {
-        let mut flow = PsmFlow::default();
-        if matches!(name, "RAM" | "MultSum" | "AES" | "Camellia") {
-            flow.mining = flow.mining.with_pair_relations(false);
-            flow.merge = MergePolicy::new(0.05, 0.3);
-            flow.calibration = CalibrationConfig::default().with_min_abs_r(0.6);
+        match IpPreset::from_name(name) {
+            Some(preset) => PsmFlow::builder().preset(preset).build(),
+            None => PsmFlow::default(),
         }
-        flow
     }
 
     /// Runs the full training pipeline of Fig. 1 on one IP.
@@ -259,50 +497,111 @@ impl PsmFlow {
     /// Every stimulus becomes one training trace pair (functional + golden
     /// power, captured in a single gate-level run); the traces are mined
     /// together so PSMs from different traces share a proposition set and
-    /// can be joined.
+    /// can be joined. Captures and per-trace generation fan across the
+    /// worker pool ([`PsmFlow::parallelism`]); the result does not depend
+    /// on the worker count.
     ///
     /// # Errors
     ///
     /// * [`FlowError::NoTrainingData`] when `stimuli` is empty;
     /// * any layer error, wrapped in the matching [`FlowError`] variant.
     pub fn train(&self, ip: &mut dyn Ip, stimuli: &[Stimulus]) -> Result<TrainedModel, FlowError> {
+        let telemetry = Telemetry::new();
+        self.train_core(ip, stimuli, &telemetry)
+    }
+
+    /// Like [`PsmFlow::train`], additionally returning the per-stage
+    /// [`TelemetryReport`] of the run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PsmFlow::train`].
+    pub fn train_with_telemetry(
+        &self,
+        ip: &mut dyn Ip,
+        stimuli: &[Stimulus],
+    ) -> Result<(TrainedModel, TelemetryReport), FlowError> {
+        let telemetry = Telemetry::new();
+        let model = self.train_core(ip, stimuli, &telemetry)?;
+        Ok((model, telemetry.report()))
+    }
+
+    fn train_core(
+        &self,
+        ip: &mut dyn Ip,
+        stimuli: &[Stimulus],
+        telemetry: &Telemetry,
+    ) -> Result<TrainedModel, FlowError> {
         if stimuli.is_empty() {
             return Err(FlowError::NoTrainingData);
         }
         let netlist = ip.netlist()?;
 
-        // Golden capture: functional + reference power per stimulus.
+        // Golden capture: functional + reference power, one gate-level run
+        // per stimulus, fanned across the worker pool. The noise seed is a
+        // function of the stimulus *index*, so worker scheduling cannot
+        // change any trace.
         let px_start = Instant::now();
-        let mut functional = Vec::with_capacity(stimuli.len());
-        let mut power = Vec::with_capacity(stimuli.len());
-        for (i, stim) in stimuli.iter().enumerate() {
-            let cap = capture_traces(&netlist, &self.power_model, stim, self.noise_seed + i as u64)?;
-            functional.push(cap.functional);
-            power.push(cap.power);
-        }
+        let workers = self.parallelism.worker_count(stimuli.len());
+        let captures = collect_ordered(run_indexed(stimuli.len(), workers, |i| {
+            telemetry.time(Stage::Capture, format!("stimulus {i}"), || {
+                capture_traces(
+                    &netlist,
+                    &self.power_model,
+                    &stimuli[i],
+                    self.noise_seed + i as u64,
+                )
+                .map_err(FlowError::from)
+            })
+        }))?;
+        let (functional, power): (Vec<FunctionalTrace>, Vec<PowerTrace>) = captures
+            .into_iter()
+            .map(|c| (c.functional, c.power))
+            .unzip();
         let reference_power_time = px_start.elapsed();
 
-        // Mining + generation + optimisation + calibration + HMM.
+        // Mining interns one shared proposition set over all traces, so it
+        // stays sequential (and cheap relative to capture).
         let gen_start = Instant::now();
-        let miner = Miner::new(self.mining);
-        let trace_refs: Vec<&FunctionalTrace> = functional.iter().collect();
-        let mined = miner.mine(&trace_refs)?;
+        let mined = telemetry.time(Stage::Mining, "all traces", || {
+            let miner = Miner::new(self.mining);
+            let trace_refs: Vec<&FunctionalTrace> = functional.iter().collect();
+            miner.mine(&trace_refs)
+        })?;
 
-        let mut psms = Vec::with_capacity(mined.traces.len());
-        let mut states_before = 0;
-        for (i, gamma) in mined.traces.iter().enumerate() {
-            let mut psm = generate_psm(gamma, &power[i], i)?;
-            states_before += psm.state_count();
-            simplify(&mut psm, &self.merge);
-            psms.push(psm);
-        }
-        let mut combined = join(&psms, &self.merge);
+        // Per-trace chain-PSM generation + simplify, fanned per trace.
+        // Each worker touches only its own (gamma, power) pair; the merge
+        // below walks the results in index order.
+        let gen_workers = self.parallelism.worker_count(mined.traces.len());
+        let generated = collect_ordered(run_indexed(mined.traces.len(), gen_workers, |i| {
+            let mut psm = telemetry
+                .time(Stage::Generation, format!("trace {i}"), || {
+                    generate_psm(&mined.traces[i], &power[i], i)
+                })
+                .map_err(FlowError::from)?;
+            let before = psm.state_count();
+            telemetry.time(Stage::Simplify, format!("trace {i}"), || {
+                simplify(&mut psm, &self.merge)
+            });
+            Ok::<_, FlowError>((before, psm))
+        }))?;
+        let states_before: usize = generated.iter().map(|(before, _)| before).sum();
+        let psms: Vec<Psm> = generated.into_iter().map(|(_, psm)| psm).collect();
+
+        let mut combined = telemetry.time(Stage::Join, "all psms", || join(&psms, &self.merge));
+        let states_merged = states_before.saturating_sub(combined.state_count());
+        telemetry.add_states_merged(states_merged);
 
         let training: Vec<(&FunctionalTrace, &PowerTrace)> =
             functional.iter().zip(power.iter()).collect();
-        let report = calibrate(&mut combined, &training, &self.calibration)?;
+        let report = telemetry.time(Stage::Calibrate, "combined psm", || {
+            calibrate(&mut combined, &training, &self.calibration)
+        })?;
+        telemetry.add_calibrated_states(report.calibrated_count());
 
-        let hmm = build_hmm(&combined, mined.table.len());
+        let hmm = telemetry.time(Stage::HmmBuild, "combined psm", || {
+            build_hmm(&combined, mined.table.len())
+        });
         let generation_time = gen_start.elapsed();
 
         let stats = TrainingStats {
@@ -312,6 +611,7 @@ impl PsmFlow {
             states: combined.state_count(),
             transitions: combined.transition_count(),
             states_before_optimisation: states_before,
+            states_merged,
             calibrated_states: report.calibrated_count(),
         };
         Ok(TrainedModel {
@@ -320,6 +620,39 @@ impl PsmFlow {
             hmm,
             stats,
         })
+    }
+
+    /// Trains one model per stimulus set, fanning whole jobs across the
+    /// worker pool. `make_ip` constructs a fresh IP inside each worker (an
+    /// [`Ip`] need not be `Send`).
+    ///
+    /// Job `i` trains on `jobs[i]` and produces `models[i]`, each
+    /// byte-identical to what a lone [`PsmFlow::train`] call would return.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index failing job's error, under the same conditions as
+    /// [`PsmFlow::train`].
+    pub fn train_batch<F>(
+        &self,
+        make_ip: F,
+        jobs: &[Vec<Stimulus>],
+    ) -> Result<Vec<TrainedModel>, FlowError>
+    where
+        F: Fn() -> Box<dyn Ip> + Sync,
+    {
+        // Jobs are the parallel axis here; each job trains sequentially so
+        // the pool is not oversubscribed.
+        let inner = PsmFlow {
+            parallelism: Parallelism::Sequential,
+            ..self.clone()
+        };
+        let workers = self.parallelism.worker_count(jobs.len());
+        collect_ordered(run_indexed(jobs.len(), workers, |i| {
+            let mut ip = make_ip();
+            let telemetry = Telemetry::new();
+            inner.train_core(ip.as_mut(), &jobs[i], &telemetry)
+        }))
     }
 
     /// Estimates the power of a fresh workload through the trained PSMs
@@ -335,10 +668,71 @@ impl PsmFlow {
         ip: &mut dyn Ip,
         workload: &Stimulus,
     ) -> Result<Estimate, FlowError> {
-        let functional = behavioural_trace(ip, workload)?;
-        let outcome = self.estimate_from_trace(model, &functional);
-        let reference = self.reference_power(ip, workload)?;
+        let telemetry = Telemetry::new();
+        self.estimate_core(model, ip, workload, &telemetry)
+    }
+
+    /// Like [`PsmFlow::estimate`], additionally returning the per-stage
+    /// [`TelemetryReport`] (estimation spans plus the golden-reference
+    /// capture span, and the run's WSP/sync-loss counters).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PsmFlow::estimate`].
+    pub fn estimate_with_telemetry(
+        &self,
+        model: &TrainedModel,
+        ip: &mut dyn Ip,
+        workload: &Stimulus,
+    ) -> Result<(Estimate, TelemetryReport), FlowError> {
+        let telemetry = Telemetry::new();
+        let estimate = self.estimate_core(model, ip, workload, &telemetry)?;
+        Ok((estimate, telemetry.report()))
+    }
+
+    fn estimate_core(
+        &self,
+        model: &TrainedModel,
+        ip: &mut dyn Ip,
+        workload: &Stimulus,
+        telemetry: &Telemetry,
+    ) -> Result<Estimate, FlowError> {
+        let functional = telemetry.time(Stage::Estimation, "behavioural trace", || {
+            behavioural_trace(ip, workload)
+        })?;
+        let outcome = telemetry.time(Stage::Estimation, "psm/hmm simulation", || {
+            self.estimate_from_trace(model, &functional)
+        });
+        telemetry.add_wrong_state_predictions(outcome.wrong_state_predictions);
+        telemetry.add_sync_losses(outcome.unknown_instants);
+        let reference = telemetry.time(Stage::Capture, "golden reference", || {
+            self.reference_power(ip, workload)
+        })?;
         Ok(Estimate { outcome, reference })
+    }
+
+    /// Estimates many workloads against one model, fanning across the
+    /// worker pool. `make_ip` constructs a fresh IP inside each worker.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index failing workload's error, under the same
+    /// conditions as [`PsmFlow::estimate`].
+    pub fn estimate_batch<F>(
+        &self,
+        model: &TrainedModel,
+        make_ip: F,
+        workloads: &[Stimulus],
+    ) -> Result<Vec<Estimate>, FlowError>
+    where
+        F: Fn() -> Box<dyn Ip> + Sync,
+    {
+        let workers = self.parallelism.worker_count(workloads.len());
+        collect_ordered(run_indexed(workloads.len(), workers, |i| {
+            let mut ip = make_ip();
+            let telemetry = Telemetry::new();
+            self.estimate_core(model, ip.as_mut(), &workloads[i], &telemetry)
+        }))
     }
 
     /// The fast path of Table III: PSM/HMM estimation from an
@@ -359,10 +753,11 @@ impl PsmFlow {
     /// model based on hierarchical PSMs that distinguishes among IP
     /// subcomponents").
     ///
-    /// The proposition mining runs once over the shared functional traces;
-    /// each domain's PSMs are generated, optimised and calibrated against
-    /// that domain's golden power trace. The hierarchical estimate of a
-    /// workload is the per-instant sum of the domain estimates
+    /// The proposition mining runs once over the shared functional traces
+    /// (captures fan across the worker pool); each domain's PSMs are
+    /// generated, optimised and calibrated against that domain's golden
+    /// power trace. The hierarchical estimate of a workload is the
+    /// per-instant sum of the domain estimates
     /// ([`PsmFlow::estimate_hierarchical`]).
     ///
     /// # Errors
@@ -377,17 +772,23 @@ impl PsmFlow {
             return Err(FlowError::NoTrainingData);
         }
         let netlist = ip.netlist()?;
-        let mut functional = Vec::with_capacity(stimuli.len());
-        let mut domain_power: Vec<Vec<PowerTrace>> = Vec::new();
-        let mut domains = Vec::new();
-        for (i, stim) in stimuli.iter().enumerate() {
-            let cap = psm_rtl::capture_traces_by_domain(
+        let workers = self.parallelism.worker_count(stimuli.len());
+        let captures = collect_ordered(run_indexed(stimuli.len(), workers, |i| {
+            psm_rtl::capture_traces_by_domain(
                 &netlist,
                 &self.power_model,
-                stim,
+                &stimuli[i],
                 self.noise_seed + i as u64,
-            )?;
-            domains = cap.domains.clone();
+            )
+            .map_err(FlowError::from)
+        }))?;
+        let domains = captures
+            .first()
+            .map(|c| c.domains.clone())
+            .unwrap_or_default();
+        let mut functional = Vec::with_capacity(captures.len());
+        let mut domain_power: Vec<Vec<PowerTrace>> = Vec::with_capacity(captures.len());
+        for cap in captures {
             functional.push(cap.functional);
             domain_power.push(cap.by_domain);
         }
@@ -399,8 +800,10 @@ impl PsmFlow {
         let mut models = Vec::with_capacity(domains.len());
         for d in 0..domains.len() {
             let mut psms = Vec::new();
+            let mut states_before = 0;
             for (i, gamma) in mined.traces.iter().enumerate() {
                 let mut psm = generate_psm(gamma, &domain_power[i][d], i)?;
+                states_before += psm.state_count();
                 simplify(&mut psm, &self.merge);
                 psms.push(psm);
             }
@@ -415,6 +818,8 @@ impl PsmFlow {
                 training_instants: stimuli.iter().map(Stimulus::len).sum(),
                 states: combined.state_count(),
                 transitions: combined.transition_count(),
+                states_before_optimisation: states_before,
+                states_merged: states_before.saturating_sub(combined.state_count()),
                 calibrated_states: report.calibrated_count(),
                 ..TrainingStats::default()
             };
@@ -463,9 +868,18 @@ impl PsmFlow {
     /// # Errors
     ///
     /// Any layer error, wrapped in the matching [`FlowError`] variant.
-    pub fn reference_power(&self, ip: &dyn Ip, workload: &Stimulus) -> Result<PowerTrace, FlowError> {
+    pub fn reference_power(
+        &self,
+        ip: &dyn Ip,
+        workload: &Stimulus,
+    ) -> Result<PowerTrace, FlowError> {
         let netlist = ip.netlist()?;
-        let cap = capture_traces(&netlist, &self.power_model, workload, self.noise_seed ^ 0x5A5A)?;
+        let cap = capture_traces(
+            &netlist,
+            &self.power_model,
+            workload,
+            self.noise_seed ^ 0x5A5A,
+        )?;
         Ok(cap.power)
     }
 }
@@ -477,11 +891,15 @@ mod tests {
 
     #[test]
     fn train_and_estimate_multsum() {
-        let flow = PsmFlow::for_ip("MultSum");
+        let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
         let training = testbench::multsum_short_ts(1);
         let model = flow.train(&mut MultSum::new(), &[training]).unwrap();
         assert!(model.stats.states > 0);
         assert!(model.stats.states <= model.stats.states_before_optimisation);
+        assert_eq!(
+            model.stats.states_merged,
+            model.stats.states_before_optimisation - model.stats.states
+        );
         assert_eq!(model.psm.state_count(), model.stats.states);
 
         let workload = testbench::multsum_long_ts(9, 3_000);
@@ -495,7 +913,7 @@ mod tests {
 
     #[test]
     fn models_round_trip_through_json() {
-        let flow = PsmFlow::for_ip("MultSum");
+        let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
         let training = testbench::multsum_short_ts(1);
         let model = flow.train(&mut MultSum::new(), &[training]).unwrap();
 
@@ -507,6 +925,9 @@ mod tests {
         assert_eq!(loaded.psm.transitions(), model.psm.transitions());
         assert_eq!(loaded.hmm.num_states(), model.hmm.num_states());
         assert_eq!(loaded.table.len(), model.table.len());
+        assert_eq!(loaded.stats.states_merged, model.stats.states_merged);
+        // Wall-clock fields are deliberately not serialised.
+        assert_eq!(loaded.stats.generation_time, Duration::ZERO);
 
         // The loaded model estimates the same powers (floats may differ by
         // an ulp through the JSON round-trip).
@@ -533,13 +954,80 @@ mod tests {
 
     #[test]
     fn multiple_training_traces_share_a_table() {
-        let flow = PsmFlow::for_ip("MultSum");
+        let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
         let a = testbench::multsum_short_ts(1);
         let b = testbench::multsum_long_ts(2, 1_500);
         let model = flow.train(&mut MultSum::new(), &[a, b]).unwrap();
         // Two traces, joined into one model with at most one initial state
         // per distinct starting behaviour.
         assert!(model.psm.initials().iter().map(|(_, c)| c).sum::<usize>() == 2);
+    }
+
+    #[test]
+    fn deprecated_for_ip_matches_preset() {
+        #[allow(deprecated)]
+        let old = PsmFlow::for_ip("MultSum");
+        let new = PsmFlow::builder().preset(IpPreset::MultSum).build();
+        assert_eq!(old.mining.pair_relations(), new.mining.pair_relations());
+        assert_eq!(old.noise_seed, new.noise_seed);
+        #[allow(deprecated)]
+        let unknown = PsmFlow::for_ip("nonesuch");
+        assert!(unknown.mining.pair_relations());
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for preset in IpPreset::ALL {
+            assert_eq!(IpPreset::from_name(preset.benchmark_name()), Some(preset));
+            assert!(psm_ips::ip_by_name(preset.benchmark_name()).is_some());
+        }
+        assert_eq!(IpPreset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn train_batch_matches_individual_runs() {
+        let flow = PsmFlow::builder()
+            .preset(IpPreset::MultSum)
+            .parallelism(Parallelism::Workers(2))
+            .build();
+        let jobs = vec![
+            vec![testbench::multsum_short_ts(1)],
+            vec![testbench::multsum_short_ts(2)],
+        ];
+        let batch = flow
+            .train_batch(|| Box::new(MultSum::new()), &jobs)
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        for (job, model) in jobs.iter().zip(&batch) {
+            let lone = flow.train(&mut MultSum::new(), job).unwrap();
+            assert_eq!(model.to_json_string(), lone.to_json_string());
+        }
+    }
+
+    #[test]
+    fn estimate_batch_matches_individual_runs() {
+        let flow = PsmFlow::builder()
+            .preset(IpPreset::MultSum)
+            .parallelism(Parallelism::Workers(2))
+            .build();
+        let model = flow
+            .train(&mut MultSum::new(), &[testbench::multsum_short_ts(1)])
+            .unwrap();
+        let workloads = vec![
+            testbench::multsum_long_ts(3, 500),
+            testbench::multsum_long_ts(4, 700),
+        ];
+        let batch = flow
+            .estimate_batch(&model, || Box::new(MultSum::new()), &workloads)
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        for (workload, est) in workloads.iter().zip(&batch) {
+            let lone = flow
+                .estimate(&model, &mut MultSum::new(), workload)
+                .unwrap();
+            assert_eq!(est.outcome.estimate, lone.outcome.estimate);
+            assert_eq!(est.reference, lone.reference);
+        }
     }
 }
 
@@ -556,18 +1044,30 @@ mod error_tests {
             FlowError::Trace(psm_trace::TraceError::ZeroWidth),
             FlowError::Stats(psm_stats::StatsError::InvalidParameter("x")),
             FlowError::NoTrainingData,
-            FlowError::Persistence("disk full".into()),
+            FlowError::persistence_io("/tmp/model.json", std::io::Error::other("disk full")),
+            FlowError::persistence_format(
+                "/tmp/model.json",
+                psm_persist::PersistError::schema("bad field"),
+            ),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
             // sources chain where applicable
             match &e {
-                FlowError::NoTrainingData | FlowError::Persistence(_) => {
-                    assert!(e.source().is_none())
-                }
+                FlowError::NoTrainingData => assert!(e.source().is_none()),
                 _ => assert!(e.source().is_some()),
             }
         }
+    }
+
+    #[test]
+    fn persistence_errors_name_the_path() {
+        let e = FlowError::persistence_io(
+            "/some/dir/model.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("/some/dir/model.json"), "{msg}");
     }
 
     #[test]
@@ -576,12 +1076,24 @@ mod error_tests {
         std::fs::write(&dir, "not json at all").unwrap();
         let r = TrainedModel::load(&dir);
         std::fs::remove_file(&dir).ok();
-        assert!(matches!(r, Err(FlowError::Persistence(_))));
+        assert!(matches!(
+            r,
+            Err(FlowError::Persistence {
+                source: PersistenceError::Format(_),
+                ..
+            })
+        ));
     }
 
     #[test]
     fn load_missing_file_is_a_persistence_error() {
         let r = TrainedModel::load("/nonexistent/psmgen/model.json");
-        assert!(matches!(r, Err(FlowError::Persistence(_))));
+        assert!(matches!(
+            r,
+            Err(FlowError::Persistence {
+                source: PersistenceError::Io(_),
+                ..
+            })
+        ));
     }
 }

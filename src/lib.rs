@@ -12,16 +12,22 @@
 //!        HMM simulation ◄─ calibration ◄─ join ◄─────────────────┘
 //! ```
 //!
+//! Flows are configured through [`PsmFlow::builder`](flow::PsmFlow::builder)
+//! (with [`IpPreset`](flow::IpPreset) for the paper's benchmarks). Training
+//! and estimation fan across scoped worker threads
+//! ([`Parallelism`](flow::Parallelism)) with a deterministic merge, and
+//! every pipeline stage is instrumented ([`telemetry`]).
+//!
 //! # Quickstart
 //!
 //! Train PSMs for the 1 KB RAM benchmark and estimate power on a fresh
 //! workload:
 //!
 //! ```
-//! use psmgen::flow::PsmFlow;
+//! use psmgen::flow::{IpPreset, PsmFlow};
 //! use psmgen::ips::{testbench, Ram1k};
 //!
-//! let flow = PsmFlow::default();
+//! let flow = PsmFlow::builder().preset(IpPreset::Ram1k).build();
 //! let training = testbench::short_ts("RAM", 1).expect("RAM exists");
 //! let model = flow.train(&mut Ram1k::new(), &[training])?;
 //!
@@ -36,13 +42,16 @@
 //! The layer crates are re-exported under short names: [`stats`],
 //! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`] and [`hmm`].
 
+/// The PSM core crate (`psm-core`).
+pub use psm_core as psm;
 pub use psm_hmm as hmm;
 pub use psm_ips as ips;
 pub use psm_mining as mining;
 pub use psm_rtl as rtl;
 pub use psm_stats as stats;
 pub use psm_trace as trace;
-/// The PSM core crate (`psm-core`).
-pub use psm_core as psm;
 
 pub mod flow;
+pub mod parallel;
+mod persist;
+pub mod telemetry;

@@ -1,0 +1,138 @@
+//! The scoped-thread work engine behind the parallel pipeline.
+//!
+//! [`run_indexed`] fans an indexed job set over `std::thread::scope`
+//! workers pulling from a shared atomic counter, and returns the results
+//! in index order regardless of completion order. Determinism is the
+//! contract: the caller sees exactly what a sequential loop would have
+//! produced (the first error by *index* wins, not the first in time), so
+//! a parallel training run serialises byte-identically to a sequential
+//! one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads the engine may use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker; the engine degenerates to a plain loop on the calling
+    /// thread. The baseline of the scaling bench.
+    Sequential,
+    /// One worker per available core (capped by the job count).
+    #[default]
+    Auto,
+    /// An explicit worker count (clamped to at least one).
+    Workers(usize),
+}
+
+impl Parallelism {
+    /// Workers to use for `jobs` items.
+    pub fn worker_count(self, jobs: usize) -> usize {
+        let cap = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Workers(n) => n.max(1),
+        };
+        cap.min(jobs).max(1)
+    }
+}
+
+/// Runs `f(0..jobs)` across `workers` scoped threads, returning results in
+/// index order. With one worker the jobs run inline, in order, with no
+/// thread spawned.
+pub(crate) fn run_indexed<T, E, F>(jobs: usize, workers: usize, f: F) -> Vec<Result<T, E>>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<T, E>>>> = Mutex::new((0..jobs).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let r = f(i);
+                slots.lock().expect("worker slot lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker slot lock")
+        .into_iter()
+        .map(|slot| slot.expect("every job index was claimed"))
+        .collect()
+}
+
+/// Collapses ordered job results into `Ok(all)` or the lowest-index error.
+pub(crate) fn collect_ordered<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for workers in [1, 2, 4, 8] {
+            let results = run_indexed(100, workers, |i| {
+                // Stagger completion so later indices often finish first.
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                Ok::<usize, ()>(i * i)
+            });
+            let values = collect_ordered(results).unwrap();
+            assert_eq!(values, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        for workers in [1, 4] {
+            let results = run_indexed(
+                50,
+                workers,
+                |i| {
+                    if i == 9 || i == 33 {
+                        Err(i)
+                    } else {
+                        Ok(i)
+                    }
+                },
+            );
+            assert_eq!(collect_ordered(results), Err(9));
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let results = run_indexed(0, 4, Ok::<usize, ()>);
+        assert!(collect_ordered(results).unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_count_respects_mode_and_jobs() {
+        assert_eq!(Parallelism::Sequential.worker_count(16), 1);
+        assert_eq!(Parallelism::Workers(4).worker_count(16), 4);
+        assert_eq!(Parallelism::Workers(4).worker_count(2), 2);
+        assert_eq!(Parallelism::Workers(0).worker_count(2), 1);
+        let auto = Parallelism::Auto.worker_count(64);
+        assert!(auto >= 1);
+        assert_eq!(Parallelism::Auto.worker_count(1), 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+}

@@ -6,11 +6,10 @@
 //! drive both models with the same randomised stimuli and compare every
 //! port at every instant.
 
+use psm_prng::Prng;
 use psmgen::ips::{behavioural_trace, ip_by_name, testbench};
 use psmgen::rtl::{Simulator, Stimulus};
 use psmgen::trace::Bits;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Runs the structural twin and checks all sampled ports against the
 /// behavioural trace.
@@ -71,7 +70,7 @@ fn camellia_models_are_equivalent_on_random_traffic() {
 fn chaos_stimulus(name: &str, seed: u64, cycles: usize) -> Stimulus {
     let ip = ip_by_name(name).expect("benchmark exists");
     let signals = ip.signals();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut stim = Stimulus::new();
     for _ in 0..cycles {
         let mut cycle = Vec::new();
@@ -79,7 +78,7 @@ fn chaos_stimulus(name: &str, seed: u64, cycles: usize) -> Stimulus {
             let w = signals.decl(id).width();
             let mut b = Bits::zero(w);
             for bit in 0..w {
-                if rng.gen_bool(0.5) {
+                if rng.chance(0.5) {
                     b.set_bit(bit, true);
                 }
             }

@@ -1,0 +1,177 @@
+//! The parallel engine's contracts: worker count never changes the trained
+//! model (byte-identical serialisation), and telemetry reports cover every
+//! pipeline stage with sane, monotone spans.
+
+use psmgen::flow::{IpPreset, Parallelism, PsmFlow};
+use psmgen::ips::{testbench, MultSum, Ram1k};
+use psmgen::rtl::Stimulus;
+use psmgen::telemetry::Stage;
+
+fn multsum_flow(parallelism: Parallelism) -> PsmFlow {
+    PsmFlow::builder()
+        .preset(IpPreset::MultSum)
+        .parallelism(parallelism)
+        .build()
+}
+
+fn training_stimuli() -> Vec<Stimulus> {
+    vec![
+        testbench::multsum_short_ts(1),
+        testbench::multsum_long_ts(2, 1_200),
+        testbench::multsum_long_ts(3, 900),
+        testbench::multsum_long_ts(4, 600),
+    ]
+}
+
+#[test]
+fn parallel_training_serialises_byte_identically() {
+    let stimuli = training_stimuli();
+    assert!(
+        stimuli.len() >= 3,
+        "the contract is about multi-stimulus runs"
+    );
+    let baseline = multsum_flow(Parallelism::Sequential)
+        .train(&mut MultSum::new(), &stimuli)
+        .expect("sequential training succeeds")
+        .to_json_string();
+    for parallelism in [
+        Parallelism::Workers(2),
+        Parallelism::Workers(3),
+        Parallelism::Workers(8),
+        Parallelism::Auto,
+    ] {
+        let json = multsum_flow(parallelism)
+            .train(&mut MultSum::new(), &stimuli)
+            .expect("parallel training succeeds")
+            .to_json_string();
+        assert_eq!(json, baseline, "{parallelism:?} diverged from sequential");
+    }
+}
+
+#[test]
+fn batch_apis_are_deterministic_across_worker_counts() {
+    let jobs = vec![
+        vec![testbench::multsum_short_ts(1)],
+        vec![testbench::multsum_long_ts(2, 800)],
+        vec![testbench::multsum_short_ts(3)],
+    ];
+    let lone: Vec<String> = jobs
+        .iter()
+        .map(|job| {
+            multsum_flow(Parallelism::Sequential)
+                .train(&mut MultSum::new(), job)
+                .expect("trains")
+                .to_json_string()
+        })
+        .collect();
+    let batch = multsum_flow(Parallelism::Workers(3))
+        .train_batch(|| Box::new(MultSum::new()), &jobs)
+        .expect("batch trains");
+    assert_eq!(batch.len(), jobs.len());
+    for (model, expected) in batch.iter().zip(&lone) {
+        assert_eq!(&model.to_json_string(), expected);
+    }
+}
+
+#[test]
+fn training_telemetry_covers_every_stage_with_monotone_spans() {
+    let flow = PsmFlow::builder()
+        .preset(IpPreset::Ram1k)
+        .parallelism(Parallelism::Workers(2))
+        .build();
+    let stimuli = vec![
+        testbench::ram_short_ts(1),
+        testbench::ram_long_ts(2, 1_000),
+        testbench::ram_long_ts(3, 800),
+    ];
+    let (model, report) = flow
+        .train_with_telemetry(&mut Ram1k::new(), &stimuli)
+        .expect("training succeeds");
+
+    // Every training stage ran and accumulated non-zero time.
+    assert!(
+        report.covers(&Stage::TRAINING),
+        "missing stages:\n{}",
+        report.text()
+    );
+    for stage in Stage::TRAINING {
+        assert!(
+            report.stage_total(stage) > std::time::Duration::ZERO,
+            "{stage} has a zero total"
+        );
+    }
+    // Fan-out stages produced one span per stimulus / per trace.
+    assert_eq!(report.stage_spans(Stage::Capture).count(), stimuli.len());
+    assert_eq!(report.stage_spans(Stage::Mining).count(), 1);
+    assert!(report.stage_spans(Stage::Generation).count() >= stimuli.len());
+    // Spans are monotone: sorted by start, each with positive duration,
+    // none starting after the report's total.
+    let mut last_start = std::time::Duration::ZERO;
+    for span in &report.spans {
+        assert!(span.start >= last_start, "spans out of order");
+        assert!(span.duration > std::time::Duration::ZERO);
+        assert!(span.start <= report.total);
+        last_start = span.start;
+    }
+    // Deterministic counters mirror the model's stats.
+    assert_eq!(report.counters.states_merged, model.stats.states_merged);
+    assert_eq!(
+        report.counters.calibrated_states,
+        model.stats.calibrated_states
+    );
+
+    // The textual and JSON reports mention every stage by name.
+    let text = report.text();
+    let json = report.to_json().render();
+    for stage in Stage::TRAINING {
+        assert!(
+            text.contains(stage.name()),
+            "{stage} missing from text report"
+        );
+        assert!(
+            json.contains(stage.name()),
+            "{stage} missing from JSON report"
+        );
+    }
+}
+
+#[test]
+fn estimation_telemetry_records_the_estimation_stage() {
+    let flow = multsum_flow(Parallelism::Sequential);
+    let model = flow
+        .train(&mut MultSum::new(), &[testbench::multsum_short_ts(1)])
+        .expect("trains");
+    let workload = testbench::multsum_long_ts(7, 1_000);
+    let (estimate, report) = flow
+        .estimate_with_telemetry(&model, &mut MultSum::new(), &workload)
+        .expect("estimates");
+    assert!(report.covers(&[Stage::Estimation, Stage::Capture]));
+    assert!(report.stage_total(Stage::Estimation) > std::time::Duration::ZERO);
+    assert_eq!(
+        report.counters.wrong_state_predictions,
+        estimate.outcome.wrong_state_predictions
+    );
+    assert_eq!(
+        report.counters.sync_losses,
+        estimate.outcome.unknown_instants
+    );
+}
+
+#[test]
+fn estimate_batch_handles_many_workloads() {
+    let flow = multsum_flow(Parallelism::Auto);
+    let model = flow
+        .train(&mut MultSum::new(), &[testbench::multsum_short_ts(1)])
+        .expect("trains");
+    let workloads: Vec<Stimulus> = (0..5)
+        .map(|k| testbench::multsum_long_ts(20 + k, 400))
+        .collect();
+    let estimates = flow
+        .estimate_batch(&model, || Box::new(MultSum::new()), &workloads)
+        .expect("batch estimates");
+    assert_eq!(estimates.len(), workloads.len());
+    for (est, workload) in estimates.iter().zip(&workloads) {
+        assert_eq!(est.outcome.estimate.len(), workload.len());
+        assert_eq!(est.reference.len(), workload.len());
+    }
+}

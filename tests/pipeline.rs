@@ -5,14 +5,22 @@
 //! predictions for the well-behaved IPs, and reproducibility of the whole
 //! flow.
 
-use psmgen::flow::PsmFlow;
+use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{ip_by_name, testbench};
 
+/// The preset flow for a benchmark, via the typed builder.
+fn flow_for(name: &str) -> PsmFlow {
+    let preset = IpPreset::from_name(name).expect("benchmark preset exists");
+    PsmFlow::builder().preset(preset).build()
+}
+
 fn mre_for(name: &str, workload_cycles: usize) -> (f64, f64, usize) {
-    let flow = PsmFlow::for_ip(name);
+    let flow = flow_for(name);
     let mut ip = ip_by_name(name).expect("benchmark exists");
     let training = testbench::short_ts(name, 1).expect("benchmark exists");
-    let model = flow.train(ip.as_mut(), &[training]).expect("training succeeds");
+    let model = flow
+        .train(ip.as_mut(), &[training])
+        .expect("training succeeds");
     let workload = testbench::long_ts(name, 7, workload_cycles).expect("benchmark exists");
     let est = flow
         .estimate(&model, ip.as_mut(), &workload)
@@ -62,11 +70,12 @@ fn camellia_is_the_hard_benchmark() {
 
 #[test]
 fn training_is_deterministic() {
-    let flow = PsmFlow::for_ip("MultSum");
+    let flow = flow_for("MultSum");
     let train = || {
         let mut ip = ip_by_name("MultSum").expect("benchmark exists");
         let training = testbench::short_ts("MultSum", 1).expect("benchmark exists");
-        flow.train(ip.as_mut(), &[training]).expect("training succeeds")
+        flow.train(ip.as_mut(), &[training])
+            .expect("training succeeds")
     };
     let a = train();
     let b = train();
@@ -77,13 +86,19 @@ fn training_is_deterministic() {
 
 #[test]
 fn estimation_is_deterministic() {
-    let flow = PsmFlow::for_ip("RAM");
+    let flow = flow_for("RAM");
     let mut ip = ip_by_name("RAM").expect("benchmark exists");
     let training = testbench::short_ts("RAM", 1).expect("benchmark exists");
-    let model = flow.train(ip.as_mut(), &[training]).expect("training succeeds");
+    let model = flow
+        .train(ip.as_mut(), &[training])
+        .expect("training succeeds");
     let workload = testbench::ram_long_ts(5, 1_500);
-    let e1 = flow.estimate(&model, ip.as_mut(), &workload).expect("estimates");
-    let e2 = flow.estimate(&model, ip.as_mut(), &workload).expect("estimates");
+    let e1 = flow
+        .estimate(&model, ip.as_mut(), &workload)
+        .expect("estimates");
+    let e2 = flow
+        .estimate(&model, ip.as_mut(), &workload)
+        .expect("estimates");
     assert_eq!(e1.outcome, e2.outcome);
     assert_eq!(e1.reference, e2.reference);
 }
@@ -92,7 +107,7 @@ fn estimation_is_deterministic() {
 fn more_training_data_does_not_blow_up_the_model() {
     // Paper §VI: PSMs from verification testbenches are already high
     // quality; long traces must not change the picture dramatically.
-    let flow = PsmFlow::for_ip("MultSum");
+    let flow = flow_for("MultSum");
     let mut ip = ip_by_name("MultSum").expect("benchmark exists");
     let short = testbench::short_ts("MultSum", 1).expect("benchmark exists");
     let long = testbench::multsum_long_ts(2, 8_000);
@@ -135,9 +150,11 @@ fn unknown_behaviour_is_flagged_not_fabricated() {
             training.push_cycle(ram_cycle(0, false, false, false, false));
         }
     }
-    let flow = PsmFlow::for_ip("RAM");
+    let flow = flow_for("RAM");
     let mut ip = ip_by_name("RAM").expect("benchmark exists");
-    let model = flow.train(ip.as_mut(), &[training.clone()]).expect("trains");
+    let model = flow
+        .train(ip.as_mut(), &[training.clone()])
+        .expect("trains");
 
     let mut workload = training;
     workload.push_cycle(ram_cycle(1, false, false, true, true)); // clr never trained
@@ -157,7 +174,7 @@ fn whitebox_probe_collapses_camellia_error() {
     // which subcomponent is active lets the miner split the busy behaviour
     // and the MRE collapses.
     use psmgen::ips::{behavioural_trace, Camellia128Whitebox};
-    let flow = PsmFlow::for_ip("Camellia");
+    let flow = flow_for("Camellia");
     let training = testbench::camellia_short_ts(1);
     let workload = testbench::camellia_long_ts(7, 4_000);
 
@@ -170,11 +187,9 @@ fn whitebox_probe_collapses_camellia_error() {
     let golden = flow
         .reference_power(&wb, &workload)
         .expect("capture succeeds");
-    let mre_white = psmgen::stats::mean_relative_error(
-        outcome.estimate.as_slice(),
-        golden.as_slice(),
-    )
-    .expect("non-empty");
+    let mre_white =
+        psmgen::stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
+            .expect("non-empty");
     assert!(
         mre_white < mre_black / 2.0,
         "white-box {mre_white} vs black-box {mre_black}"
@@ -184,7 +199,7 @@ fn whitebox_probe_collapses_camellia_error() {
 #[test]
 fn hierarchical_model_estimates_and_attributes() {
     use psmgen::ips::{behavioural_trace, Camellia128Whitebox};
-    let flow = PsmFlow::for_ip("Camellia");
+    let flow = flow_for("Camellia");
     let training = testbench::camellia_short_ts(1);
     let mut wb = Camellia128Whitebox::new();
     let model = flow
@@ -199,11 +214,8 @@ fn hierarchical_model_estimates_and_attributes() {
     let golden = flow
         .reference_power(&wb, &workload)
         .expect("capture succeeds");
-    let mre = psmgen::stats::mean_relative_error(
-        outcome.estimate.as_slice(),
-        golden.as_slice(),
-    )
-    .expect("non-empty");
+    let mre = psmgen::stats::mean_relative_error(outcome.estimate.as_slice(), golden.as_slice())
+        .expect("non-empty");
     assert!(mre < 0.25, "hierarchical MRE {mre}");
 }
 
@@ -212,10 +224,12 @@ fn smoothed_estimation_runs_and_walker_stays_sharper() {
     use psmgen::hmm::HmmSimulator;
     use psmgen::ips::behavioural_trace;
     use psmgen::psm::classify_trace;
-    let flow = PsmFlow::for_ip("AES");
+    let flow = flow_for("AES");
     let mut ip = ip_by_name("AES").expect("benchmark exists");
     let training = testbench::short_ts("AES", 1).expect("benchmark exists");
-    let model = flow.train(ip.as_mut(), &[training]).expect("training succeeds");
+    let model = flow
+        .train(ip.as_mut(), &[training])
+        .expect("training succeeds");
     let workload = testbench::aes_long_ts(3, 3_000);
     let trace = behavioural_trace(ip.as_mut(), &workload).expect("workload fits");
     let obs = classify_trace(&model.table, &trace);

@@ -13,8 +13,7 @@ fn functional_csv_round_trips_ram_traffic() {
 
     let mut csv = Vec::new();
     write_functional_csv(&trace, &mut csv).expect("in-memory write");
-    let back =
-        read_functional_csv(trace.signals().clone(), csv.as_slice()).expect("parses back");
+    let back = read_functional_csv(trace.signals().clone(), csv.as_slice()).expect("parses back");
     assert_eq!(back, trace);
 }
 
@@ -33,8 +32,8 @@ fn functional_csv_rejects_wrong_interface() {
 
 #[test]
 fn power_csv_round_trips_golden_trace() {
-    use psmgen::flow::PsmFlow;
-    let flow = PsmFlow::for_ip("MultSum");
+    use psmgen::flow::{IpPreset, PsmFlow};
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
     let ip = ip_by_name("MultSum").expect("benchmark exists");
     let stim = testbench::multsum_long_ts(9, 500);
     let golden = flow
