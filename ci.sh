@@ -15,4 +15,8 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --offline --release
 cargo test --offline -q
 
+echo "==> psmlint: checked-in netlist + freshly trained model"
+./target/release/psmlint --deny-warnings multsum_netlist.v
+./target/release/psmlint --json --demo target/psmlint-demo-model.json
+
 echo "CI gate passed"

@@ -1,0 +1,204 @@
+//! Lints over hidden Markov models and their consistency with the PSM
+//! they were built from.
+
+use crate::{codes, AnalysisReport, Diagnostic};
+use psm_core::Psm;
+use psm_hmm::Hmm;
+
+/// How far a probability row's sum may drift from 1 before `HM001` fires.
+///
+/// Deliberately much tighter than the `1e-6` the persistence layer
+/// tolerates on load, so a model that deserialises fine can still be
+/// flagged as numerically degraded.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+fn lint_row(report: &mut AnalysisReport, matrix: &str, index: usize, row: &[f64]) {
+    let mut problems = Vec::new();
+    if let Some(p) = row
+        .iter()
+        .find(|p| !(0.0..=1.0).contains(*p) || !p.is_finite())
+    {
+        problems.push(format!("entry {p} outside [0, 1]"));
+    }
+    let sum: f64 = row.iter().sum();
+    if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+        problems.push(format!("row sums to {sum:.12}"));
+    }
+    if !problems.is_empty() {
+        report.push(Diagnostic::new(
+            &codes::HM001,
+            format!("{matrix} row {index}"),
+            format!("{matrix} row {index}: {}", problems.join(", ")),
+        ));
+    }
+}
+
+/// Statically checks an HMM λ = (A, B, π) on its own.
+///
+/// Emits `HM001` (a row of A or B, or π itself, is not a probability
+/// distribution within [`ROW_SUM_TOLERANCE`]), `HM004` (π carries no mass
+/// at all — in that case its `HM001` sum check is skipped, the zero mass
+/// being the finding) and `HM002` (absorbing states with self-loop
+/// probability 1 — a warning, since terminal training behaviours
+/// legitimately produce them).
+pub fn lint_hmm(hmm: &Hmm) -> AnalysisReport {
+    let mut report = AnalysisReport::new(format!("hmm ({} states)", hmm.num_states()));
+
+    for (i, row) in hmm.a().iter().enumerate() {
+        lint_row(&mut report, "A", i, row);
+    }
+    for (i, row) in hmm.b().iter().enumerate() {
+        lint_row(&mut report, "B", i, row);
+    }
+
+    let pi_mass: f64 = hmm.pi().iter().sum();
+    if hmm.num_states() > 0 && pi_mass <= 0.0 {
+        report.push(Diagnostic::new(
+            &codes::HM004,
+            "π",
+            "initial distribution π has zero total mass",
+        ));
+    } else {
+        lint_row(&mut report, "π", 0, hmm.pi());
+    }
+
+    for (i, row) in hmm.a().iter().enumerate() {
+        if row.get(i).copied().unwrap_or(0.0) >= 1.0 - ROW_SUM_TOLERANCE {
+            report.push(Diagnostic::new(
+                &codes::HM002,
+                format!("state {i}"),
+                format!("state {i} is absorbing (a[{i}][{i}] = 1)"),
+            ));
+        }
+    }
+
+    report
+}
+
+/// Checks an HMM against the PSM it models (`HM003`): the hidden-state
+/// count must equal the PSM's state count, the symbol alphabet must match
+/// the mined proposition table's size, and every proposition appearing in
+/// a state's chain assertions must have non-zero emission probability in
+/// that state's B row (otherwise the filtering simulation can never
+/// observe the state's own assertion).
+pub fn lint_hmm_against_psm(hmm: &Hmm, psm: &Psm, num_symbols: usize) -> AnalysisReport {
+    let mut report = AnalysisReport::new("hmm vs psm".to_string());
+
+    if hmm.num_states() != psm.state_count() {
+        report.push(Diagnostic::new(
+            &codes::HM003,
+            "state count",
+            format!(
+                "HMM has {} hidden state(s), PSM has {}",
+                hmm.num_states(),
+                psm.state_count()
+            ),
+        ));
+        return report;
+    }
+    if hmm.num_symbols() != num_symbols {
+        report.push(Diagnostic::new(
+            &codes::HM003,
+            "symbol alphabet",
+            format!(
+                "HMM emits {} symbol(s), proposition table has {num_symbols}",
+                hmm.num_symbols()
+            ),
+        ));
+        return report;
+    }
+
+    for (id, state) in psm.states() {
+        let row = &hmm.b()[id.index()];
+        for chain in state.chains() {
+            for part in chain.parts() {
+                let k = part.left().index();
+                if k < row.len() && row[k] == 0.0 {
+                    report.push(Diagnostic::new(
+                        &codes::HM003,
+                        format!("state s{} emission p{k}", id.index()),
+                        format!(
+                            "state s{} asserts p{k} but its emission probability is 0",
+                            id.index()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Lints a full trained model — the PSM on its own ([`lint_psm`]), the HMM
+/// on its own ([`lint_hmm`]) and their mutual consistency
+/// ([`lint_hmm_against_psm`]) — into one report.
+///
+/// [`lint_psm`]: crate::lint_psm
+pub fn lint_model(psm: &Psm, hmm: &Hmm, num_symbols: usize) -> AnalysisReport {
+    let mut report = AnalysisReport::new(format!(
+        "model ({} states, {num_symbols} propositions)",
+        psm.state_count()
+    ));
+    report.merge(crate::lint_psm(psm));
+    report.merge(lint_hmm(hmm));
+    report.merge(lint_hmm_against_psm(hmm, psm, num_symbols));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_of(report: &AnalysisReport) -> Vec<&'static str> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    fn small_hmm() -> Hmm {
+        Hmm::new(
+            vec![vec![0.5, 0.5], vec![0.4, 0.6]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![1.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalised_hmm_is_clean() {
+        assert!(lint_hmm(&small_hmm()).is_clean());
+    }
+
+    #[test]
+    fn perturbed_row_is_hm001() {
+        // Hmm::new normalises, so build the defect through the persistence
+        // layer (tolerance 1e-6), exactly as a degraded file would arrive.
+        let mut json = psm_persist::Persist::to_json(&small_hmm()).render();
+        json = json.replacen("0.5", "0.5000005", 1);
+        let hmm: Hmm =
+            psm_persist::Persist::from_json(&psm_persist::JsonValue::parse(&json).unwrap())
+                .unwrap();
+        let report = lint_hmm(&hmm);
+        assert_eq!(codes_of(&report), vec!["HM001"]);
+        assert!(report.diagnostics()[0].location.contains("A row 0"));
+    }
+
+    #[test]
+    fn absorbing_state_is_hm002_warning() {
+        let hmm = Hmm::new(
+            vec![vec![1.0, 0.0], vec![0.5, 0.5]],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let report = lint_hmm(&hmm);
+        assert_eq!(codes_of(&report), vec!["HM002"]);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn shape_mismatch_is_hm003() {
+        let psm = Psm::new();
+        let report = lint_hmm_against_psm(&small_hmm(), &psm, 2);
+        assert_eq!(codes_of(&report), vec!["HM003"]);
+    }
+}

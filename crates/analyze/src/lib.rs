@@ -1,0 +1,506 @@
+//! Static analyses over the `psmgen` pipeline artifacts.
+//!
+//! The methodology of Danese et al. (DATE 2016) is only trustworthy when
+//! its intermediate artifacts uphold their invariants: the netlist must be
+//! acyclic and single-driven, the training traces must carry finite
+//! non-negative power samples, **exactly one proposition** must hold at
+//! every instant, the PSM's power attributes ⟨μ, σ, n⟩ must be well-formed
+//! and the HMM's matrices row-stochastic. This crate checks all of that
+//! *statically* — before a malformed input can surface as a confusing
+//! panic deep inside training or estimation — and reports what it finds as
+//! structured [`Diagnostic`]s grouped into an [`AnalysisReport`] that
+//! renders as text or JSON.
+//!
+//! Every diagnostic carries a stable code (`NL…` netlist, `TR…` trace,
+//! `PS…` PSM, `HM…` HMM); the full catalogue lives in [`codes`] and is
+//! documented in the repository's `DIAGNOSTICS.md`.
+//!
+//! # Examples
+//!
+//! Lint a PSM with an unreachable state:
+//!
+//! ```
+//! use psm_analyze::lint_psm;
+//! use psm_core::{ChainAssertion, PowerAttributes, PowerState, Psm, SourceWindow};
+//! use psm_mining::{PropositionId, TemporalAssertion, TemporalPattern};
+//! use psm_trace::PowerTrace;
+//!
+//! let p = |i| PropositionId::from_index(i);
+//! let delta: PowerTrace = [3.0, 3.1].into_iter().collect();
+//! let state = |l, r| {
+//!     PowerState::new(
+//!         ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, p(l), p(r))),
+//!         SourceWindow { trace: 0, start: 0, stop: 1 },
+//!         PowerAttributes::from_window(&delta, 0, 1),
+//!     )
+//! };
+//! let mut psm = Psm::new();
+//! let s0 = psm.add_state(state(0, 1));
+//! let _orphan = psm.add_state(state(1, 2));
+//! psm.add_initial(s0);
+//!
+//! let report = lint_psm(&psm);
+//! assert!(report.diagnostics().iter().any(|d| d.code == "PS001"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod hmm;
+mod netlist;
+mod psm;
+mod trace;
+
+pub use hmm::{lint_hmm, lint_hmm_against_psm, lint_model, ROW_SUM_TOLERANCE};
+pub use netlist::lint_netlist;
+pub use psm::lint_psm;
+pub use trace::{
+    lint_functional_trace, lint_power_trace, lint_proposition_coverage, lint_trace_pair,
+};
+
+use psm_persist::JsonValue;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never wrong.
+    Info,
+    /// Suspicious but survivable: the pipeline still produces a result.
+    Warn,
+    /// A broken invariant: downstream stages may panic or mis-estimate.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in both report formats).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The static description of one diagnostic code: the row it contributes
+/// to `DIAGNOSTICS.md`.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    /// Stable code, e.g. `NL002`.
+    pub code: &'static str,
+    /// Severity every diagnostic with this code carries.
+    pub severity: Severity,
+    /// One-line meaning.
+    pub summary: &'static str,
+    /// The typical fix.
+    pub help: &'static str,
+}
+
+/// The diagnostic-code catalogue, grouped by artifact prefix: `NL` netlist,
+/// `TR` trace, `PS` power state machine, `HM` hidden Markov model.
+pub mod codes {
+    use super::{CodeInfo, Severity};
+
+    /// Combinational logic contains a cycle.
+    pub const NL001: CodeInfo = CodeInfo {
+        code: "NL001",
+        severity: Severity::Error,
+        summary: "combinational cycle through a net",
+        help: "break the feedback path with a flip-flop or remove the loop",
+    };
+    /// A net is driven by more than one cell.
+    pub const NL002: CodeInfo = CodeInfo {
+        code: "NL002",
+        severity: Severity::Error,
+        summary: "net driven by more than one gate, flip-flop or input",
+        help: "keep exactly one driver per net; mux the sources together instead",
+    };
+    /// A read net has no driver.
+    pub const NL003: CodeInfo = CodeInfo {
+        code: "NL003",
+        severity: Severity::Error,
+        summary: "net is read but never driven (floating input)",
+        help: "drive the net from a gate, register, constant or input port",
+    };
+    /// Logic that reaches no observable point.
+    pub const NL004: CodeInfo = CodeInfo {
+        code: "NL004",
+        severity: Severity::Warn,
+        summary: "dead logic cone: cells that reach no output, register or memory",
+        help: "remove the unused logic or connect it to an observable point",
+    };
+    /// Input bits nothing reads.
+    pub const NL005: CodeInfo = CodeInfo {
+        code: "NL005",
+        severity: Severity::Warn,
+        summary: "input port bits that are never read",
+        help: "drop the unused bits from the port or wire them into the design",
+    };
+    /// A gate with the wrong number of input pins.
+    pub const NL006: CodeInfo = CodeInfo {
+        code: "NL006",
+        severity: Severity::Error,
+        summary: "cell input count does not match the cell kind's arity",
+        help: "rebuild the cell with the pin count its kind expects",
+    };
+    /// A cell references a net outside the netlist.
+    pub const NL007: CodeInfo = CodeInfo {
+        code: "NL007",
+        severity: Severity::Error,
+        summary: "cell or port references a net beyond the netlist's net count",
+        help: "the netlist is corrupt; regenerate it from its source",
+    };
+
+    /// A power sample that is NaN or infinite.
+    pub const TR001: CodeInfo = CodeInfo {
+        code: "TR001",
+        severity: Severity::Error,
+        summary: "non-finite power sample (NaN or infinity)",
+        help: "re-capture the trace; check the power model for overflow",
+    };
+    /// A negative power sample.
+    pub const TR002: CodeInfo = CodeInfo {
+        code: "TR002",
+        severity: Severity::Error,
+        summary: "negative power sample",
+        help: "dynamic power is non-negative; check the capture pipeline's noise model",
+    };
+    /// Functional and power traces of different lengths.
+    pub const TR003: CodeInfo = CodeInfo {
+        code: "TR003",
+        severity: Severity::Error,
+        summary: "functional and power trace lengths disagree",
+        help: "capture both traces from the same simulation run",
+    };
+    /// A signal that never changes.
+    pub const TR004: CodeInfo = CodeInfo {
+        code: "TR004",
+        severity: Severity::Warn,
+        summary: "signal stuck at one constant value for the whole trace",
+        help: "extend the stimulus to exercise the signal, or drop it from the interface",
+    };
+    /// An instant no mined proposition classifies.
+    pub const TR005: CodeInfo = CodeInfo {
+        code: "TR005",
+        severity: Severity::Error,
+        summary: "instant where no mined proposition holds (exactly-one violation)",
+        help: "re-mine the propositions over a training set that covers this behaviour",
+    };
+
+    /// A state unreachable from every initial state.
+    pub const PS001: CodeInfo = CodeInfo {
+        code: "PS001",
+        severity: Severity::Warn,
+        summary: "state unreachable from the initial states",
+        help: "remove the orphan state or add the missing transitions",
+    };
+    /// Malformed power attributes.
+    pub const PS002: CodeInfo = CodeInfo {
+        code: "PS002",
+        severity: Severity::Error,
+        summary: "invalid power attributes (n = 0, σ < 0 or non-finite μ/σ)",
+        help: "recompute the attributes from the training windows",
+    };
+    /// Two states with one label.
+    pub const PS003: CodeInfo = CodeInfo {
+        code: "PS003",
+        severity: Severity::Warn,
+        summary: "distinct states share one assertion label",
+        help: "expected when a merge was rejected on power statistics; review the merge policy",
+    };
+    /// A transition whose guard matches neither endpoint.
+    pub const PS004: CodeInfo = CodeInfo {
+        code: "PS004",
+        severity: Severity::Error,
+        summary: "transition guard matches no exit/entry proposition of its endpoints",
+        help: "regenerate the PSM; chain adjacency was broken by a bad edit or merge",
+    };
+    /// No entry point into the machine.
+    pub const PS005: CodeInfo = CodeInfo {
+        code: "PS005",
+        severity: Severity::Error,
+        summary: "PSM has states but no initial state",
+        help: "mark the state each training trace starts in as initial",
+    };
+    /// A transition or initial mark pointing outside the state table.
+    pub const PS006: CodeInfo = CodeInfo {
+        code: "PS006",
+        severity: Severity::Error,
+        summary: "transition or initial mark references a state outside the PSM",
+        help: "the PSM is corrupt; regenerate it from its source",
+    };
+
+    /// A probability row that does not sum to one.
+    pub const HM001: CodeInfo = CodeInfo {
+        code: "HM001",
+        severity: Severity::Error,
+        summary: "matrix row is not a probability distribution (beyond tolerance)",
+        help: "renormalise the row; probabilities must lie in [0, 1] and sum to 1",
+    };
+    /// A state the chain can never leave.
+    pub const HM002: CodeInfo = CodeInfo {
+        code: "HM002",
+        severity: Severity::Warn,
+        summary: "absorbing hidden state (self-loop probability 1)",
+        help: "expected for terminal training behaviours; otherwise add outgoing transitions",
+    };
+    /// HMM shape or emissions disagreeing with the backing PSM.
+    pub const HM003: CodeInfo = CodeInfo {
+        code: "HM003",
+        severity: Severity::Error,
+        summary: "HMM shape or emissions inconsistent with the backing PSM",
+        help: "rebuild the HMM from the PSM and proposition table with build_hmm",
+    };
+    /// An initial distribution with no mass.
+    pub const HM004: CodeInfo = CodeInfo {
+        code: "HM004",
+        severity: Severity::Error,
+        summary: "initial distribution π carries no probability mass",
+        help: "give at least one state a non-zero initial probability",
+    };
+
+    /// Every code, in catalogue order.
+    pub const ALL: [&CodeInfo; 22] = [
+        &NL001, &NL002, &NL003, &NL004, &NL005, &NL006, &NL007, &TR001, &TR002, &TR003, &TR004,
+        &TR005, &PS001, &PS002, &PS003, &PS004, &PS005, &PS006, &HM001, &HM002, &HM003, &HM004,
+    ];
+}
+
+/// One finding of a static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code from the [`codes`] catalogue.
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Where in the artifact the problem sits (`net n5`, `state s3`,
+    /// `instant 17`, `A row 2`, …).
+    pub location: String,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// The typical fix.
+    pub help: &'static str,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for a catalogued code; severity and help come
+    /// from the catalogue entry.
+    pub fn new(info: &CodeInfo, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code: info.code,
+            severity: info.severity,
+            location: location.into(),
+            message: message.into(),
+            help: info.help,
+        }
+    }
+
+    /// The diagnostic as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("code", JsonValue::from(self.code)),
+            ("severity", JsonValue::from(self.severity.name())),
+            ("location", JsonValue::from(self.location.as_str())),
+            ("message", JsonValue::from(self.message.as_str())),
+            ("help", JsonValue::from(self.help)),
+        ])
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// A set of diagnostics about one artifact, renderable as text or JSON
+/// (mirroring the pipeline's telemetry reports).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    artifact: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Starts an empty report about `artifact` (a human-readable name such
+    /// as ``netlist `multsum```).
+    pub fn new(artifact: impl Into<String>) -> Self {
+        AnalysisReport {
+            artifact: artifact.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// The analysed artifact's name.
+    pub fn artifact(&self) -> &str {
+        &self.artifact
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Absorbs all diagnostics of another report (its artifact name is
+    /// dropped; locations identify the findings).
+    pub fn merge(&mut self, other: AnalysisReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics, in discovery order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when at least one [`Severity::Error`] diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// `true` when the report carries no diagnostics at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The report as readable text: a summary line, then one line per
+    /// diagnostic with its help underneath.
+    pub fn text(&self) -> String {
+        let mut out = format!(
+            "{}: {} error(s), {} warning(s), {} info(s)\n",
+            self.artifact,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n  help: {}\n", d.help));
+        }
+        out
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("artifact", JsonValue::from(self.artifact.as_str())),
+            ("errors", JsonValue::from(self.count(Severity::Error))),
+            ("warnings", JsonValue::from(self.count(Severity::Warn))),
+            ("infos", JsonValue::from(self.count(Severity::Info))),
+            (
+                "diagnostics",
+                JsonValue::arr(self.diagnostics.iter().map(Diagnostic::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Whether validation failures abort the pipeline or merely annotate its
+/// telemetry (the `PsmFlow` builder knob).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Strictness {
+    /// Any [`Severity::Error`] diagnostic fails the run fast.
+    Strict,
+    /// Errors are demoted to report entries; the run continues.
+    #[default]
+    Lenient,
+}
+
+impl Strictness {
+    /// `true` for [`Strictness::Strict`].
+    pub fn is_strict(self) -> bool {
+        matches!(self, Strictness::Strict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_order_and_name() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.name(), "error");
+        assert_eq!(Severity::Warn.to_string(), "warning");
+    }
+
+    #[test]
+    fn catalogue_codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for info in codes::ALL {
+            assert!(seen.insert(info.code), "duplicate code {}", info.code);
+            assert_eq!(info.code.len(), 5, "{} must be XXnnn", info.code);
+            assert!(!info.summary.is_empty() && !info.help.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_counts_render_and_json() {
+        let mut r = AnalysisReport::new("unit artifact");
+        assert!(r.is_clean() && !r.has_errors());
+        r.push(Diagnostic::new(
+            &codes::NL002,
+            "net n7",
+            "net n7 has 2 drivers",
+        ));
+        r.push(Diagnostic::new(
+            &codes::TR004,
+            "signal `en`",
+            "stuck at 1'h1",
+        ));
+        assert!(r.has_errors() && !r.is_clean());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.count(Severity::Info), 0);
+
+        let text = r.text();
+        assert!(text.contains("unit artifact"), "{text}");
+        assert!(text.contains("error[NL002] net n7"), "{text}");
+        assert!(text.contains("help:"), "{text}");
+
+        let json = r.to_json();
+        assert_eq!(json.u64_field("errors").unwrap(), 1);
+        let diags = json.arr_field("diagnostics").unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].str_field("code").unwrap(), "NL002");
+        // The rendered document survives a parse round-trip.
+        let back = JsonValue::parse(&json.render()).unwrap();
+        assert_eq!(back.arr_field("diagnostics").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn merge_concatenates_diagnostics() {
+        let mut a = AnalysisReport::new("a");
+        a.push(Diagnostic::new(&codes::PS005, "psm", "no initial state"));
+        let mut b = AnalysisReport::new("b");
+        b.push(Diagnostic::new(&codes::HM004, "pi", "no mass"));
+        a.merge(b);
+        assert_eq!(a.diagnostics().len(), 2);
+        assert_eq!(a.artifact(), "a");
+    }
+
+    #[test]
+    fn strictness_default_is_lenient() {
+        assert!(!Strictness::default().is_strict());
+        assert!(Strictness::Strict.is_strict());
+    }
+}

@@ -57,6 +57,8 @@
 //! # Ok::<(), psm_core::CoreError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod attrs;
 mod calibrate;
 mod dot;

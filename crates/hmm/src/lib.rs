@@ -52,6 +52,8 @@
 //! # Ok::<(), psm_core::CoreError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod build;
 mod model;
 mod simulate;

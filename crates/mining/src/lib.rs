@@ -65,6 +65,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod atom;
 mod config;
 mod miner;

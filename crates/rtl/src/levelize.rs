@@ -113,6 +113,49 @@ mod tests {
     use crate::NetlistBuilder;
 
     #[test]
+    fn combinational_cycle_is_reported_with_a_cycle_net() {
+        use crate::gate::{Gate, GateKind, NetId};
+        // g0: n2 = and(n3, 1) and g1: n3 = not(n2) — a two-gate loop the
+        // builder cannot express, assembled directly from parts.
+        let n = crate::netlist::Netlist::from_parts(
+            "looped".to_owned(),
+            4,
+            vec![
+                Gate {
+                    kind: GateKind::And2,
+                    inputs: vec![NetId(3), NetId(1)],
+                    output: NetId(2),
+                },
+                Gate {
+                    kind: GateKind::Not,
+                    inputs: vec![NetId(2)],
+                    output: NetId(3),
+                },
+            ],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            vec!["core".to_owned()],
+            vec![0, 0],
+            Vec::new(),
+            Vec::new(),
+        );
+        match levelize(&n) {
+            Err(RtlError::CombinationalLoop { net }) => {
+                assert!(
+                    net == NetId(2) || net == NetId(3),
+                    "net {net} not on the loop"
+                );
+            }
+            other => panic!("expected a combinational loop, got {other:?}"),
+        }
+        assert!(matches!(
+            logic_depth(&n),
+            Err(RtlError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
     fn straight_chain_depth() {
         let mut b = NetlistBuilder::new("chain");
         let a = b.input("a", 1);

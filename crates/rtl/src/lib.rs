@@ -71,7 +71,7 @@ pub use netlist::{Dff, MemoryMacro, Netlist, NetlistStats, Port};
 pub use opt::{optimize, OptStats};
 pub use power::{CycleActivity, PowerEstimator, PowerModel};
 pub use sim::{PortHandle, Simulator};
-pub use verilog::write_verilog;
+pub use verilog::{parse_verilog, read_verilog, write_verilog};
 
 use std::error::Error;
 use std::fmt;
@@ -113,6 +113,13 @@ pub enum RtlError {
     },
     /// Trace-level failure while capturing stimuli.
     Trace(psm_trace::TraceError),
+    /// A structural-Verilog construct outside the emitted grammar.
+    VerilogParse {
+        /// 1-based line number of the offending construct.
+        line: usize,
+        /// What was unexpected about it.
+        message: String,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -140,6 +147,9 @@ impl fmt::Display for RtlError {
                 write!(f, "word width mismatch ({left} vs {right})")
             }
             RtlError::Trace(e) => write!(f, "trace error: {e}"),
+            RtlError::VerilogParse { line, message } => {
+                write!(f, "verilog parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -178,6 +188,10 @@ mod tests {
             RtlError::UndrivenNet(NetId(2)),
             RtlError::UnconnectedRegister("acc".into()),
             RtlError::WidthMismatch { left: 4, right: 8 },
+            RtlError::VerilogParse {
+                line: 7,
+                message: "unexpected token".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

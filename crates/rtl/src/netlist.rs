@@ -448,6 +448,63 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_multiple_drivers() {
+        use crate::gate::{Gate, GateKind};
+        // Two buffers driving n2 — inexpressible through NetlistBuilder,
+        // so exercise validate() on a hand-assembled netlist.
+        let n = Netlist::from_parts(
+            "dualdrive".to_owned(),
+            3,
+            vec![
+                Gate {
+                    kind: GateKind::Buf,
+                    inputs: vec![Netlist::CONST0],
+                    output: NetId(2),
+                },
+                Gate {
+                    kind: GateKind::Buf,
+                    inputs: vec![Netlist::CONST1],
+                    output: NetId(2),
+                },
+            ],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            vec!["core".to_owned()],
+            vec![0, 0],
+            Vec::new(),
+            Vec::new(),
+        );
+        assert!(matches!(
+            n.validate(),
+            Err(RtlError::MultipleDrivers(NetId(2)))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_undriven_reads() {
+        use crate::gate::{Gate, GateKind};
+        // A buffer reading n3, which nothing drives.
+        let n = Netlist::from_parts(
+            "floating".to_owned(),
+            4,
+            vec![Gate {
+                kind: GateKind::Buf,
+                inputs: vec![NetId(3)],
+                output: NetId(2),
+            }],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            vec!["core".to_owned()],
+            vec![0],
+            Vec::new(),
+            Vec::new(),
+        );
+        assert!(matches!(n.validate(), Err(RtlError::UndrivenNet(NetId(3)))));
+    }
+
+    #[test]
     fn ports_and_signal_set() {
         let n = tiny();
         assert_eq!(n.name(), "tiny");

@@ -7,6 +7,8 @@
 //! cargo run --release --example cipher_power_model
 //! ```
 
+#![deny(deprecated)]
+
 use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{ip_by_name, testbench};
 

@@ -9,6 +9,8 @@
 //! cargo run --release --example custom_ip
 //! ```
 
+#![deny(deprecated)]
+
 use psmgen::flow::PsmFlow;
 use psmgen::ips::Ip;
 use psmgen::rtl::{Netlist, NetlistBuilder, RtlError, Stimulus, Word};

@@ -11,6 +11,8 @@
 //! cargo run --release --example dpm_exploration
 //! ```
 
+#![deny(deprecated)]
+
 use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{behavioural_trace, testbench, MultSum};
 use psmgen::rtl::Stimulus;

@@ -9,6 +9,8 @@
 //! cargo run --release --example model_persistence
 //! ```
 
+#![deny(deprecated)]
+
 use psmgen::flow::{IpPreset, PsmFlow, TrainedModel};
 use psmgen::ips::{behavioural_trace, testbench, MultSum};
 use std::time::Instant;

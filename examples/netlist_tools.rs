@@ -5,6 +5,8 @@
 //! cargo run --release --example netlist_tools
 //! ```
 
+#![deny(deprecated)]
+
 use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{ip_by_name, testbench};
 use psmgen::psm::report;

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![deny(deprecated)]
+
 use psmgen::flow::{IpPreset, PsmFlow};
 use psmgen::ips::{testbench, Ram1k};
 use psmgen::psm::to_dot;

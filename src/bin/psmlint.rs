@@ -1,0 +1,191 @@
+//! `psmlint` — static analysis of psmgen pipeline artifacts.
+//!
+//! Loads persisted artifacts and runs the [`psmgen::analyze`] lints over
+//! them, printing an [`AnalysisReport`] per artifact as text or JSON:
+//!
+//! * `*.v` — a structural-Verilog netlist (the `psm-rtl` writer grammar),
+//!   checked for combinational cycles, multi-driven nets, undriven reads,
+//!   dead cones and unused input bits;
+//! * `*.csv` — a golden power trace (`write_power_csv` format), checked
+//!   for non-finite and negative samples;
+//! * `*.json` — a trained model file ([`TrainedModel`] or
+//!   [`HierarchicalModel`]), checked for unreachable states, invalid power
+//!   attributes, broken chain adjacency, non-stochastic HMM rows and
+//!   PSM/HMM inconsistencies.
+//!
+//! Exit status: `0` when clean, `1` when any error-severity diagnostic was
+//! found (warnings too under `--deny-warnings`), `2` when an artifact could
+//! not be loaded or the command line is malformed.
+
+use psmgen::analyze::{lint_model, lint_netlist, lint_power_trace, AnalysisReport, Severity};
+use psmgen::flow::{HierarchicalModel, IpPreset, PsmFlow, TrainedModel};
+use psmgen::ips::{testbench, MultSum};
+use psmgen::rtl::parse_verilog;
+use psmgen::trace::read_power_csv;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: psmlint [options] <artifact>...
+
+Artifacts:
+  *.v      structural Verilog netlist (psm-rtl writer grammar)
+  *.csv    golden power trace (write_power_csv format)
+  *.json   model file saved by TrainedModel or HierarchicalModel
+
+Options:
+  --json            emit the reports as one JSON document
+  --deny-warnings   exit non-zero on warnings, not just errors
+  --demo <path>     train a quick MultSum model, save it at <path>,
+                    then lint the saved file
+  -h, --help        show this help";
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    demo: Option<String>,
+    paths: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        demo: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--demo" => {
+                let path = it.next().ok_or("--demo needs a file path")?;
+                opts.demo = Some(path.clone());
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            path => opts.paths.push(path.to_owned()),
+        }
+    }
+    if opts.paths.is_empty() && opts.demo.is_none() {
+        return Err("no artifacts given".to_owned());
+    }
+    Ok(opts)
+}
+
+/// Lints one artifact file, returning one report per contained model.
+fn lint_path(path: &str) -> Result<Vec<AnalysisReport>, String> {
+    if path.ends_with(".v") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let netlist = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(vec![lint_netlist(&netlist)]);
+    }
+    if path.ends_with(".csv") {
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let trace =
+            read_power_csv(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(vec![lint_power_trace(&trace, path)]);
+    }
+    // Model files: a flat TrainedModel, else a HierarchicalModel.
+    match TrainedModel::load(path) {
+        Ok(model) => Ok(vec![lint_model(&model.psm, &model.hmm, model.table.len())]),
+        Err(flat_err) => match HierarchicalModel::load(path) {
+            Ok(model) => Ok(model
+                .models
+                .iter()
+                .zip(&model.domains)
+                .map(|(m, domain)| {
+                    let mut report = AnalysisReport::new(format!("domain `{domain}`"));
+                    report.merge(lint_model(&m.psm, &m.hmm, m.table.len()));
+                    report
+                })
+                .collect()),
+            Err(_) => Err(format!("cannot load {path}: {flat_err}")),
+        },
+    }
+}
+
+/// Trains a small MultSum model and saves it, so CI can exercise the whole
+/// persist-and-lint path offline.
+fn train_demo(path: &str) -> Result<(), String> {
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    let training = testbench::multsum_short_ts(1);
+    let model = flow
+        .train(&mut MultSum::new(), &[training])
+        .map_err(|e| format!("demo training failed: {e}"))?;
+    model
+        .save(path)
+        .map_err(|e| format!("cannot save demo model at {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("psmlint: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(demo) = &opts.demo {
+        if let Err(message) = train_demo(demo) {
+            eprintln!("psmlint: {message}");
+            return ExitCode::from(2);
+        }
+        opts.paths.push(demo.clone());
+    }
+
+    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
+    for path in &opts.paths {
+        match lint_path(path) {
+            Ok(found) => reports.extend(found.into_iter().map(|r| (path.clone(), r))),
+            Err(message) => {
+                eprintln!("psmlint: {message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let errors: usize = reports.iter().map(|(_, r)| r.count(Severity::Error)).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.count(Severity::Warn)).sum();
+
+    if opts.json {
+        // JsonValue renders each report; the envelope is assembled by hand
+        // so the binary needs no JSON dependency of its own.
+        let rendered: Vec<String> = reports
+            .iter()
+            .map(|(path, r)| {
+                let body = r.to_json().render();
+                let mut obj = String::with_capacity(body.len() + path.len() + 16);
+                obj.push_str("{\"file\":\"");
+                obj.push_str(&path.replace('\\', "\\\\").replace('"', "\\\""));
+                obj.push_str("\",\"report\":");
+                obj.push_str(&body);
+                obj.push('}');
+                obj
+            })
+            .collect();
+        println!(
+            "{{\"reports\":[{}],\"errors\":{errors},\"warnings\":{warnings}}}",
+            rendered.join(",")
+        );
+    } else {
+        for (path, report) in &reports {
+            println!("== {path}");
+            println!("{}", report.text());
+        }
+        println!("psmlint: {errors} error(s), {warnings} warning(s)");
+    }
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

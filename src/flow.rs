@@ -21,10 +21,21 @@
 //! entry points ([`train_batch`](PsmFlow::train_batch),
 //! [`estimate_batch`](PsmFlow::estimate_batch)) spread whole jobs over the
 //! same worker pool.
+//!
+//! Every pipeline artifact is statically checked by the [`psm_analyze`]
+//! lints as training proceeds (the `validate` stage of the telemetry
+//! report). Under the default [`Strictness::Lenient`] the diagnostics are
+//! demoted to warnings and ride along in the [`TelemetryReport`]; under
+//! [`Strictness::Strict`] any error-severity finding aborts training with
+//! [`FlowError::Validation`].
 
 pub use crate::parallel::Parallelism;
 use crate::parallel::{collect_ordered, run_indexed};
 use crate::telemetry::{Stage, Telemetry, TelemetryReport};
+pub use psm_analyze::Strictness;
+use psm_analyze::{
+    lint_model, lint_netlist, lint_proposition_coverage, lint_trace_pair, AnalysisReport, Severity,
+};
 use psm_core::{
     calibrate, classify_trace, generate_psm, join, simplify, CalibrationConfig, CoreError,
     MergePolicy, Psm,
@@ -74,6 +85,10 @@ pub enum FlowError {
     Stats(StatsError),
     /// No training stimulus was provided.
     NoTrainingData,
+    /// Static validation found error-severity diagnostics and the flow runs
+    /// under [`Strictness::Strict`]. The report carries every finding for
+    /// the offending artifact.
+    Validation(AnalysisReport),
     /// Saving or loading a model file failed.
     Persistence {
         /// The file involved.
@@ -111,6 +126,12 @@ impl fmt::Display for FlowError {
             FlowError::Trace(e) => write!(f, "trace: {e}"),
             FlowError::Stats(e) => write!(f, "metric: {e}"),
             FlowError::NoTrainingData => write!(f, "at least one training stimulus is required"),
+            FlowError::Validation(report) => write!(
+                f,
+                "validation failed for {}: {} error(s)",
+                report.artifact(),
+                report.count(Severity::Error)
+            ),
             FlowError::Persistence { path, source } => {
                 write!(
                     f,
@@ -131,6 +152,7 @@ impl Error for FlowError {
             FlowError::Trace(e) => Some(e),
             FlowError::Stats(e) => Some(e),
             FlowError::NoTrainingData => None,
+            FlowError::Validation(_) => None,
             FlowError::Persistence { source, .. } => match source {
                 PersistenceError::Io(e) => Some(e),
                 PersistenceError::Format(e) => Some(e),
@@ -425,6 +447,14 @@ impl PsmFlowBuilder {
         self
     }
 
+    /// Sets how validation diagnostics are handled: [`Strictness::Strict`]
+    /// aborts training on the first error-severity finding, the default
+    /// [`Strictness::Lenient`] demotes everything to telemetry warnings.
+    pub fn strictness(mut self, strictness: Strictness) -> Self {
+        self.flow.strictness = strictness;
+        self
+    }
+
     /// Finishes the flow.
     pub fn build(self) -> PsmFlow {
         self.flow
@@ -457,6 +487,9 @@ pub struct PsmFlow {
     /// Worker budget of the parallel training/estimation engine. Does not
     /// affect results: any setting produces byte-identical models.
     pub parallelism: Parallelism,
+    /// How static-validation diagnostics affect training
+    /// ([`Strictness::Lenient`] by default).
+    pub strictness: Strictness,
 }
 
 impl Default for PsmFlow {
@@ -468,6 +501,7 @@ impl Default for PsmFlow {
             power_model: PowerModel::default(),
             noise_seed: 0xD5E_u64,
             parallelism: Parallelism::Auto,
+            strictness: Strictness::default(),
         }
     }
 }
@@ -526,6 +560,16 @@ impl PsmFlow {
         Ok((model, telemetry.report()))
     }
 
+    /// Folds one validation report into the run: the diagnostics always
+    /// land in the telemetry; strict flows additionally abort on errors.
+    fn check(&self, telemetry: &Telemetry, report: AnalysisReport) -> Result<(), FlowError> {
+        telemetry.add_diagnostics(&report);
+        if self.strictness.is_strict() && report.has_errors() {
+            return Err(FlowError::Validation(report));
+        }
+        Ok(())
+    }
+
     fn train_core(
         &self,
         ip: &mut dyn Ip,
@@ -536,6 +580,8 @@ impl PsmFlow {
             return Err(FlowError::NoTrainingData);
         }
         let netlist = ip.netlist()?;
+        let netlist_report = telemetry.time(Stage::Validate, "netlist", || lint_netlist(&netlist));
+        self.check(telemetry, netlist_report)?;
 
         // Golden capture: functional + reference power, one gate-level run
         // per stimulus, fanned across the worker pool. The noise seed is a
@@ -559,6 +605,12 @@ impl PsmFlow {
             .map(|c| (c.functional, c.power))
             .unzip();
         let reference_power_time = px_start.elapsed();
+        for (i, (f, p)) in functional.iter().zip(power.iter()).enumerate() {
+            let report = telemetry.time(Stage::Validate, format!("trace pair {i}"), || {
+                lint_trace_pair(f, p, &format!("training trace {i}"))
+            });
+            self.check(telemetry, report)?;
+        }
 
         // Mining interns one shared proposition set over all traces, so it
         // stays sequential (and cheap relative to capture).
@@ -568,6 +620,12 @@ impl PsmFlow {
             let trace_refs: Vec<&FunctionalTrace> = functional.iter().collect();
             miner.mine(&trace_refs)
         })?;
+        for (i, f) in functional.iter().enumerate() {
+            let report = telemetry.time(Stage::Validate, format!("coverage {i}"), || {
+                lint_proposition_coverage(&mined.table, f, &format!("training trace {i}"))
+            });
+            self.check(telemetry, report)?;
+        }
 
         // Per-trace chain-PSM generation + simplify, fanned per trace.
         // Each worker touches only its own (gamma, power) pair; the merge
@@ -602,6 +660,10 @@ impl PsmFlow {
         let hmm = telemetry.time(Stage::HmmBuild, "combined psm", || {
             build_hmm(&combined, mined.table.len())
         });
+        let model_report = telemetry.time(Stage::Validate, "trained model", || {
+            lint_model(&combined, &hmm, mined.table.len())
+        });
+        self.check(telemetry, model_report)?;
         let generation_time = gen_start.elapsed();
 
         let stats = TrainingStats {
@@ -1044,6 +1106,7 @@ mod error_tests {
             FlowError::Trace(psm_trace::TraceError::ZeroWidth),
             FlowError::Stats(psm_stats::StatsError::InvalidParameter("x")),
             FlowError::NoTrainingData,
+            FlowError::Validation(psm_analyze::AnalysisReport::new("netlist `x`")),
             FlowError::persistence_io("/tmp/model.json", std::io::Error::other("disk full")),
             FlowError::persistence_format(
                 "/tmp/model.json",
@@ -1054,7 +1117,9 @@ mod error_tests {
             assert!(!e.to_string().is_empty());
             // sources chain where applicable
             match &e {
-                FlowError::NoTrainingData => assert!(e.source().is_none()),
+                FlowError::NoTrainingData | FlowError::Validation(_) => {
+                    assert!(e.source().is_none())
+                }
                 _ => assert!(e.source().is_some()),
             }
         }

@@ -40,8 +40,14 @@
 //! ```
 //!
 //! The layer crates are re-exported under short names: [`stats`],
-//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`] and [`hmm`].
+//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`], [`hmm`] and
+//! [`analyze`]. The static lints of [`analyze`] also run inside the flow
+//! itself (the telemetry's `validate` stage, gated by
+//! [`Strictness`](flow::Strictness)) and behind the `psmlint` binary.
 
+#![warn(missing_docs)]
+
+pub use psm_analyze as analyze;
 /// The PSM core crate (`psm-core`).
 pub use psm_core as psm;
 pub use psm_hmm as hmm;

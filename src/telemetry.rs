@@ -12,6 +12,7 @@
 //! concurrently while fanning captures and per-trace generation across
 //! threads.
 
+use psm_analyze::{AnalysisReport, Diagnostic};
 use psm_persist::JsonValue;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -21,6 +22,8 @@ use std::time::{Duration, Instant};
 /// estimation step of Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// Static validation of pipeline artifacts (netlist, traces, model).
+    Validate,
     /// Golden gate-level capture of paired functional + power traces.
     Capture,
     /// Temporal-assertion mining over the functional traces.
@@ -41,7 +44,8 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
+        Stage::Validate,
         Stage::Capture,
         Stage::Mining,
         Stage::Generation,
@@ -53,7 +57,8 @@ impl Stage {
     ];
 
     /// The stages exercised by training (everything but estimation).
-    pub const TRAINING: [Stage; 7] = [
+    pub const TRAINING: [Stage; 8] = [
+        Stage::Validate,
         Stage::Capture,
         Stage::Mining,
         Stage::Generation,
@@ -66,6 +71,7 @@ impl Stage {
     /// Stable lowercase name (used in both report formats).
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Validate => "validate",
             Stage::Capture => "capture",
             Stage::Mining => "mining",
             Stage::Generation => "generation",
@@ -117,6 +123,7 @@ pub struct Counters {
 pub struct Telemetry {
     epoch: Instant,
     spans: Mutex<Vec<Span>>,
+    diagnostics: Mutex<Vec<Diagnostic>>,
     states_merged: AtomicUsize,
     calibrated_states: AtomicUsize,
     wrong_state_predictions: AtomicUsize,
@@ -135,6 +142,7 @@ impl Telemetry {
         Telemetry {
             epoch: Instant::now(),
             spans: Mutex::new(Vec::new()),
+            diagnostics: Mutex::new(Vec::new()),
             states_merged: AtomicUsize::new(0),
             calibrated_states: AtomicUsize::new(0),
             wrong_state_predictions: AtomicUsize::new(0),
@@ -158,6 +166,15 @@ impl Telemetry {
             duration,
         });
         out
+    }
+
+    /// Appends every diagnostic of a validation report, so lint findings
+    /// ride along with the run's timings in the final report.
+    pub fn add_diagnostics(&self, report: &AnalysisReport) {
+        self.diagnostics
+            .lock()
+            .expect("telemetry lock")
+            .extend(report.diagnostics().iter().cloned());
     }
 
     /// Adds to the merged-states counter.
@@ -188,6 +205,7 @@ impl Telemetry {
         spans.sort_by_key(|s| (s.start, s.duration));
         TelemetryReport {
             spans,
+            diagnostics: self.diagnostics.lock().expect("telemetry lock").clone(),
             counters: Counters {
                 states_merged: self.states_merged.load(Ordering::Relaxed),
                 calibrated_states: self.calibrated_states.load(Ordering::Relaxed),
@@ -204,6 +222,8 @@ impl Telemetry {
 pub struct TelemetryReport {
     /// All recorded spans, sorted by start offset.
     pub spans: Vec<Span>,
+    /// Validation diagnostics recorded during the run, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
     /// The accumulated event counters.
     pub counters: Counters,
     /// Wall-clock from the telemetry epoch to the snapshot.
@@ -248,6 +268,9 @@ impl TelemetryReport {
             self.counters.wrong_state_predictions,
             self.counters.sync_losses,
         ));
+        for d in &self.diagnostics {
+            out.push_str(&format!("diagnostic  {d}\n"));
+        }
         out
     }
 
@@ -279,6 +302,10 @@ impl TelemetryReport {
         JsonValue::obj([
             ("stages", stages),
             ("spans", spans),
+            (
+                "diagnostics",
+                JsonValue::arr(self.diagnostics.iter().map(Diagnostic::to_json)),
+            ),
             (
                 "counters",
                 JsonValue::obj([
@@ -348,11 +375,11 @@ mod tests {
             assert!(text.contains(stage.name()), "missing {stage} in:\n{text}");
         }
         let json = report.to_json();
-        assert_eq!(json.arr_field("stages").unwrap().len(), 8);
-        assert_eq!(json.arr_field("spans").unwrap().len(), 8);
+        assert_eq!(json.arr_field("stages").unwrap().len(), 9);
+        assert_eq!(json.arr_field("spans").unwrap().len(), 9);
         let rendered = json.render();
         let reparsed = JsonValue::parse(&rendered).unwrap();
-        assert_eq!(reparsed.arr_field("stages").unwrap().len(), 8);
+        assert_eq!(reparsed.arr_field("stages").unwrap().len(), 9);
     }
 
     #[test]
@@ -363,6 +390,30 @@ mod tests {
         assert!(report.covers(&[Stage::Capture]));
         assert!(!report.covers(&Stage::TRAINING));
         assert_eq!(report.stage_total(Stage::Join), Duration::ZERO);
+    }
+
+    #[test]
+    fn diagnostics_ride_along_in_both_report_formats() {
+        use psm_analyze::codes;
+        let t = Telemetry::new();
+        let mut r = AnalysisReport::new("unit");
+        r.push(Diagnostic::new(
+            &codes::NL002,
+            "net n3",
+            "net n3 has 2 drivers",
+        ));
+        t.add_diagnostics(&r);
+        let report = t.report();
+        assert_eq!(report.diagnostics.len(), 1);
+        assert!(report.text().contains("NL002"), "{}", report.text());
+        let json = report.to_json();
+        assert_eq!(json.arr_field("diagnostics").unwrap().len(), 1);
+        assert_eq!(
+            json.arr_field("diagnostics").unwrap()[0]
+                .str_field("code")
+                .unwrap(),
+            "NL002"
+        );
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! End-to-end static-analysis tests: seeded defects in every artifact
+//! class must surface through `psmlint` (text and JSON) with stable codes,
+//! and strict flows must refuse to train on them.
+
+use psmgen::analyze::{codes, Severity};
+use psmgen::flow::{FlowError, IpPreset, PsmFlow, Strictness, TrainedModel};
+use psmgen::ips::{testbench, Ip, MultSum};
+use psmgen::mining::{TemporalAssertion, TemporalPattern};
+use psmgen::psm::{ChainAssertion, PowerAttributes, PowerState, SourceWindow};
+use psmgen::rtl::{parse_verilog, write_verilog, Netlist, RtlError, Stimulus};
+use psmgen::trace::{write_power_csv, PowerTrace, SignalSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The writer grammar with hand-seeded defects: a combinational cycle on
+/// n3/n4 and a doubly driven n5 (kept on disjoint nets so neither defect
+/// masks the other in `levelize`).
+const DEFECTIVE_VERILOG: &str = "\
+module broken (clk, a, x);
+  input clk;
+  input a;
+  output x;
+  wire n2;
+  wire n3;
+  wire n4;
+  wire n5;
+  assign n2 = a[0];
+  assign x[0] = n4;
+  and  g0 (n3, n2, n4);
+  and  g1 (n4, n3, 1'b1);
+  buf  g2 (n5, 1'b0);
+  buf  g3 (n5, 1'b1);
+endmodule
+";
+
+fn scratch_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("psmgen-analyze-{}-{name}", std::process::id()))
+}
+
+fn run_psmlint(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_psmlint"))
+        .args(args)
+        .output()
+        .expect("psmlint runs");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    (out.status.code(), stdout)
+}
+
+fn quick_model() -> TrainedModel {
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    flow.train(&mut MultSum::new(), &[testbench::multsum_short_ts(1)])
+        .expect("clean training succeeds")
+}
+
+#[test]
+fn psmlint_flags_defective_netlist_in_text_and_json() {
+    let path = scratch_path("broken.v");
+    std::fs::write(&path, DEFECTIVE_VERILOG).unwrap();
+
+    let (code, text) = run_psmlint(&[path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "errors must exit 1:\n{text}");
+    assert!(text.contains("NL001"), "cycle missing from:\n{text}");
+    assert!(text.contains("NL002"), "multi-driver missing from:\n{text}");
+
+    let (code, json) = run_psmlint(&["--json", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1));
+    assert!(json.contains("\"code\":\"NL001\""), "{json}");
+    assert!(json.contains("\"code\":\"NL002\""), "{json}");
+}
+
+#[test]
+fn psmlint_flags_nan_power_sample() {
+    let trace: PowerTrace = [1.0, f64::NAN, 2.0].into_iter().collect();
+    let path = scratch_path("nan.csv");
+    let mut file = std::fs::File::create(&path).unwrap();
+    write_power_csv(&trace, &mut file).unwrap();
+    drop(file);
+
+    let (code, text) = run_psmlint(&[path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("TR001"), "{text}");
+
+    let (code, json) = run_psmlint(&["--json", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1));
+    assert!(json.contains("\"code\":\"TR001\""), "{json}");
+}
+
+#[test]
+fn psmlint_flags_unreachable_state_in_saved_model() {
+    let mut model = quick_model();
+    // Seed an orphan: a state no transition reaches and no initial names.
+    // The HMM keeps its original dimensions, so the same file also trips
+    // the PSM/HMM consistency check.
+    let delta: PowerTrace = [3.0, 3.5].into_iter().collect();
+    let p = psmgen::mining::PropositionId::from_index(0);
+    let orphan = PowerState::new(
+        ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, p, p)),
+        SourceWindow {
+            trace: 0,
+            start: 0,
+            stop: 1,
+        },
+        PowerAttributes::from_window(&delta, 0, 1),
+    );
+    model.psm.add_state(orphan);
+    let path = scratch_path("orphan.json");
+    model.save(&path).unwrap();
+
+    let (code, text) = run_psmlint(&[path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("PS001"), "unreachable state missing:\n{text}");
+    assert!(text.contains("HM003"), "psm/hmm mismatch missing:\n{text}");
+
+    let (code, json) = run_psmlint(&["--json", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1));
+    assert!(json.contains("\"code\":\"PS001\""), "{json}");
+    assert!(json.contains("\"code\":\"HM003\""), "{json}");
+}
+
+#[test]
+fn psmlint_flags_non_stochastic_hmm_row() {
+    let model = quick_model();
+    // Perturb the first transition-matrix entry by 5e-7: small enough for
+    // the persist loader's 1e-6 tolerance, far beyond the lint's 1e-9.
+    let json = model.to_json_string();
+    let hmm_at = json.find("\"hmm\":").expect("model json has an hmm");
+    let marker = "\"a\":[[";
+    let row_at = hmm_at + json[hmm_at..].find(marker).expect("hmm has an A matrix");
+    let start = row_at + marker.len();
+    let end = start + json[start..].find([',', ']']).expect("row has entries");
+    let value: f64 = json[start..end].parse().expect("entry is a number");
+    let perturbed = format!("{}{}{}", &json[..start], value + 5e-7, &json[end..]);
+
+    let path = scratch_path("skewed.json");
+    std::fs::write(&path, perturbed).unwrap();
+
+    let (code, text) = run_psmlint(&[path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("HM001"), "{text}");
+    assert!(text.contains("A row 0"), "{text}");
+
+    let (code, json_out) = run_psmlint(&["--json", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1));
+    assert!(json_out.contains("\"code\":\"HM001\""), "{json_out}");
+}
+
+#[test]
+fn psmlint_passes_clean_artifacts() {
+    let model = quick_model();
+    let model_path = scratch_path("clean.json");
+    model.save(&model_path).unwrap();
+    let netlist_path = scratch_path("clean.v");
+    let netlist = MultSum::new().netlist().unwrap();
+    let mut file = std::fs::File::create(&netlist_path).unwrap();
+    write_verilog(&netlist, &mut file).unwrap();
+    drop(file);
+
+    let (code, text) = run_psmlint(&[netlist_path.to_str().unwrap(), model_path.to_str().unwrap()]);
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_file(&netlist_path).ok();
+    assert_eq!(code, Some(0), "clean artifacts must pass:\n{text}");
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn psmlint_rejects_unloadable_artifacts() {
+    let path = scratch_path("garbage.json");
+    std::fs::write(&path, "not a model").unwrap();
+    let (code, _) = run_psmlint(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(2), "load failures must exit 2");
+    let (code, _) = run_psmlint(&["/nonexistent/psmgen/nowhere.v"]);
+    assert_eq!(code, Some(2));
+}
+
+/// MultSum with a corrupted structural twin: its netlist round-trips
+/// through the Verilog writer with an extra driver spliced onto the first
+/// gate's output net — the builder would reject this, the parser loads it.
+struct DefectiveMultSum(MultSum);
+
+impl Ip for DefectiveMultSum {
+    fn name(&self) -> &'static str {
+        "DefectiveMultSum"
+    }
+    fn signals(&self) -> SignalSet {
+        self.0.signals()
+    }
+    fn netlist(&self) -> Result<Netlist, RtlError> {
+        let clean = self.0.netlist()?;
+        let driven = clean.gates()[0].output;
+        let mut text = Vec::new();
+        write_verilog(&clean, &mut text)?;
+        let text = String::from_utf8(text).expect("writer emits utf-8");
+        let defective = text.replace(
+            "endmodule",
+            &format!("  buf  g9999 (n{}, 1'b0);\nendmodule", driven.index()),
+        );
+        parse_verilog(&defective)
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+    fn step(&mut self, inputs: &[psmgen::trace::Bits]) -> Vec<psmgen::trace::Bits> {
+        self.0.step(inputs)
+    }
+}
+
+fn short_training() -> Stimulus {
+    testbench::multsum_short_ts(1)
+}
+
+#[test]
+fn strict_flow_refuses_defective_netlist() {
+    let flow = PsmFlow::builder()
+        .preset(IpPreset::MultSum)
+        .strictness(Strictness::Strict)
+        .build();
+    match flow.train(&mut DefectiveMultSum(MultSum::new()), &[short_training()]) {
+        Err(FlowError::Validation(report)) => {
+            assert!(report.has_errors());
+            assert!(
+                report.diagnostics().iter().any(|d| d.code == "NL002"),
+                "expected the multi-driver error, got: {}",
+                report.text()
+            );
+        }
+        other => panic!("strict mode must fail validation, got {other:?}"),
+    }
+}
+
+#[test]
+fn lenient_flow_trains_with_warnings_in_telemetry() {
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    assert_eq!(flow.strictness, Strictness::Lenient);
+    let (model, report) = flow
+        .train_with_telemetry(&mut DefectiveMultSum(MultSum::new()), &[short_training()])
+        .expect("lenient mode demotes errors to report entries");
+    assert!(model.stats.states > 0);
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == "NL002"),
+        "telemetry must carry the finding: {}",
+        report.text()
+    );
+    assert!(report.text().contains("NL002"));
+    assert!(report.to_json().render().contains("NL002"));
+}
+
+#[test]
+fn strict_flow_trains_clean_designs() {
+    let flow = PsmFlow::builder()
+        .preset(IpPreset::MultSum)
+        .strictness(Strictness::Strict)
+        .build();
+    let (model, report) = flow
+        .train_with_telemetry(&mut MultSum::new(), &[short_training()])
+        .expect("clean design passes strict validation");
+    assert!(model.stats.states > 0);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.severity < Severity::Error),
+        "{}",
+        report.text()
+    );
+}
+
+#[test]
+fn every_code_is_documented_in_diagnostics_md() {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DIAGNOSTICS.md"))
+        .expect("DIAGNOSTICS.md exists at the repo root");
+    for info in codes::ALL {
+        assert!(
+            doc.contains(info.code),
+            "{} missing from DIAGNOSTICS.md",
+            info.code
+        );
+    }
+}
+
+#[test]
+fn every_code_is_unique_and_catalogued() {
+    let mut seen = std::collections::HashSet::new();
+    for info in codes::ALL {
+        assert!(seen.insert(info.code), "duplicate code {}", info.code);
+        assert!(!info.summary.is_empty());
+        assert!(!info.help.is_empty());
+    }
+}
