@@ -15,8 +15,17 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --offline --release
 cargo test --offline -q
 
+echo "==> rustdoc: no warnings, doc-tests pass"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+cargo test --offline --doc --workspace -q
+
 echo "==> psmlint: checked-in netlist + freshly trained model"
 ./target/release/psmlint --deny-warnings multsum_netlist.v
 ./target/release/psmlint --json --demo target/psmlint-demo-model.json
+
+echo "==> psmbench: quick regression gate vs checked-in baseline"
+cargo build --offline --release -p psm-bench --bin psmbench
+./target/release/psmbench --quick --out target/BENCH_ci.json \
+    --baseline BENCH_psmgen.json --max-regress 25
 
 echo "CI gate passed"

@@ -101,8 +101,9 @@ pub fn lint_proposition_coverage(
     name: &str,
 ) -> AnalysisReport {
     let mut report = AnalysisReport::new(format!("proposition coverage of {name}"));
+    let mut scratch = psm_mining::RowScratch::new();
     let uncovered: Vec<usize> = (0..trace.len())
-        .filter(|&t| table.classify(trace.cycle(t)).is_none())
+        .filter(|&t| table.classify_with(trace.cycle(t), &mut scratch).is_none())
         .collect();
     if let Some(&first) = uncovered.first() {
         report.push(Diagnostic::new(

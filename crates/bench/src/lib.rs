@@ -14,6 +14,7 @@ use psm_ips::{ip_by_name, testbench, Ip};
 use psm_rtl::Stimulus;
 use psmgen::flow::{IpPreset, PsmFlow};
 
+pub mod scenarios;
 pub mod timing;
 
 /// The Table I benchmark names, in paper order.

@@ -3,8 +3,18 @@
 //! The workspace builds with no network access, so the benches cannot pull
 //! in an external benchmarking crate. This module provides the small slice
 //! of that functionality they need: run a closure for a warm-up pass plus
-//! a fixed number of measured iterations, and report mean / best-case
-//! wall-clock (optionally as throughput).
+//! a fixed number of measured iterations, and report robust per-iteration
+//! statistics (optionally as throughput).
+//!
+//! # Outlier policy
+//!
+//! Wall-clock samples on a shared machine are contaminated by scheduler
+//! noise that is strictly *additive* (preemption only ever makes an
+//! iteration slower). The harness therefore summarises each run with the
+//! **median** and the **median absolute deviation** (MAD) instead of
+//! mean/σ: a single descheduled iteration moves the mean arbitrarily but
+//! leaves the median untouched. The mean and minimum are still recorded
+//! for comparison; `psmbench` keys its regression gate on the median.
 //!
 //! Iteration budgets scale with `PSM_BENCH_ITERS` (default 10).
 
@@ -21,6 +31,11 @@ pub struct Measurement {
     pub mean: Duration,
     /// Fastest iteration.
     pub min: Duration,
+    /// Median wall-clock per iteration — the robust central estimate.
+    pub median: Duration,
+    /// Median absolute deviation of the samples around
+    /// [`Measurement::median`]: the robust spread estimate.
+    pub mad: Duration,
 }
 
 impl Measurement {
@@ -33,6 +48,23 @@ impl Measurement {
             elems as f64 / secs / 1.0e6
         }
     }
+
+    /// `elems / median` in elements per second — the throughput figure
+    /// `psmbench` reports as rows/s.
+    pub fn elems_per_sec_median(&self, elems: usize) -> f64 {
+        let secs = self.median.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            elems as f64 / secs
+        }
+    }
+}
+
+/// Median of a sample of durations (lower-middle for even counts, so the
+/// value is always one actually observed — never an interpolation).
+fn median_of(sorted: &[Duration]) -> Duration {
+    sorted[(sorted.len() - 1) / 2]
 }
 
 /// Measured iterations per bench: `PSM_BENCH_ITERS` or 10.
@@ -50,27 +82,35 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
     bench_iters(name, iters(), &mut f)
 }
 
-/// Like [`bench`] with an explicit iteration count.
+/// Like [`fn@bench`] with an explicit iteration count.
 pub fn bench_iters<T>(name: &str, iters: u32, f: &mut impl FnMut() -> T) -> Measurement {
     std::hint::black_box(f()); // warm-up: page in code and caches
     let mut total = Duration::ZERO;
     let mut min = Duration::MAX;
+    let mut samples = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
         let t0 = Instant::now();
         std::hint::black_box(f());
         let dt = t0.elapsed();
         total += dt;
         min = min.min(dt);
+        samples.push(dt);
     }
+    samples.sort_unstable();
+    let median = median_of(&samples);
+    let mut deviations: Vec<Duration> = samples.iter().map(|&s| s.abs_diff(median)).collect();
+    deviations.sort_unstable();
     let m = Measurement {
         name: name.to_owned(),
         iters,
         mean: total / iters,
         min,
+        median,
+        mad: median_of(&deviations),
     };
     println!(
-        "{:<40} mean {:>12?}  min {:>12?}  ({} iters)",
-        m.name, m.mean, m.min, m.iters
+        "{:<40} median {:>12?} ±{:<10?}  mean {:>12?}  min {:>12?}  ({} iters)",
+        m.name, m.median, m.mad, m.mean, m.min, m.iters
     );
     m
 }
@@ -102,6 +142,32 @@ mod tests {
         assert_eq!(m.iters, 5);
         assert_eq!(calls, 6); // warm-up + 5 measured
         assert!(m.min <= m.mean);
+        assert!(m.min <= m.median);
+    }
+
+    #[test]
+    fn median_and_mad_resist_one_outlier() {
+        // Four fast iterations and one artificially slow one: the mean is
+        // dragged up but the median must stay with the fast cluster.
+        let mut call = 0u32;
+        let m = bench_iters("outlier", 5, &mut || {
+            call += 1;
+            if call == 3 {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            call
+        });
+        assert!(m.median < std::time::Duration::from_millis(25));
+        assert!(m.mad <= m.median.max(std::time::Duration::from_nanos(1)) * 4);
+    }
+
+    #[test]
+    fn median_of_picks_observed_sample() {
+        let d = |ms| Duration::from_millis(ms);
+        assert_eq!(median_of(&[d(1)]), d(1));
+        assert_eq!(median_of(&[d(1), d(2)]), d(1));
+        assert_eq!(median_of(&[d(1), d(2), d(9)]), d(2));
+        assert_eq!(median_of(&[d(1), d(2), d(3), d(9)]), d(2));
     }
 
     #[test]

@@ -14,20 +14,22 @@
 
 use crate::psm::{Psm, StateId};
 use crate::CoreError;
-use psm_mining::{PropositionId, PropositionTable, TemporalPattern};
+use psm_mining::{PropositionId, PropositionTable, RowScratch, TemporalPattern};
 use psm_trace::{FunctionalTrace, PowerTrace};
 
 /// Classifies every instant of a functional trace into its mined
 /// proposition; `None` marks behaviour unseen during training.
 ///
 /// This is the observation stream both the deterministic simulator and the
-/// HMM consume.
+/// HMM consume. One [`RowScratch`] spans the whole trace, so the per-cycle
+/// classification is allocation-free.
 pub fn classify_trace(
     table: &PropositionTable,
     trace: &FunctionalTrace,
 ) -> Vec<Option<PropositionId>> {
+    let mut scratch = RowScratch::new();
     (0..trace.len())
-        .map(|t| table.classify(trace.cycle(t)))
+        .map(|t| table.classify_with(trace.cycle(t), &mut scratch))
         .collect()
 }
 

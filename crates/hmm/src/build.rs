@@ -29,7 +29,28 @@ use psm_core::Psm;
 ///
 /// # Examples
 ///
-/// See the [crate-level example](crate).
+/// Derive the HMM of a two-state idle/busy PSM generated from a short
+/// training trace:
+///
+/// ```
+/// use psm_core::{generate_psm, join, MergePolicy};
+/// use psm_hmm::build_hmm;
+/// use psm_mining::PropositionTrace;
+/// use psm_trace::PowerTrace;
+///
+/// // Six idle cycles (proposition 0), four busy ones (proposition 1), twice.
+/// let props = [0u32, 0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1];
+/// let power: PowerTrace = props.iter().map(|&p| if p == 0 { 3.0 } else { 9.0 }).collect();
+/// let psm = generate_psm(&PropositionTrace::from_indices(&props), &power, 0)?;
+/// let joined = join(&[psm], &MergePolicy::default());
+///
+/// let hmm = build_hmm(&joined, 2);
+/// assert_eq!(hmm.num_states(), joined.state_count());
+/// assert_eq!(hmm.num_symbols(), 2);
+/// // Long dwell times become strong self-loops.
+/// assert!(hmm.a()[0][0] > 0.5);
+/// # Ok::<(), psm_core::CoreError>(())
+/// ```
 pub fn build_hmm(psm: &Psm, num_symbols: usize) -> Hmm {
     let m = psm.state_count();
     assert!(m > 0, "cannot build an HMM from an empty PSM");

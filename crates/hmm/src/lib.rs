@@ -52,14 +52,14 @@
 //! # Ok::<(), psm_core::CoreError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod build;
 mod model;
 mod simulate;
 
 pub use build::build_hmm;
-pub use model::Hmm;
+pub use model::{ForwardCache, Hmm};
 pub use simulate::{HmmOutcome, HmmSimulator};
 
 use std::error::Error;

@@ -7,7 +7,7 @@
 //! alternative chains or transitions match the observation) and when a
 //! wrong prediction forces a revert/resynchronisation.
 
-use crate::model::Hmm;
+use crate::model::{ForwardCache, Hmm};
 use psm_core::{Psm, StateId};
 use psm_mining::{PropositionId, TemporalPattern};
 use psm_trace::PowerTrace;
@@ -91,6 +91,9 @@ struct Cursor {
 pub struct HmmSimulator<'a> {
     psm: &'a Psm,
     hmm: Hmm,
+    /// Transposed transition/emission layout for the per-instant filter
+    /// steps of [`HmmSimulator::run`]; built once at construction.
+    cache: ForwardCache,
 }
 
 impl<'a> HmmSimulator<'a> {
@@ -106,7 +109,8 @@ impl<'a> HmmSimulator<'a> {
             hmm.num_states(),
             "HMM and PSM must agree on the state space"
         );
-        HmmSimulator { psm, hmm }
+        let cache = hmm.forward_cache();
+        HmmSimulator { psm, hmm, cache }
     }
 
     /// The underlying HMM.
@@ -124,6 +128,34 @@ impl<'a> HmmSimulator<'a> {
     /// # Panics
     ///
     /// Panics if the slices differ in length or the PSM has no states.
+    ///
+    /// # Examples
+    ///
+    /// Estimate a fresh workload against a PSM trained on idle/busy runs:
+    ///
+    /// ```
+    /// use psm_core::{generate_psm, join, MergePolicy};
+    /// use psm_hmm::{build_hmm, HmmSimulator};
+    /// use psm_mining::{PropositionId, PropositionTrace};
+    /// use psm_trace::PowerTrace;
+    ///
+    /// let props = [0u32, 0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1];
+    /// let power: PowerTrace = props.iter().map(|&p| if p == 0 { 3.0 } else { 9.0 }).collect();
+    /// let psm = generate_psm(&PropositionTrace::from_indices(&props), &power, 0)?;
+    /// let joined = join(&[psm], &MergePolicy::default());
+    /// let sim = HmmSimulator::new(&joined, build_hmm(&joined, 2));
+    ///
+    /// // A workload with different run lengths than training.
+    /// let obs: Vec<_> = [0u32, 0, 0, 1, 1, 0, 0, 0]
+    ///     .iter()
+    ///     .map(|&i| Some(PropositionId::from_index(i)))
+    ///     .collect();
+    /// let out = sim.run(&obs, &[0; 8]);
+    /// assert_eq!(out.estimate.len(), obs.len());
+    /// assert!((out.estimate[0] - 3.0).abs() < 0.1, "idle instants near 3 mW");
+    /// assert!((out.estimate[3] - 9.0).abs() < 0.1, "busy instants near 9 mW");
+    /// # Ok::<(), psm_core::CoreError>(())
+    /// ```
     pub fn run(&self, observations: &[Option<PropositionId>], input_hamming: &[u32]) -> HmmOutcome {
         assert_eq!(
             observations.len(),
@@ -160,7 +192,7 @@ impl<'a> HmmSimulator<'a> {
                     if sym < self.hmm.num_symbols() {
                         let like = self
                             .hmm
-                            .filter_step_scratch(&mut belief, sym, &mut scratch)
+                            .filter_step_cached(&self.cache, &mut belief, sym, &mut scratch)
                             .unwrap_or(0.0);
                         if like <= 0.0 {
                             if let Some(nb) = self.hmm.emission_belief(sym) {

@@ -65,7 +65,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod atom;
 mod config;
@@ -78,7 +78,9 @@ mod trace;
 pub use atom::{AtomicProposition, Comparison};
 pub use config::MiningConfig;
 pub use miner::{MinedTraces, Miner};
-pub use proposition::{Proposition, PropositionId, PropositionTable, PropositionVocabulary};
+pub use proposition::{
+    Proposition, PropositionId, PropositionTable, PropositionVocabulary, RowScratch,
+};
 pub use report::{AtomSupport, MiningReport};
 pub use temporal::{TemporalAssertion, TemporalPattern};
 pub use trace::PropositionTrace;

@@ -2,7 +2,7 @@
 
 use crate::atom::{AtomicProposition, Comparison};
 use crate::config::MiningConfig;
-use crate::proposition::{PropositionTable, PropositionVocabulary};
+use crate::proposition::{PropositionTable, PropositionVocabulary, RowScratch};
 use crate::trace::PropositionTrace;
 use crate::MiningError;
 use psm_trace::{Bits, FunctionalTrace};
@@ -44,6 +44,29 @@ impl Miner {
     /// All traces must share a signal interface; the returned table is the
     /// shared proposition set *Prop*, and `traces[i]` is the proposition
     /// trace of input `traces[i]`.
+    ///
+    /// # Examples
+    ///
+    /// A one-signal enable line mines down to two propositions (`en=true`
+    /// and its closed-world complement); see the [crate-level
+    /// example](crate) for the paper's full Fig. 3 reproduction.
+    ///
+    /// ```
+    /// use psm_mining::{Miner, MiningConfig};
+    /// use psm_trace::{Bits, Direction, FunctionalTrace, SignalSet};
+    ///
+    /// let mut signals = SignalSet::new();
+    /// signals.push("en", 1, Direction::Input)?;
+    /// let mut phi = FunctionalTrace::new(signals);
+    /// for v in [1u64, 1, 0, 0, 1, 1] {
+    ///     phi.push_cycle(vec![Bits::from_u64(v, 1)])?;
+    /// }
+    ///
+    /// let mined = Miner::new(MiningConfig::default()).mine(&[&phi])?;
+    /// assert_eq!(mined.table.len(), 2);
+    /// assert_eq!(mined.traces[0].id(0), mined.traces[0].id(4));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -199,9 +222,13 @@ impl Miner {
 
     /// Phase 2: converts one functional trace into its proposition trace,
     /// interning any new truth row into `table`.
+    ///
+    /// One [`RowScratch`] spans the whole walk, so evaluating and interning
+    /// a cycle allocates only when its truth row is previously unseen.
     pub fn mine_trace(table: &mut PropositionTable, trace: &FunctionalTrace) -> PropositionTrace {
+        let mut scratch = RowScratch::new();
         (0..trace.len())
-            .map(|t| table.intern_cycle(trace.cycle(t)))
+            .map(|t| table.intern_cycle_with(trace.cycle(t), &mut scratch))
             .collect()
     }
 }

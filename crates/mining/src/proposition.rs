@@ -59,13 +59,49 @@ impl PropositionVocabulary {
     /// Evaluates every atom over one functional-trace cycle, producing a
     /// packed truth row (bit *i* = truth of atom *i*).
     pub fn evaluate_row(&self, cycle: &[Bits]) -> Vec<u64> {
-        let mut row = vec![0u64; self.atoms.len().div_ceil(64).max(1)];
+        let mut scratch = RowScratch::new();
+        self.evaluate_row_into(cycle, &mut scratch);
+        scratch.row
+    }
+
+    /// Like [`PropositionVocabulary::evaluate_row`], writing the packed row
+    /// into a reusable [`RowScratch`] instead of allocating. The per-cycle
+    /// hot paths ([`PropositionTable::intern_cycle_with`] and
+    /// [`PropositionTable::classify_with`]) run on this.
+    pub fn evaluate_row_into(&self, cycle: &[Bits], scratch: &mut RowScratch) {
+        let words = self.atoms.len().div_ceil(64).max(1);
+        scratch.row.clear();
+        scratch.row.resize(words, 0);
         for (i, atom) in self.atoms.iter().enumerate() {
             if atom.eval(cycle) {
-                row[i / 64] |= 1 << (i % 64);
+                scratch.row[i / 64] |= 1 << (i % 64);
             }
         }
-        row
+    }
+}
+
+/// A reusable packed-truth-row buffer.
+///
+/// [`PropositionVocabulary::evaluate_row`] allocates a fresh `Vec<u64>` on
+/// every call, which dominates per-cycle cost when a whole trace is
+/// classified. Callers that walk traces keep one `RowScratch` alive and
+/// pass it to [`PropositionTable::intern_cycle_with`] /
+/// [`PropositionTable::classify_with`], so the row buffer is allocated
+/// once per trace instead of once per cycle.
+#[derive(Debug, Clone, Default)]
+pub struct RowScratch {
+    row: Vec<u64>,
+}
+
+impl RowScratch {
+    /// Creates an empty scratch buffer; it sizes itself on first use.
+    pub fn new() -> Self {
+        RowScratch::default()
+    }
+
+    /// The packed row from the most recent evaluation.
+    pub fn row(&self) -> &[u64] {
+        &self.row
     }
 }
 
@@ -161,15 +197,64 @@ impl PropositionTable {
 
     /// Evaluates one cycle and interns its row (mining path).
     pub fn intern_cycle(&mut self, cycle: &[Bits]) -> PropositionId {
-        let row = self.vocabulary.evaluate_row(cycle);
-        self.intern(row)
+        let mut scratch = RowScratch::new();
+        self.intern_cycle_with(cycle, &mut scratch)
+    }
+
+    /// Like [`PropositionTable::intern_cycle`] with a caller-owned
+    /// [`RowScratch`]: the row is evaluated in place and only *cloned*
+    /// when it is a previously unseen proposition, so a trace walk
+    /// allocates once per distinct proposition instead of once per cycle.
+    pub fn intern_cycle_with(&mut self, cycle: &[Bits], scratch: &mut RowScratch) -> PropositionId {
+        self.vocabulary.evaluate_row_into(cycle, scratch);
+        if let Some(&id) = self.index.get(scratch.row.as_slice()) {
+            return id;
+        }
+        let id = PropositionId(self.props.len() as u32);
+        self.props.push(Proposition {
+            row: scratch.row.clone(),
+            atom_count: self.vocabulary.len(),
+        });
+        self.index.insert(scratch.row.clone(), id);
+        id
     }
 
     /// Evaluates one cycle *without* interning (simulation path); `None`
     /// means unknown behaviour.
     pub fn classify(&self, cycle: &[Bits]) -> Option<PropositionId> {
-        let row = self.vocabulary.evaluate_row(cycle);
-        self.index.get(&row).copied()
+        let mut scratch = RowScratch::new();
+        self.classify_with(cycle, &mut scratch)
+    }
+
+    /// Like [`PropositionTable::classify`] with a caller-owned
+    /// [`RowScratch`]: no allocation at all — the row is evaluated in
+    /// place and looked up by slice (`HashMap<Vec<u64>, _>` borrows as
+    /// `[u64]`), never re-built or re-boxed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psm_mining::{Miner, MiningConfig, RowScratch};
+    /// use psm_trace::{Bits, Direction, FunctionalTrace, SignalSet};
+    ///
+    /// let mut signals = SignalSet::new();
+    /// signals.push("en", 1, Direction::Input)?;
+    /// let mut phi = FunctionalTrace::new(signals);
+    /// for v in [1u64, 1, 0, 0] {
+    ///     phi.push_cycle(vec![Bits::from_u64(v, 1)])?;
+    /// }
+    /// let mined = Miner::new(MiningConfig::default()).mine(&[&phi])?;
+    ///
+    /// // One scratch serves a whole trace walk, allocation-free.
+    /// let mut scratch = RowScratch::new();
+    /// let a = mined.table.classify_with(&[Bits::from_u64(1, 1)], &mut scratch);
+    /// let b = mined.table.classify_with(&[Bits::from_u64(0, 1)], &mut scratch);
+    /// assert!(a.is_some() && b.is_some() && a != b);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn classify_with(&self, cycle: &[Bits], scratch: &mut RowScratch) -> Option<PropositionId> {
+        self.vocabulary.evaluate_row_into(cycle, scratch);
+        self.index.get(scratch.row.as_slice()).copied()
     }
 
     /// The proposition behind an id.

@@ -535,6 +535,27 @@ impl PsmFlow {
     /// worker pool ([`PsmFlow::parallelism`]); the result does not depend
     /// on the worker count.
     ///
+    /// # Examples
+    ///
+    /// Train on a verification-style testbench, then estimate a fresh
+    /// workload straight from a behavioural trace (the paper's fast path):
+    ///
+    /// ```
+    /// use psmgen::flow::{IpPreset, PsmFlow};
+    /// use psmgen::ips::{behavioural_trace, testbench, MultSum};
+    ///
+    /// let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    /// let mut ip = MultSum::new();
+    /// let model = flow.train(&mut ip, &[testbench::multsum_short_ts(1)])?;
+    /// assert!(model.psm.state_count() > 0);
+    ///
+    /// let workload = testbench::multsum_long_ts(7, 300);
+    /// let trace = behavioural_trace(&mut ip, &workload)?;
+    /// let outcome = flow.estimate_from_trace(&model, &trace);
+    /// assert_eq!(outcome.estimate.len(), workload.len());
+    /// # Ok::<(), psmgen::flow::FlowError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// * [`FlowError::NoTrainingData`] when `stimuli` is empty;

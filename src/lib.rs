@@ -45,7 +45,7 @@
 //! itself (the telemetry's `validate` stage, gated by
 //! [`Strictness`](flow::Strictness)) and behind the `psmlint` binary.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use psm_analyze as analyze;
 /// The PSM core crate (`psm-core`).

@@ -1,6 +1,6 @@
 //! The scoped-thread work engine behind the parallel pipeline.
 //!
-//! [`run_indexed`] fans an indexed job set over `std::thread::scope`
+//! `run_indexed` fans an indexed job set over `std::thread::scope`
 //! workers pulling from a shared atomic counter, and returns the results
 //! in index order regardless of completion order. Determinism is the
 //! contract: the caller sees exactly what a sequential loop would have

@@ -123,6 +123,221 @@ fn whitebox_camellia_probe_matches_structurally() {
     }
 }
 
+/// The scratch-based mining fast path (`intern_cycle_with` /
+/// `classify_with`, one row buffer per trace) must be indistinguishable
+/// from the allocating reference path: same ids in the same order, and a
+/// byte-identical serialised table.
+#[test]
+fn scratch_mining_path_matches_allocating_reference() {
+    use psm_persist::Persist;
+    use psmgen::mining::RowScratch;
+
+    let flow = psmgen::flow::PsmFlow::builder()
+        .preset(psmgen::flow::IpPreset::MultSum)
+        .build();
+    let mut ip = ip_by_name("MultSum").expect("benchmark exists");
+    let model = flow
+        .train(ip.as_mut(), &[testbench::multsum_short_ts(1)])
+        .expect("trains");
+
+    // A fresh workload the table has never seen.
+    let workload = testbench::multsum_long_ts(91, 1_500);
+    let trace = behavioural_trace(ip.as_mut(), &workload).expect("workload fits");
+
+    // Interning: reference (allocate + intern a boxed row per cycle)
+    // against the scratch path, starting from identical table clones.
+    let mut reference_table = model.table.clone();
+    let mut fast_table = model.table.clone();
+    let mut scratch = RowScratch::new();
+    for t in 0..trace.len() {
+        let cycle = trace.cycle(t);
+        let row = reference_table.vocabulary().evaluate_row(cycle);
+        let ref_id = reference_table.intern(row);
+        let fast_id = fast_table.intern_cycle_with(cycle, &mut scratch);
+        assert_eq!(ref_id, fast_id, "intern diverges at cycle {t}");
+    }
+    assert_eq!(
+        reference_table.to_json().render(),
+        fast_table.to_json().render(),
+        "interned tables must serialise byte-identically"
+    );
+
+    // Classification: the scratch lookup against a linear row scan.
+    let mut scratch = RowScratch::new();
+    for t in 0..trace.len() {
+        let cycle = trace.cycle(t);
+        let row = model.table.vocabulary().evaluate_row(cycle);
+        let scan = model
+            .table
+            .ids()
+            .find(|&id| model.table.get(id).row() == row.as_slice());
+        let fast = model.table.classify_with(cycle, &mut scratch);
+        assert_eq!(scan, fast, "classify diverges at cycle {t}");
+        assert_eq!(scratch.row(), row.as_slice(), "scratch row differs");
+    }
+}
+
+/// The transposed forward cache must reproduce the reference filter step
+/// bit-for-bit: same likelihood bits, same belief bits, at every instant
+/// of a real workload — the determinism contract says optimizations may
+/// not perturb even the last ulp.
+#[test]
+fn cached_hmm_forward_pass_is_bitwise_identical() {
+    let flow = psmgen::flow::PsmFlow::builder()
+        .preset(psmgen::flow::IpPreset::MultSum)
+        .build();
+    let mut ip = ip_by_name("MultSum").expect("benchmark exists");
+    let model = flow
+        .train(ip.as_mut(), &[testbench::multsum_short_ts(1)])
+        .expect("trains");
+
+    let workload = testbench::multsum_long_ts(57, 1_500);
+    let trace = behavioural_trace(ip.as_mut(), &workload).expect("workload fits");
+    let observations = psmgen::psm::classify_trace(&model.table, &trace);
+
+    let hmm = &model.hmm;
+    let cache = hmm.forward_cache();
+    let m = hmm.num_states();
+    let mut ref_belief = vec![1.0 / m as f64; m];
+    let mut fast_belief = ref_belief.clone();
+    let mut ref_scratch = vec![0.0; m];
+    let mut fast_scratch = vec![0.0; m];
+    let mut steps = 0usize;
+    for obs in observations.iter().flatten() {
+        let sym = obs.index();
+        if sym >= hmm.num_symbols() {
+            continue;
+        }
+        let ref_like = hmm
+            .filter_step_scratch(&mut ref_belief, sym, &mut ref_scratch)
+            .expect("symbol in range");
+        let fast_like = hmm
+            .filter_step_cached(&cache, &mut fast_belief, sym, &mut fast_scratch)
+            .expect("symbol in range");
+        assert_eq!(
+            ref_like.to_bits(),
+            fast_like.to_bits(),
+            "likelihood diverges at step {steps}"
+        );
+        for (i, (r, f)) in ref_belief.iter().zip(&fast_belief).enumerate() {
+            assert_eq!(
+                r.to_bits(),
+                f.to_bits(),
+                "belief[{i}] diverges at step {steps}"
+            );
+        }
+        steps += 1;
+    }
+    assert!(steps > 100, "workload must exercise the filter");
+}
+
+/// The log-caching Viterbi rewrite must decode exactly the path of the
+/// textbook recurrence (same log values, same strict-improvement ties).
+#[test]
+fn cached_viterbi_matches_textbook_recurrence() {
+    let flow = psmgen::flow::PsmFlow::builder()
+        .preset(psmgen::flow::IpPreset::MultSum)
+        .build();
+    let mut ip = ip_by_name("MultSum").expect("benchmark exists");
+    let model = flow
+        .train(ip.as_mut(), &[testbench::multsum_short_ts(1)])
+        .expect("trains");
+    let hmm = &model.hmm;
+    let m = hmm.num_states();
+    let k = hmm.num_symbols();
+
+    // The pre-optimization recurrence, verbatim: per-instant log() calls
+    // and a fresh delta row per step.
+    let reference = |observations: &[usize]| -> Option<Vec<usize>> {
+        if observations.is_empty() {
+            return Some(Vec::new());
+        }
+        let log = |x: f64| if x > 0.0 { x.ln() } else { f64::NEG_INFINITY };
+        let mut delta: Vec<f64> = (0..m)
+            .map(|i| log(hmm.pi()[i]) + log(hmm.b()[i][observations[0]]))
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::new();
+        for &o in &observations[1..] {
+            let mut next = vec![f64::NEG_INFINITY; m];
+            let mut arg = vec![0usize; m];
+            for j in 0..m {
+                for (i, &d) in delta.iter().enumerate() {
+                    let cand = d + log(hmm.a()[i][j]);
+                    if cand > next[j] {
+                        next[j] = cand;
+                        arg[j] = i;
+                    }
+                }
+                next[j] += log(hmm.b()[j][o]);
+            }
+            back.push(arg);
+            delta = next;
+        }
+        let (mut best, score) = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v))
+            .expect("m > 0");
+        if score == f64::NEG_INFINITY {
+            return None;
+        }
+        let mut path = vec![best; observations.len()];
+        for (t, arg) in back.iter().enumerate().rev() {
+            best = arg[best];
+            path[t] = best;
+        }
+        Some(path)
+    };
+
+    let mut rng = Prng::seed_from_u64(31);
+    for len in [0usize, 1, 2, 17, 400] {
+        let seq: Vec<usize> = (0..len).map(|_| rng.range_usize(0..k)).collect();
+        assert_eq!(
+            hmm.viterbi(&seq).expect("symbols in range"),
+            reference(&seq),
+            "viterbi diverges on a length-{len} sequence"
+        );
+    }
+}
+
+/// End-to-end byte-identity: training and estimating through the
+/// optimized pipeline must serialise models and produce estimates
+/// identical across repeated runs and worker counts (the optimizations
+/// must not introduce any run-to-run or scheduling sensitivity).
+#[test]
+fn optimized_pipeline_stays_deterministic_end_to_end() {
+    use psmgen::flow::Parallelism;
+    let training = [
+        testbench::multsum_long_ts(3, 900),
+        testbench::multsum_long_ts(4, 900),
+    ];
+    let workload = testbench::multsum_long_ts(5, 900);
+
+    let mut renderings = Vec::new();
+    let mut estimates = Vec::new();
+    for parallelism in [Parallelism::Sequential, Parallelism::Workers(4)] {
+        let flow = psmgen::flow::PsmFlow::builder()
+            .preset(psmgen::flow::IpPreset::MultSum)
+            .parallelism(parallelism)
+            .build();
+        let mut ip = ip_by_name("MultSum").expect("benchmark exists");
+        let model = flow.train(ip.as_mut(), &training).expect("trains");
+        renderings.push(model.to_json_string());
+        let trace = behavioural_trace(ip.as_mut(), &workload).expect("workload fits");
+        let outcome = flow.estimate_from_trace(&model, &trace);
+        estimates.push(
+            outcome
+                .estimate
+                .iter()
+                .map(f64::to_bits)
+                .collect::<Vec<u64>>(),
+        );
+    }
+    assert_eq!(renderings[0], renderings[1], "model JSON diverged");
+    assert_eq!(estimates[0], estimates[1], "estimates diverged");
+}
+
 /// The optimiser must preserve cycle-accurate behaviour on the real
 /// benchmark netlists, not just on synthetic examples.
 #[test]
