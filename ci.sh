@@ -23,6 +23,14 @@ echo "==> psmlint: checked-in netlist + freshly trained model"
 ./target/release/psmlint --deny-warnings multsum_netlist.v
 ./target/release/psmlint --json --demo target/psmlint-demo-model.json
 
+echo "==> psmlint: SARIF over the demo defect set, gated on new findings"
+# defective.v carries known, baselined findings; the run fails only when
+# a finding appears that examples/artifacts/psmlint-baseline.json does
+# not record. The SARIF document itself lands in target/ for inspection.
+./target/release/psmlint --format sarif \
+    --baseline examples/artifacts/psmlint-baseline.json \
+    examples/artifacts/defective.v multsum_netlist.v > target/psmlint.sarif
+
 echo "==> psmbench: quick regression gate vs checked-in baseline"
 cargo build --offline --release -p psm-bench --bin psmbench
 ./target/release/psmbench --quick --out target/BENCH_ci.json \

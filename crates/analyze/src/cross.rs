@@ -1,0 +1,380 @@
+//! Cross-artifact consistency analyses (`XA…` codes).
+//!
+//! The per-artifact lints check each pipeline product in isolation; the
+//! analyses here check that the products agree with *each other*, the way
+//! trace-model-synthesis work validates a mined model back against the
+//! traces it came from:
+//!
+//! * [`lint_interface`] — the signal set a trace (or behavioural IP)
+//!   declares versus the port interface of the structural netlist;
+//! * [`lint_psm_against_training`] — every PSM state's power attributes
+//!   ⟨μ, σ, n⟩ re-derived from the training power windows it records, and
+//!   compared with a one-sample t-test at the merge-time α;
+//! * [`lint_hmm_against_observations`] — HMM emission symbols that never
+//!   occur in the classified proposition traces;
+//! * [`lint_psm_against_table`] — PSM transition guards referencing
+//!   propositions absent from the mined dictionary.
+
+use crate::{codes, AnalysisReport, Diagnostic};
+use psm_core::Psm;
+use psm_hmm::Hmm;
+use psm_mining::PropositionTrace;
+use psm_rtl::Netlist;
+use psm_stats::{one_sample_t_test, OnlineStats};
+use psm_trace::{PowerTrace, SignalSet};
+
+/// Relative tolerance under which two recomputed statistics count as
+/// byte-for-byte re-derivable (floating-point merge-order noise).
+const REDERIVE_TOLERANCE: f64 = 1e-9;
+
+/// Cross-checks a trace's declared signal set against a netlist's ports.
+///
+/// Emits `XA001` for every signal missing from the netlist, every netlist
+/// port missing from the signal set, and every name carried by both with
+/// a differing width or direction. A trace captured from this netlist (or
+/// an IP whose behavioural interface matches its structural twin) is
+/// clean.
+pub fn lint_interface(signals: &SignalSet, netlist: &Netlist) -> AnalysisReport {
+    let mut report =
+        AnalysisReport::new(format!("trace interface vs netlist `{}`", netlist.name()));
+    for (_, decl) in signals.iter() {
+        match netlist.ports().iter().find(|p| p.name() == decl.name()) {
+            None => report.push(Diagnostic::new(
+                &codes::XA001,
+                format!("signal `{}`", decl.name()),
+                format!(
+                    "trace signal `{}` has no port on netlist `{}`",
+                    decl.name(),
+                    netlist.name()
+                ),
+            )),
+            Some(port) => {
+                if port.width() != decl.width() {
+                    report.push(Diagnostic::new(
+                        &codes::XA001,
+                        format!("signal `{}`", decl.name()),
+                        format!(
+                            "width mismatch: trace declares {} bit(s), netlist port has {}",
+                            decl.width(),
+                            port.width()
+                        ),
+                    ));
+                }
+                if port.direction() != decl.direction() {
+                    report.push(Diagnostic::new(
+                        &codes::XA001,
+                        format!("signal `{}`", decl.name()),
+                        format!(
+                            "direction mismatch: trace declares {:?}, netlist port is {:?}",
+                            decl.direction(),
+                            port.direction()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for port in netlist.ports() {
+        if signals.by_name(port.name()).is_none() {
+            report.push(Diagnostic::new(
+                &codes::XA001,
+                format!("port `{}`", port.name()),
+                format!(
+                    "netlist port `{}` is absent from the trace signal set",
+                    port.name()
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Re-derives every PSM state's power attributes from its recorded
+/// training windows and compares them with the stored ⟨μ, σ, n⟩.
+///
+/// `power` must hold the training power traces in the order the state
+/// windows index them ([`psm_core::SourceWindow::trace`]); `alpha` is the
+/// significance level the merge policy used when the PSM was built. Emits
+/// `XA002` when a window points outside the training set, when the sample
+/// count differs, or when a one-sample t-test of the re-derived samples
+/// against the stored mean rejects at `alpha` — the attributes are no
+/// longer re-derivable from the traces they claim to summarise.
+pub fn lint_psm_against_training(psm: &Psm, power: &[PowerTrace], alpha: f64) -> AnalysisReport {
+    let mut report = AnalysisReport::new("psm attributes vs training windows");
+    for (id, state) in psm.states() {
+        let mut rederived = OnlineStats::new();
+        let mut windows_ok = true;
+        for w in state.windows() {
+            let Some(trace) = power.get(w.trace) else {
+                report.push(Diagnostic::new(
+                    &codes::XA002,
+                    format!("state {id}"),
+                    format!(
+                        "window references training trace {} but only {} trace(s) were given",
+                        w.trace,
+                        power.len()
+                    ),
+                ));
+                windows_ok = false;
+                continue;
+            };
+            if w.start > w.stop || w.stop >= trace.len() {
+                report.push(Diagnostic::new(
+                    &codes::XA002,
+                    format!("state {id}"),
+                    format!(
+                        "window [{}, {}] lies outside training trace {} of length {}",
+                        w.start,
+                        w.stop,
+                        w.trace,
+                        trace.len()
+                    ),
+                ));
+                windows_ok = false;
+                continue;
+            }
+            for &sample in trace.window(w.start, w.stop) {
+                rederived.push(sample);
+            }
+        }
+        if !windows_ok {
+            continue;
+        }
+        let stored = state.attrs();
+        if rederived.count() != stored.n() {
+            report.push(Diagnostic::new(
+                &codes::XA002,
+                format!("state {id}"),
+                format!(
+                    "stored n = {} but the recorded windows cover {} sample(s)",
+                    stored.n(),
+                    rederived.count()
+                ),
+            ));
+            continue;
+        }
+        if rederived.is_empty() {
+            continue; // n = 0 is PS002's finding, not a window mismatch
+        }
+        let scale = stored.mu().abs().max(1.0);
+        if (rederived.mean() - stored.mu()).abs() <= REDERIVE_TOLERANCE * scale {
+            continue; // exactly re-derivable modulo merge-order rounding
+        }
+        let rejected = match one_sample_t_test(&rederived, stored.mu()) {
+            Ok(t) => !t.is_same_population(alpha),
+            // Degenerate samples (n < 2 or zero variance): the exact
+            // comparison above already failed, so the mean moved.
+            Err(_) => true,
+        };
+        if rejected {
+            report.push(Diagnostic::new(
+                &codes::XA002,
+                format!("state {id}"),
+                format!(
+                    "stored μ = {:.6} is not re-derivable from the recorded windows \
+                     (recomputed μ = {:.6}, n = {}, α = {alpha})",
+                    stored.mu(),
+                    rederived.mean(),
+                    rederived.count()
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Flags HMM emission symbols that never occur in the observations.
+///
+/// `observed` are the classified proposition traces the model was trained
+/// on (or any workload the model claims to describe). Emits one `XA003`
+/// warning aggregating every symbol with non-zero emission probability in
+/// some hidden state that no observation sequence ever produces — mass
+/// the estimator can only waste.
+pub fn lint_hmm_against_observations(hmm: &Hmm, observed: &[PropositionTrace]) -> AnalysisReport {
+    let mut report = AnalysisReport::new("hmm emissions vs observations");
+    let symbols = hmm.num_symbols();
+    let mut seen = vec![false; symbols];
+    for trace in observed {
+        for id in trace.iter() {
+            if let Some(flag) = seen.get_mut(id.index()) {
+                *flag = true;
+            }
+        }
+    }
+    let phantom: Vec<usize> = (0..symbols)
+        .filter(|&s| !seen[s] && hmm.b().iter().any(|row| row[s] > 0.0))
+        .collect();
+    if !phantom.is_empty() {
+        let preview: Vec<String> = phantom.iter().take(8).map(|s| format!("p{s}")).collect();
+        report.push(Diagnostic::new(
+            &codes::XA003,
+            format!("symbol p{}", phantom[0]),
+            format!(
+                "{} emission symbol(s) never occur in the {} observation trace(s): {}{}",
+                phantom.len(),
+                observed.len(),
+                preview.join(", "),
+                if phantom.len() > preview.len() {
+                    ", …"
+                } else {
+                    ""
+                }
+            ),
+        ));
+    }
+    report
+}
+
+/// Checks every PSM transition guard against the mined dictionary size.
+///
+/// Emits `XA004` for each transition whose guard proposition index lies
+/// beyond `table_len` — the guard names a proposition the mined dictionary
+/// never defined, so no observation can ever take the edge.
+pub fn lint_psm_against_table(psm: &Psm, table_len: usize) -> AnalysisReport {
+    let mut report = AnalysisReport::new("psm guards vs proposition dictionary");
+    for (i, t) in psm.transitions().iter().enumerate() {
+        if t.guard.index() >= table_len {
+            report.push(Diagnostic::new(
+                &codes::XA004,
+                format!("transition #{i}"),
+                format!(
+                    "guard {} of transition {} -> {} is outside the mined dictionary \
+                     of {table_len} proposition(s)",
+                    t.guard, t.from, t.to
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psm_core::{ChainAssertion, PowerAttributes, PowerState, SourceWindow, StateId};
+    use psm_mining::{PropositionId, TemporalAssertion, TemporalPattern};
+    use psm_rtl::{NetlistBuilder, Word};
+    use psm_trace::{Direction, SignalSet};
+
+    fn codes_of(report: &AnalysisReport) -> Vec<&'static str> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    fn tiny_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a", 2);
+        let x = b.and(a.bit(0), a.bit(1));
+        b.output("x", &Word::from_nets(vec![x]));
+        b.finish().unwrap()
+    }
+
+    fn state(trace: usize, start: usize, stop: usize, delta: &PowerTrace) -> PowerState {
+        let p = PropositionId::from_index(0);
+        PowerState::new(
+            ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, p, p)),
+            SourceWindow { trace, start, stop },
+            PowerAttributes::from_window(delta, start, stop),
+        )
+    }
+
+    #[test]
+    fn matching_interface_is_clean() {
+        let n = tiny_netlist();
+        assert!(lint_interface(&n.signal_set(), &n).is_clean());
+    }
+
+    #[test]
+    fn width_and_missing_signal_are_xa001() {
+        let n = tiny_netlist();
+        let mut s = SignalSet::new();
+        s.push("a", 3, Direction::Input).unwrap(); // wrong width
+        s.push("y", 1, Direction::Output).unwrap(); // not a port
+        let report = lint_interface(&s, &n);
+        // wrong width on `a`, missing port `y`, port `x` absent from set
+        assert_eq!(codes_of(&report), vec!["XA001"; 3]);
+    }
+
+    #[test]
+    fn rederivable_attrs_are_clean() {
+        let delta: PowerTrace = [3.0, 3.5, 2.5, 4.0].into_iter().collect();
+        let mut psm = Psm::new();
+        let s0 = psm.add_state(state(0, 0, 3, &delta));
+        psm.add_initial(s0);
+        let report = lint_psm_against_training(&psm, &[delta], 0.3);
+        assert!(report.is_clean(), "{}", report.text());
+    }
+
+    #[test]
+    fn drifted_mean_is_xa002() {
+        let delta: PowerTrace = [3.0, 3.5, 2.5, 4.0].into_iter().collect();
+        let drifted: PowerTrace = [13.0, 13.5, 12.5, 14.0].into_iter().collect();
+        let mut psm = Psm::new();
+        // Attributes computed from `drifted`, windows claiming `delta`.
+        let p = PropositionId::from_index(0);
+        let s0 = psm.add_state(PowerState::new(
+            ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, p, p)),
+            SourceWindow {
+                trace: 0,
+                start: 0,
+                stop: 3,
+            },
+            PowerAttributes::from_window(&drifted, 0, 3),
+        ));
+        psm.add_initial(s0);
+        let report = lint_psm_against_training(&psm, &[delta], 0.3);
+        assert_eq!(codes_of(&report), vec!["XA002"]);
+    }
+
+    #[test]
+    fn out_of_range_window_is_xa002() {
+        let delta: PowerTrace = [3.0, 3.5].into_iter().collect();
+        let mut psm = Psm::new();
+        let s0 = psm.add_state(state(0, 0, 1, &delta));
+        psm.add_initial(s0);
+        // Only one training trace given, but the window names trace 0 with
+        // a stop beyond its end.
+        let short: PowerTrace = [3.0].into_iter().collect();
+        let report = lint_psm_against_training(&psm, &[short], 0.3);
+        assert_eq!(codes_of(&report), vec!["XA002"]);
+    }
+
+    #[test]
+    fn phantom_emission_symbol_is_xa003() {
+        // Two states, three symbols; symbol 2 is emitted but never seen.
+        let a = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let b = vec![vec![0.5, 0.0, 0.5], vec![0.0, 1.0, 0.0]];
+        let pi = vec![1.0, 0.0];
+        let hmm = Hmm::new(a, b, pi).unwrap();
+        let seen = PropositionTrace::new(vec![
+            PropositionId::from_index(0),
+            PropositionId::from_index(1),
+        ]);
+        let report = lint_hmm_against_observations(&hmm, &[seen]);
+        assert_eq!(codes_of(&report), vec!["XA003"]);
+        assert!(report.diagnostics()[0].message.contains("p2"));
+    }
+
+    #[test]
+    fn covered_emissions_are_clean() {
+        let a = vec![vec![1.0]];
+        let b = vec![vec![0.5, 0.5]];
+        let hmm = Hmm::new(a, b, vec![1.0]).unwrap();
+        let seen = PropositionTrace::new(vec![
+            PropositionId::from_index(0),
+            PropositionId::from_index(1),
+        ]);
+        assert!(lint_hmm_against_observations(&hmm, &[seen]).is_clean());
+    }
+
+    #[test]
+    fn dangling_guard_is_xa004() {
+        let delta: PowerTrace = [3.0, 3.5].into_iter().collect();
+        let mut psm = Psm::new();
+        let s0 = psm.add_state(state(0, 0, 1, &delta));
+        psm.add_initial(s0);
+        psm.add_transition(s0, StateId::from_index(0), PropositionId::from_index(7));
+        let report = lint_psm_against_table(&psm, 2);
+        assert_eq!(codes_of(&report), vec!["XA004"]);
+        assert!(lint_psm_against_table(&psm, 8).is_clean());
+    }
+}

@@ -12,8 +12,19 @@
 //! renders as text or JSON.
 //!
 //! Every diagnostic carries a stable code (`NL…` netlist, `TR…` trace,
-//! `PS…` PSM, `HM…` HMM); the full catalogue lives in [`codes`] and is
-//! documented in the repository's `DIAGNOSTICS.md`.
+//! `PS…` PSM, `HM…` HMM, `XA…` cross-artifact); the full catalogue lives
+//! in [`codes`] and is documented in the repository's `DIAGNOSTICS.md`.
+//!
+//! Beyond the per-artifact surface checks, the crate carries a semantic
+//! layer: a ternary-lattice dataflow interpreter over the netlist
+//! ([`analyze_dataflow`], powering [`lint_netlist_dataflow`]) and
+//! cross-artifact consistency analyses ([`lint_interface`],
+//! [`lint_psm_against_training`], [`lint_hmm_against_observations`],
+//! [`lint_psm_against_table`]) that validate the mined models back
+//! against the traces and structures they came from. Reports render as
+//! text, JSON or SARIF 2.1.0 ([`to_sarif`]); policy is applied through
+//! [`LintConfig`] (per-code allow/warn/deny) and [`Baseline`]
+//! suppression files.
 //!
 //! # Examples
 //!
@@ -43,16 +54,29 @@
 //! assert!(report.diagnostics().iter().any(|d| d.code == "PS001"));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod config;
+mod cross;
+mod dataflow;
 mod hmm;
 mod netlist;
 mod psm;
+mod sarif;
 mod trace;
 
+pub use config::{Baseline, LintConfig, LintLevel};
+pub use cross::{
+    lint_hmm_against_observations, lint_interface, lint_psm_against_table,
+    lint_psm_against_training,
+};
+pub use dataflow::{
+    analyze_dataflow, eval_ternary, lint_netlist_dataflow, DataflowResult, Ternary,
+};
 pub use hmm::{lint_hmm, lint_hmm_against_psm, lint_model, ROW_SUM_TOLERANCE};
 pub use netlist::lint_netlist;
 pub use psm::lint_psm;
+pub use sarif::{sarif_level, to_sarif};
 pub use trace::{
     lint_functional_trace, lint_power_trace, lint_proposition_coverage, lint_trace_pair,
 };
@@ -103,7 +127,8 @@ pub struct CodeInfo {
 }
 
 /// The diagnostic-code catalogue, grouped by artifact prefix: `NL` netlist,
-/// `TR` trace, `PS` power state machine, `HM` hidden Markov model.
+/// `TR` trace, `PS` power state machine, `HM` hidden Markov model and
+/// `XA` cross-artifact consistency.
 pub mod codes {
     use super::{CodeInfo, Severity};
 
@@ -155,6 +180,34 @@ pub mod codes {
         severity: Severity::Error,
         summary: "cell or port references a net beyond the netlist's net count",
         help: "the netlist is corrupt; regenerate it from its source",
+    };
+    /// A gate that is provably constant yet reads live logic.
+    pub const NL008: CodeInfo = CodeInfo {
+        code: "NL008",
+        severity: Severity::Warn,
+        summary: "gate output provably constant while reading non-constant nets",
+        help: "the gate masks live logic; replace it with the constant or fix the masking input",
+    };
+    /// An output-port bit stuck at a provable constant.
+    pub const NL009: CodeInfo = CodeInfo {
+        code: "NL009",
+        severity: Severity::Warn,
+        summary: "output port bit provably constant (mining will see a stuck PO)",
+        help: "drive the bit from live logic or drop it from the interface",
+    };
+    /// A floating net observable at an output port.
+    pub const NL010: CodeInfo = CodeInfo {
+        code: "NL010",
+        severity: Severity::Error,
+        summary: "the X of an undriven net reaches an output port",
+        help: "drive the floating net; its unknown value corrupts an observable output",
+    };
+    /// An input bit that provably cannot influence any output.
+    pub const NL011: CodeInfo = CodeInfo {
+        code: "NL011",
+        severity: Severity::Warn,
+        summary: "input bit read by logic but provably unable to influence any output",
+        help: "remove the masking constant or drop the bit from the interface",
     };
 
     /// A power sample that is NaN or infinite.
@@ -265,10 +318,40 @@ pub mod codes {
         help: "give at least one state a non-zero initial probability",
     };
 
+    /// A trace signal set disagreeing with the netlist port interface.
+    pub const XA001: CodeInfo = CodeInfo {
+        code: "XA001",
+        severity: Severity::Error,
+        summary: "trace signal set and netlist port interface disagree (name, width or direction)",
+        help: "capture the trace from this netlist, or fix the IP's declared interface",
+    };
+    /// PSM attributes no longer re-derivable from their training windows.
+    pub const XA002: CodeInfo = CodeInfo {
+        code: "XA002",
+        severity: Severity::Error,
+        summary: "state power attributes not re-derivable from the recorded training windows",
+        help: "retrain the PSM; its attributes drifted from the traces they claim to summarise",
+    };
+    /// HMM emission mass on symbols the observations never produce.
+    pub const XA003: CodeInfo = CodeInfo {
+        code: "XA003",
+        severity: Severity::Warn,
+        summary: "HMM emission symbols that never occur in the observation traces",
+        help: "rebuild the HMM from the mined table, or extend the training set",
+    };
+    /// A transition guard naming an unmined proposition.
+    pub const XA004: CodeInfo = CodeInfo {
+        code: "XA004",
+        severity: Severity::Error,
+        summary: "transition guard references a proposition absent from the mined dictionary",
+        help: "regenerate the PSM against the dictionary it was mined with",
+    };
+
     /// Every code, in catalogue order.
-    pub const ALL: [&CodeInfo; 22] = [
-        &NL001, &NL002, &NL003, &NL004, &NL005, &NL006, &NL007, &TR001, &TR002, &TR003, &TR004,
-        &TR005, &PS001, &PS002, &PS003, &PS004, &PS005, &PS006, &HM001, &HM002, &HM003, &HM004,
+    pub const ALL: [&CodeInfo; 30] = [
+        &NL001, &NL002, &NL003, &NL004, &NL005, &NL006, &NL007, &NL008, &NL009, &NL010, &NL011,
+        &TR001, &TR002, &TR003, &TR004, &TR005, &PS001, &PS002, &PS003, &PS004, &PS005, &PS006,
+        &HM001, &HM002, &HM003, &HM004, &XA001, &XA002, &XA003, &XA004,
     ];
 }
 

@@ -1,0 +1,167 @@
+//! SARIF 2.1.0 rendering of analysis reports.
+//!
+//! [SARIF](https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html)
+//! is the interchange format CI platforms ingest for static-analysis
+//! results. One run object carries the `psmlint` driver with its full
+//! rule catalogue ([`crate::codes::ALL`]) and one result per diagnostic;
+//! files map to `artifactLocation` URIs and the in-artifact locations
+//! (`net n5`, `state s3`, …) to logical locations.
+
+use crate::{codes, AnalysisReport, Severity};
+use psm_persist::JsonValue;
+
+/// The SARIF `level` for a diagnostic severity.
+pub fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Info => "note",
+        Severity::Warn => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Renders `(file, report)` pairs as one SARIF 2.1.0 document.
+///
+/// Every catalogued code appears as a rule (so consumers can index
+/// results by `ruleIndex`); every diagnostic of every report becomes one
+/// result whose physical location is the artifact file and whose logical
+/// location is the diagnostic's in-artifact location string.
+///
+/// # Examples
+///
+/// ```
+/// use psm_analyze::{to_sarif, AnalysisReport};
+///
+/// let sarif = to_sarif(&[("clean.v".to_owned(), AnalysisReport::new("netlist `clean`"))]);
+/// assert_eq!(sarif.str_field("version").unwrap(), "2.1.0");
+/// ```
+pub fn to_sarif(reports: &[(String, AnalysisReport)]) -> JsonValue {
+    let rule_index = |code: &str| {
+        codes::ALL
+            .iter()
+            .position(|info| info.code == code)
+            .expect("every diagnostic code is catalogued")
+    };
+
+    let rules = JsonValue::arr(codes::ALL.iter().map(|info| {
+        JsonValue::obj([
+            ("id", JsonValue::from(info.code)),
+            (
+                "shortDescription",
+                JsonValue::obj([("text", JsonValue::from(info.summary))]),
+            ),
+            (
+                "help",
+                JsonValue::obj([("text", JsonValue::from(info.help))]),
+            ),
+            (
+                "defaultConfiguration",
+                JsonValue::obj([("level", JsonValue::from(sarif_level(info.severity)))]),
+            ),
+        ])
+    }));
+
+    let results = JsonValue::arr(reports.iter().flat_map(|(file, report)| {
+        report.diagnostics().iter().map(move |d| {
+            JsonValue::obj([
+                ("ruleId", JsonValue::from(d.code)),
+                ("ruleIndex", JsonValue::from(rule_index(d.code))),
+                ("level", JsonValue::from(sarif_level(d.severity))),
+                (
+                    "message",
+                    JsonValue::obj([(
+                        "text",
+                        JsonValue::from(format!(
+                            "{}: {} (help: {})",
+                            d.location, d.message, d.help
+                        )),
+                    )]),
+                ),
+                (
+                    "locations",
+                    JsonValue::arr([JsonValue::obj([
+                        (
+                            "physicalLocation",
+                            JsonValue::obj([(
+                                "artifactLocation",
+                                JsonValue::obj([("uri", JsonValue::from(file.as_str()))]),
+                            )]),
+                        ),
+                        (
+                            "logicalLocations",
+                            JsonValue::arr([JsonValue::obj([
+                                ("name", JsonValue::from(d.location.as_str())),
+                                ("kind", JsonValue::from("element")),
+                            ])]),
+                        ),
+                    ])]),
+                ),
+            ])
+        })
+    }));
+
+    let driver = JsonValue::obj([
+        ("name", JsonValue::from("psmlint")),
+        (
+            "informationUri",
+            JsonValue::from("https://github.com/psmgen/psmgen"),
+        ),
+        ("version", JsonValue::from(env!("CARGO_PKG_VERSION"))),
+        ("rules", rules),
+    ]);
+
+    JsonValue::obj([
+        (
+            "$schema",
+            JsonValue::from("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", JsonValue::from("2.1.0")),
+        (
+            "runs",
+            JsonValue::arr([JsonValue::obj([
+                ("tool", JsonValue::obj([("driver", driver)])),
+                ("results", results),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    #[test]
+    fn levels_map_to_sarif_names() {
+        assert_eq!(sarif_level(Severity::Info), "note");
+        assert_eq!(sarif_level(Severity::Warn), "warning");
+        assert_eq!(sarif_level(Severity::Error), "error");
+    }
+
+    #[test]
+    fn document_shape_round_trips() {
+        let mut r = AnalysisReport::new("netlist `broken`");
+        r.push(Diagnostic::new(&codes::NL002, "net n7", "two drivers"));
+        let sarif = to_sarif(&[("broken.v".to_owned(), r)]);
+        let text = sarif.render();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back.str_field("version").unwrap(), "2.1.0");
+        let runs = back.arr_field("runs").unwrap();
+        assert_eq!(runs.len(), 1);
+        let results = runs[0].arr_field("results").unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].str_field("ruleId").unwrap(), "NL002");
+        assert_eq!(results[0].str_field("level").unwrap(), "error");
+        let driver = runs[0]
+            .field("tool")
+            .unwrap()
+            .field("driver")
+            .unwrap()
+            .clone();
+        assert_eq!(driver.str_field("name").unwrap(), "psmlint");
+        assert_eq!(
+            driver.arr_field("rules").unwrap().len(),
+            codes::ALL.len(),
+            "every catalogued code is a rule"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-style tests of the ternary dataflow lattice and fixpoint,
+//! driven by `psm-prng` so every run is reproducible from its seed.
+//!
+//! Three layers of properties:
+//!
+//! * the **lattice laws** of [`Ternary`] (exhaustive — the carrier has
+//!   three points, so "property-style" here means checking every case);
+//! * **transfer-function monotonicity and concrete agreement** for every
+//!   gate kind, including randomly tabulated LUTs: widening an input to X
+//!   can only widen the output, and an all-constant evaluation must match
+//!   [`GateKind::eval`] exactly;
+//! * **fixpoint termination and soundness** on randomized netlists: the
+//!   abstract values [`analyze_dataflow`] computes must over-approximate
+//!   every value an 8-cycle concrete simulation with random stimuli can
+//!   produce.
+
+use psm_analyze::{analyze_dataflow, eval_ternary, Ternary};
+use psm_prng::Prng;
+use psm_rtl::{levelize, GateKind, NetId, Netlist, NetlistBuilder, Word};
+use psm_trace::Direction;
+
+const ALL: [Ternary; 3] = [Ternary::Zero, Ternary::One, Ternary::X];
+
+#[test]
+fn lattice_laws_hold_exhaustively() {
+    // The meet of three points, where every pairwise meet exists.
+    let meet3 = |a: Ternary, b: Ternary, c: Ternary| a.meet(b).and_then(|ab| ab.meet(c));
+    for a in ALL {
+        // Idempotence and the identity of le with join.
+        assert_eq!(a.join(a), a);
+        assert_eq!(a.meet(a), Some(a));
+        assert!(a.le(Ternary::X), "X is top");
+        for b in ALL {
+            // Commutativity.
+            assert_eq!(a.join(b), b.join(a));
+            assert_eq!(a.meet(b), b.meet(a));
+            // Consistency: a ⊑ b exactly when join(a, b) = b.
+            assert_eq!(a.le(b), a.join(b) == b);
+            // The meet exists exactly for comparable pairs (the flat
+            // lattice has no bottom), and is then the lower of the two.
+            assert_eq!(a.meet(b).is_some(), a.le(b) || b.le(a));
+            if let Some(m) = a.meet(b) {
+                assert!(m.le(a) && m.le(b), "meet is a lower bound");
+                // Absorption, where defined.
+                assert_eq!(a.join(m), a);
+            }
+            assert_eq!(a.meet(a.join(b)), Some(a));
+            for c in ALL {
+                // Associativity (meet lifted over partiality).
+                assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                assert_eq!(meet3(a, b, c), meet3(c, b, a));
+            }
+        }
+    }
+}
+
+/// A random gate kind with its arity; LUT tables cover 1..=6 inputs.
+fn random_kind(rng: &mut Prng) -> (GateKind, usize) {
+    match rng.range_usize(0..9) {
+        0 => (GateKind::Buf, 1),
+        1 => (GateKind::Not, 1),
+        2 => (GateKind::And2, 2),
+        3 => (GateKind::Or2, 2),
+        4 => (GateKind::Xor2, 2),
+        5 => (GateKind::Nand2, 2),
+        6 => (GateKind::Nor2, 2),
+        7 => (GateKind::Mux2, 3),
+        _ => {
+            let n = rng.range_usize(1..7);
+            let rows = 1u64 << n;
+            let mask = if rows == 64 {
+                u64::MAX
+            } else {
+                (1 << rows) - 1
+            };
+            (
+                GateKind::Lut {
+                    table: vec![rng.next_u64() & mask],
+                },
+                n,
+            )
+        }
+    }
+}
+
+#[test]
+fn transfer_functions_are_monotone() {
+    let mut rng = Prng::seed_from_u64(0x7E57_DF01);
+    for _ in 0..2000 {
+        let (kind, arity) = random_kind(&mut rng);
+        let u: Vec<Ternary> = (0..arity).map(|_| *rng.pick(&ALL)).collect();
+        // Widen a random subset of the inputs: u ⊑ v pointwise.
+        let v: Vec<Ternary> = u
+            .iter()
+            .map(|&t| if rng.chance(0.4) { Ternary::X } else { t })
+            .collect();
+        let fu = eval_ternary(&kind, &u);
+        let fv = eval_ternary(&kind, &v);
+        assert!(
+            fu.le(fv),
+            "{kind:?}: f({u:?}) = {fu:?} must be ⊑ f({v:?}) = {fv:?}"
+        );
+    }
+}
+
+#[test]
+fn transfer_functions_agree_with_concrete_eval() {
+    let mut rng = Prng::seed_from_u64(0x7E57_DF02);
+    for _ in 0..2000 {
+        let (kind, arity) = random_kind(&mut rng);
+        let bits: Vec<bool> = (0..arity).map(|_| rng.chance(0.5)).collect();
+        let abstr: Vec<Ternary> = bits.iter().map(|&b| Ternary::from_bool(b)).collect();
+        assert_eq!(
+            eval_ternary(&kind, &abstr),
+            Ternary::from_bool(kind.eval(&bits)),
+            "{kind:?} on {bits:?}"
+        );
+    }
+}
+
+/// Builds a random acyclic netlist: a few input words, optional 1-bit
+/// registers (closed with random feedback at the end), and a soup of
+/// random gates over the nets created so far.
+fn random_netlist(rng: &mut Prng) -> Netlist {
+    let mut b = NetlistBuilder::new("rand");
+    let mut pool: Vec<NetId> = vec![b.const0(), b.const1()];
+    for i in 0..rng.range_usize(1..4) {
+        let width = rng.range_usize(1..5);
+        let word = b.input(format!("i{i}"), width);
+        for j in 0..width {
+            pool.push(word.bit(j));
+        }
+    }
+    let regs: Vec<_> = (0..rng.range_usize(0..3))
+        .map(|i| b.register(format!("r{i}"), 1))
+        .collect();
+    for r in &regs {
+        pool.push(r.q().bit(0));
+    }
+    for _ in 0..rng.range_usize(5..40) {
+        let p0 = *rng.pick(&pool);
+        let p1 = *rng.pick(&pool);
+        let p2 = *rng.pick(&pool);
+        let out = match rng.range_usize(0..9) {
+            0 => b.not(p0),
+            1 => b.and(p0, p1),
+            2 => b.or(p0, p1),
+            3 => b.xor(p0, p1),
+            4 => b.nand(p0, p1),
+            5 => b.nor(p0, p1),
+            6 => b.mux(p0, p1, p2),
+            7 => {
+                let addr = Word::from_nets(vec![p0, p1]);
+                let contents: Vec<u64> = (0..4).map(|_| rng.next_u64() & 1).collect();
+                b.rom(&addr, &contents, 1).bit(0)
+            }
+            _ => b.mux(p2, p0, p1),
+        };
+        pool.push(out);
+    }
+    for r in &regs {
+        let d = *rng.pick(&pool);
+        b.connect_register(r, &Word::from_nets(vec![d]));
+    }
+    for i in 0..rng.range_usize(1..3) {
+        let o = *rng.pick(&pool);
+        b.output(format!("o{i}"), &Word::from_nets(vec![o]));
+    }
+    b.finish().expect("randomized netlist is well-formed")
+}
+
+#[test]
+fn fixpoint_terminates_and_over_approximates_concrete_runs() {
+    let mut rng = Prng::seed_from_u64(0x7E57_DF03);
+    for _case in 0..40 {
+        let netlist = random_netlist(&mut rng);
+        // Termination: random netlists are combinationally acyclic by
+        // construction, so analysis must succeed (the widening loop over
+        // register feedback is finite on the three-point lattice).
+        let df = analyze_dataflow(&netlist).expect("acyclic netlist analyzes");
+        let order = levelize(&netlist).expect("acyclic netlist levelizes");
+
+        // Soundness oracle: any concrete run from the reset state, under
+        // any stimulus, must stay inside the abstract values.
+        let n = netlist.net_count();
+        let mut val = vec![false; n];
+        val[Netlist::CONST1.index()] = true;
+        let mut state: Vec<bool> = netlist.dffs().iter().map(|d| d.init).collect();
+        for _cycle in 0..8 {
+            for p in netlist.ports() {
+                if p.direction() == Direction::Input {
+                    for &nid in p.nets() {
+                        val[nid.index()] = rng.chance(0.5);
+                    }
+                }
+            }
+            for (d, s) in netlist.dffs().iter().zip(&state) {
+                val[d.q.index()] = *s;
+            }
+            for &gi in &order {
+                let g = &netlist.gates()[gi];
+                let ins: Vec<bool> = g.inputs.iter().map(|x| val[x.index()]).collect();
+                val[g.output.index()] = g.kind.eval(&ins);
+            }
+            for (idx, &abstr) in df.values().iter().enumerate() {
+                if let Some(c) = abstr.as_const() {
+                    assert_eq!(
+                        c, val[idx],
+                        "net index {idx} proven {abstr:?} but concretely {}",
+                        val[idx]
+                    );
+                }
+            }
+            state = netlist.dffs().iter().map(|d| val[d.d.index()]).collect();
+        }
+    }
+}

@@ -295,6 +295,7 @@ fn main() -> ExitCode {
             "join_traces",
             "hmm_build",
             "hmm_forward_sim",
+            "lint_suite",
         ] {
             println!("{name}");
         }

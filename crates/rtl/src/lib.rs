@@ -51,6 +51,8 @@
 //! # Ok::<(), psm_rtl::RtlError>(())
 //! ```
 
+#![deny(missing_docs)]
+
 mod builder;
 mod gate;
 mod harness;

@@ -1,0 +1,17 @@
+// Deliberately defective netlist for the CI lint gate: n3 is read but
+// never driven (NL003) and its X reaches output bit x[0] (NL010). The
+// findings are recorded in psmlint-baseline.json next to this file, so
+// CI fails only when a *new* finding appears.
+module floating (a, x);
+  input a;
+  output [1:0] x;
+  wire n2;
+  wire n3;
+  wire n4;
+  wire n5;
+  assign n2 = a[0];
+  and g0 (n4, n2, n3);
+  buf g1 (n5, n4);
+  assign x[0] = n5;
+  assign x[1] = n2;
+endmodule

@@ -1,28 +1,45 @@
 //! `psmlint` — static analysis of psmgen pipeline artifacts.
 //!
 //! Loads persisted artifacts and runs the [`psmgen::analyze`] lints over
-//! them, printing an [`AnalysisReport`] per artifact as text or JSON:
+//! them, printing an [`AnalysisReport`] per artifact as text, JSON or
+//! SARIF 2.1.0:
 //!
 //! * `*.v` — a structural-Verilog netlist (the `psm-rtl` writer grammar),
-//!   checked for combinational cycles, multi-driven nets, undriven reads,
-//!   dead cones and unused input bits;
+//!   checked structurally (cycles, multi-driven nets, undriven reads,
+//!   dead cones, unused input bits) and semantically through a ternary
+//!   dataflow fixpoint (stuck gates and outputs, observable X,
+//!   influence-free inputs);
 //! * `*.csv` — a golden power trace (`write_power_csv` format), checked
 //!   for non-finite and negative samples;
 //! * `*.json` — a trained model file ([`TrainedModel`] or
 //!   [`HierarchicalModel`]), checked for unreachable states, invalid power
-//!   attributes, broken chain adjacency, non-stochastic HMM rows and
-//!   PSM/HMM inconsistencies.
+//!   attributes, broken chain adjacency, non-stochastic HMM rows,
+//!   PSM/HMM inconsistencies and guards outside the proposition
+//!   dictionary. When power CSVs accompany a flat model on the same
+//!   command line, the model's state attributes are additionally
+//!   re-derived from them (XA002), the CSVs taken in command-line order
+//!   as the training traces.
 //!
-//! Exit status: `0` when clean, `1` when any error-severity diagnostic was
-//! found (warnings too under `--deny-warnings`), `2` when an artifact could
-//! not be loaded or the command line is malformed.
+//! Findings can be policed per code (`--config psmlint.toml`) and gated
+//! against a previous run (`--baseline old.json`); see DIAGNOSTICS.md.
+//!
+//! Exit status: `0` when clean, `1` when any *new* error-severity
+//! diagnostic survives the configuration and baseline (warnings too under
+//! `--deny-warnings`), `2` when an artifact could not be loaded or the
+//! command line is malformed.
 
-use psmgen::analyze::{lint_model, lint_netlist, lint_power_trace, AnalysisReport, Severity};
+use psm_persist::JsonValue;
+use psmgen::analyze::{
+    lint_model, lint_netlist, lint_netlist_dataflow, lint_power_trace, lint_psm_against_table,
+    lint_psm_against_training, to_sarif, AnalysisReport, Baseline, LintConfig, Severity,
+};
 use psmgen::flow::{HierarchicalModel, IpPreset, PsmFlow, TrainedModel};
 use psmgen::ips::{testbench, MultSum};
+use psmgen::psm::Psm;
 use psmgen::rtl::parse_verilog;
-use psmgen::trace::read_power_csv;
+use psmgen::trace::{read_power_csv, PowerTrace};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 usage: psmlint [options] <artifact>...
@@ -32,32 +49,75 @@ Artifacts:
   *.csv    golden power trace (write_power_csv format)
   *.json   model file saved by TrainedModel or HierarchicalModel
 
+Giving a flat model together with power CSVs cross-checks the model's
+state attributes against those traces (XA002, CSVs in command-line
+order).
+
 Options:
-  --json            emit the reports as one JSON document
+  --format <text|json|sarif>  output format (default text)
+  --json            alias of --format json
+  --config <path>   psmlint.toml with per-code allow/warn/deny levels
+  --baseline <path> suppress findings recorded by a previous --format
+                    json run; exit status reflects new findings only
   --deny-warnings   exit non-zero on warnings, not just errors
   --demo <path>     train a quick MultSum model, save it at <path>,
                     then lint the saved file
   -h, --help        show this help";
 
+/// Version tag of the JSON envelope (`--format json`).
+const SCHEMA: &str = "psmlint/v1";
+
+/// Significance level of the XA002 cross-check between a model file and
+/// accompanying power CSVs — the default `MergePolicy` α.
+const CROSS_CHECK_ALPHA: f64 = 0.01;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Options {
-    json: bool,
+    format: Format,
     deny_warnings: bool,
+    config: Option<String>,
+    baseline: Option<String>,
     demo: Option<String>,
     paths: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        json: false,
+        format: Format::Text,
         deny_warnings: false,
+        config: None,
+        baseline: None,
         demo: None,
         paths: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => opts.json = true,
+            "--format" => {
+                let name = it.next().ok_or("--format needs text, json or sarif")?;
+                opts.format = match name.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--json" => opts.format = Format::Json,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--config" => {
+                let path = it.next().ok_or("--config needs a file path")?;
+                opts.config = Some(path.clone());
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline needs a file path")?;
+                opts.baseline = Some(path.clone());
+            }
             "--demo" => {
                 let path = it.next().ok_or("--demo needs a file path")?;
                 opts.demo = Some(path.clone());
@@ -75,22 +135,49 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Lints one artifact file, returning one report per contained model.
-fn lint_path(path: &str) -> Result<Vec<AnalysisReport>, String> {
+/// Artifacts remembered across files for the cross-artifact checks.
+#[derive(Default)]
+struct Loaded {
+    /// Flat models, by path, for the XA002 attribute re-derivation.
+    models: Vec<(String, Psm)>,
+    /// Power traces in command-line order.
+    power: Vec<PowerTrace>,
+}
+
+/// One linted artifact with its wall-clock cost and baseline bookkeeping.
+struct LintedFile {
+    file: String,
+    report: AnalysisReport,
+    elapsed_ns: u64,
+    suppressed: usize,
+}
+
+/// Lints one artifact file, returning one report per contained model and
+/// remembering cross-checkable artifacts in `loaded`.
+fn lint_path(path: &str, loaded: &mut Loaded) -> Result<Vec<AnalysisReport>, String> {
     if path.ends_with(".v") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let netlist = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
-        return Ok(vec![lint_netlist(&netlist)]);
+        let mut report = lint_netlist(&netlist);
+        report.merge(lint_netlist_dataflow(&netlist));
+        return Ok(vec![report]);
     }
     if path.ends_with(".csv") {
         let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let trace =
             read_power_csv(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
-        return Ok(vec![lint_power_trace(&trace, path)]);
+        let report = lint_power_trace(&trace, path);
+        loaded.power.push(trace);
+        return Ok(vec![report]);
     }
     // Model files: a flat TrainedModel, else a HierarchicalModel.
     match TrainedModel::load(path) {
-        Ok(model) => Ok(vec![lint_model(&model.psm, &model.hmm, model.table.len())]),
+        Ok(model) => {
+            let mut report = lint_model(&model.psm, &model.hmm, model.table.len());
+            report.merge(lint_psm_against_table(&model.psm, model.table.len()));
+            loaded.models.push((path.to_owned(), model.psm));
+            Ok(vec![report])
+        }
         Err(flat_err) => match HierarchicalModel::load(path) {
             Ok(model) => Ok(model
                 .models
@@ -99,6 +186,7 @@ fn lint_path(path: &str) -> Result<Vec<AnalysisReport>, String> {
                 .map(|(m, domain)| {
                     let mut report = AnalysisReport::new(format!("domain `{domain}`"));
                     report.merge(lint_model(&m.psm, &m.hmm, m.table.len()));
+                    report.merge(lint_psm_against_table(&m.psm, m.table.len()));
                     report
                 })
                 .collect()),
@@ -120,6 +208,16 @@ fn train_demo(path: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot save demo model at {path}: {e}"))
 }
 
+fn load_config(path: &str) -> Result<LintConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    LintConfig::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_baseline(path: &str) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Baseline::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = match parse_args(&args) {
@@ -133,6 +231,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let config = match opts.config.as_deref().map(load_config).transpose() {
+        Ok(config) => config.unwrap_or_default(),
+        Err(message) => {
+            eprintln!("psmlint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match opts.baseline.as_deref().map(load_baseline).transpose() {
+        Ok(baseline) => baseline.unwrap_or_default(),
+        Err(message) => {
+            eprintln!("psmlint: {message}");
+            return ExitCode::from(2);
+        }
+    };
     if let Some(demo) = &opts.demo {
         if let Err(message) = train_demo(demo) {
             eprintln!("psmlint: {message}");
@@ -141,46 +253,99 @@ fn main() -> ExitCode {
         opts.paths.push(demo.clone());
     }
 
-    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
+    let mut loaded = Loaded::default();
+    let mut files: Vec<LintedFile> = Vec::new();
     for path in &opts.paths {
-        match lint_path(path) {
-            Ok(found) => reports.extend(found.into_iter().map(|r| (path.clone(), r))),
+        let start = Instant::now();
+        match lint_path(path, &mut loaded) {
+            Ok(found) => {
+                let elapsed_ns = start.elapsed().as_nanos() as u64;
+                files.extend(found.into_iter().map(|report| LintedFile {
+                    file: path.clone(),
+                    report,
+                    elapsed_ns,
+                    suppressed: 0,
+                }));
+            }
             Err(message) => {
                 eprintln!("psmlint: {message}");
                 return ExitCode::from(2);
             }
         }
     }
-
-    let errors: usize = reports.iter().map(|(_, r)| r.count(Severity::Error)).sum();
-    let warnings: usize = reports.iter().map(|(_, r)| r.count(Severity::Warn)).sum();
-
-    if opts.json {
-        // JsonValue renders each report; the envelope is assembled by hand
-        // so the binary needs no JSON dependency of its own.
-        let rendered: Vec<String> = reports
-            .iter()
-            .map(|(path, r)| {
-                let body = r.to_json().render();
-                let mut obj = String::with_capacity(body.len() + path.len() + 16);
-                obj.push_str("{\"file\":\"");
-                obj.push_str(&path.replace('\\', "\\\\").replace('"', "\\\""));
-                obj.push_str("\",\"report\":");
-                obj.push_str(&body);
-                obj.push('}');
-                obj
-            })
-            .collect();
-        println!(
-            "{{\"reports\":[{}],\"errors\":{errors},\"warnings\":{warnings}}}",
-            rendered.join(",")
-        );
-    } else {
-        for (path, report) in &reports {
-            println!("== {path}");
-            println!("{}", report.text());
+    // Cross-check every flat model against the power traces given
+    // alongside it (XA002: are the stored attributes re-derivable?).
+    if !loaded.power.is_empty() {
+        for (path, psm) in &loaded.models {
+            let start = Instant::now();
+            let report = lint_psm_against_training(psm, &loaded.power, CROSS_CHECK_ALPHA);
+            files.push(LintedFile {
+                file: path.clone(),
+                report,
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+                suppressed: 0,
+            });
         }
-        println!("psmlint: {errors} error(s), {warnings} warning(s)");
+    }
+    // Policy first (re-level / drop), then the baseline (suppress what a
+    // previous run already recorded).
+    for f in &mut files {
+        let report = config.apply(std::mem::replace(
+            &mut f.report,
+            AnalysisReport::new(String::new()),
+        ));
+        let (report, suppressed) = baseline.filter(&f.file, report);
+        f.report = report;
+        f.suppressed = suppressed;
+    }
+
+    let errors: usize = files.iter().map(|f| f.report.count(Severity::Error)).sum();
+    let warnings: usize = files.iter().map(|f| f.report.count(Severity::Warn)).sum();
+    let suppressed: usize = files.iter().map(|f| f.suppressed).sum();
+
+    match opts.format {
+        Format::Json => {
+            let entries = JsonValue::arr(files.iter().map(|f| {
+                JsonValue::obj([
+                    ("file", JsonValue::from(f.file.as_str())),
+                    ("elapsed_ns", JsonValue::from(f.elapsed_ns)),
+                    ("errors", JsonValue::from(f.report.count(Severity::Error))),
+                    ("warnings", JsonValue::from(f.report.count(Severity::Warn))),
+                    ("infos", JsonValue::from(f.report.count(Severity::Info))),
+                    ("suppressed", JsonValue::from(f.suppressed)),
+                    ("report", f.report.to_json()),
+                ])
+            }));
+            let doc = JsonValue::obj([
+                ("schema", JsonValue::from(SCHEMA)),
+                ("reports", entries),
+                ("errors", JsonValue::from(errors)),
+                ("warnings", JsonValue::from(warnings)),
+                ("suppressed", JsonValue::from(suppressed)),
+            ]);
+            println!("{}", doc.render());
+        }
+        Format::Sarif => {
+            let pairs: Vec<(String, AnalysisReport)> =
+                files.into_iter().map(|f| (f.file, f.report)).collect();
+            println!("{}", to_sarif(&pairs).render());
+        }
+        Format::Text => {
+            for f in &files {
+                println!("== {}", f.file);
+                if f.suppressed > 0 {
+                    println!("   ({} baselined finding(s) suppressed)", f.suppressed);
+                }
+                println!("{}", f.report.text());
+            }
+            if suppressed > 0 {
+                println!(
+                    "psmlint: {errors} error(s), {warnings} warning(s), {suppressed} suppressed"
+                );
+            } else {
+                println!("psmlint: {errors} error(s), {warnings} warning(s)");
+            }
+        }
     }
 
     if errors > 0 || (opts.deny_warnings && warnings > 0) {

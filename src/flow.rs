@@ -32,10 +32,12 @@
 pub use crate::parallel::Parallelism;
 use crate::parallel::{collect_ordered, run_indexed};
 use crate::telemetry::{Stage, Telemetry, TelemetryReport};
-pub use psm_analyze::Strictness;
 use psm_analyze::{
-    lint_model, lint_netlist, lint_proposition_coverage, lint_trace_pair, AnalysisReport, Severity,
+    lint_hmm_against_observations, lint_interface, lint_model, lint_netlist, lint_netlist_dataflow,
+    lint_proposition_coverage, lint_psm_against_table, lint_psm_against_training, lint_trace_pair,
+    AnalysisReport, Severity,
 };
+pub use psm_analyze::{LintConfig, LintLevel, Strictness};
 use psm_core::{
     calibrate, classify_trace, generate_psm, join, simplify, CalibrationConfig, CoreError,
     MergePolicy, Psm,
@@ -455,6 +457,13 @@ impl PsmFlowBuilder {
         self
     }
 
+    /// Sets per-code lint-level overrides (`allow`/`warn`/`deny`), applied
+    /// to every validation report before the [`Strictness`] decision.
+    pub fn lint_config(mut self, lint_config: LintConfig) -> Self {
+        self.flow.lint_config = lint_config;
+        self
+    }
+
     /// Finishes the flow.
     pub fn build(self) -> PsmFlow {
         self.flow
@@ -490,6 +499,9 @@ pub struct PsmFlow {
     /// How static-validation diagnostics affect training
     /// ([`Strictness::Lenient`] by default).
     pub strictness: Strictness,
+    /// Per-code lint-level overrides, applied to every validation report
+    /// before the [`Strictness`] decision (empty by default).
+    pub lint_config: LintConfig,
 }
 
 impl Default for PsmFlow {
@@ -502,6 +514,7 @@ impl Default for PsmFlow {
             noise_seed: 0xD5E_u64,
             parallelism: Parallelism::Auto,
             strictness: Strictness::default(),
+            lint_config: LintConfig::default(),
         }
     }
 }
@@ -581,9 +594,11 @@ impl PsmFlow {
         Ok((model, telemetry.report()))
     }
 
-    /// Folds one validation report into the run: the diagnostics always
-    /// land in the telemetry; strict flows additionally abort on errors.
+    /// Folds one validation report into the run: the per-code
+    /// [`LintConfig`] re-levels the diagnostics first, then everything
+    /// lands in the telemetry; strict flows additionally abort on errors.
     fn check(&self, telemetry: &Telemetry, report: AnalysisReport) -> Result<(), FlowError> {
+        let report = self.lint_config.apply(report);
         telemetry.add_diagnostics(&report);
         if self.strictness.is_strict() && report.has_errors() {
             return Err(FlowError::Validation(report));
@@ -603,6 +618,14 @@ impl PsmFlow {
         let netlist = ip.netlist()?;
         let netlist_report = telemetry.time(Stage::Validate, "netlist", || lint_netlist(&netlist));
         self.check(telemetry, netlist_report)?;
+        let dataflow_report = telemetry.time(Stage::Validate, "netlist dataflow", || {
+            lint_netlist_dataflow(&netlist)
+        });
+        self.check(telemetry, dataflow_report)?;
+        let interface_report = telemetry.time(Stage::Validate, "interface", || {
+            lint_interface(&ip.signals(), &netlist)
+        });
+        self.check(telemetry, interface_report)?;
 
         // Golden capture: functional + reference power, one gate-level run
         // per stimulus, fanned across the worker pool. The noise seed is a
@@ -685,6 +708,20 @@ impl PsmFlow {
             lint_model(&combined, &hmm, mined.table.len())
         });
         self.check(telemetry, model_report)?;
+        // Cross-artifact consistency: the trained model against the very
+        // artifacts it was derived from.
+        let attrs_report = telemetry.time(Stage::Validate, "state attributes", || {
+            lint_psm_against_training(&combined, &power, self.merge.alpha())
+        });
+        self.check(telemetry, attrs_report)?;
+        let emissions_report = telemetry.time(Stage::Validate, "hmm emissions", || {
+            lint_hmm_against_observations(&hmm, &mined.traces)
+        });
+        self.check(telemetry, emissions_report)?;
+        let guards_report = telemetry.time(Stage::Validate, "psm guards", || {
+            lint_psm_against_table(&combined, mined.table.len())
+        });
+        self.check(telemetry, guards_report)?;
         let generation_time = gen_start.elapsed();
 
         let stats = TrainingStats {

@@ -291,3 +291,296 @@ fn every_code_is_unique_and_catalogued() {
         assert!(!info.help.is_empty());
     }
 }
+
+/// Writer-grammar netlist with an undriven net whose X reaches the output
+/// port: NL003 names the floating net, NL010 proves it observable.
+const UNDRIVEN_VERILOG: &str = "\
+module floating (a, x);
+  input a;
+  output [1:0] x;
+  wire n2;
+  wire n3;
+  wire n4;
+  wire n5;
+  assign n2 = a[0];
+  and g0 (n4, n2, n3);
+  buf g1 (n5, n4);
+  assign x[0] = n5;
+  assign x[1] = n2;
+endmodule
+";
+
+/// A netlist whose defects are only visible *semantically*: a register
+/// that can only re-latch 0 (NL008 on its feedback and masking gates,
+/// NL009 on both stuck output ports) and inputs whose every path is
+/// blocked by the stuck constant (NL011).
+fn stuck_register_netlist() -> Netlist {
+    use psmgen::rtl::{NetlistBuilder, Word};
+    let mut b = NetlistBuilder::new("stuck");
+    let a = b.input("a", 1);
+    let c = b.input("c", 1);
+    let r = b.register("r", 1);
+    let next = b.and(r.q().bit(0), a.bit(0));
+    b.connect_register(&r, &Word::from_nets(vec![next]));
+    let masked = b.and(c.bit(0), r.q().bit(0));
+    b.output("x", &r.q());
+    b.output("y", &Word::from_nets(vec![masked]));
+    b.finish()
+        .expect("stuck netlist is structurally well-formed")
+}
+
+#[test]
+fn psmlint_flags_semantic_netlist_defects() {
+    let path = scratch_path("stuck.v");
+    let mut file = std::fs::File::create(&path).unwrap();
+    write_verilog(&stuck_register_netlist(), &mut file).unwrap();
+    drop(file);
+
+    // The defects are warnings: visible in the report, clean exit by
+    // default, non-zero under --deny-warnings.
+    let (code, text) = run_psmlint(&[path.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.contains("NL008"), "stuck gates missing from:\n{text}");
+    assert!(
+        text.contains("NL009"),
+        "stuck outputs missing from:\n{text}"
+    );
+    assert!(
+        text.contains("NL011"),
+        "blocked inputs missing from:\n{text}"
+    );
+
+    let (code, _) = run_psmlint(&["--deny-warnings", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1), "warnings must fail under --deny-warnings");
+}
+
+#[test]
+fn psmlint_flags_observable_x_from_undriven_net() {
+    let path = scratch_path("floating.v");
+    std::fs::write(&path, UNDRIVEN_VERILOG).unwrap();
+    let (code, text) = run_psmlint(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("NL003"), "floating net missing from:\n{text}");
+    assert!(text.contains("NL010"), "observable X missing from:\n{text}");
+}
+
+#[test]
+fn psmlint_config_levels_change_exit_codes() {
+    let netlist_path = scratch_path("configured.v");
+    std::fs::write(&netlist_path, UNDRIVEN_VERILOG).unwrap();
+    let config_path = scratch_path("psmlint.toml");
+    std::fs::write(
+        &config_path,
+        "# demote the floating-net pair for triage\n[levels]\nNL003 = \"allow\"\nNL010 = \"warn\"\n",
+    )
+    .unwrap();
+
+    // Both findings are errors by default…
+    let (code, _) = run_psmlint(&[netlist_path.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    // …the config demotes them below the failure threshold…
+    let (code, text) = run_psmlint(&[
+        "--config",
+        config_path.to_str().unwrap(),
+        netlist_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{text}");
+    assert!(!text.contains("NL003"), "allowed code must vanish:\n{text}");
+    assert!(text.contains("NL010"), "demoted code must remain:\n{text}");
+    // …unless warnings are denied wholesale.
+    let (code, _) = run_psmlint(&[
+        "--config",
+        config_path.to_str().unwrap(),
+        "--deny-warnings",
+        netlist_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+
+    // And the other direction: denying a warn-level code fails the run.
+    let stuck_path = scratch_path("stuck-deny.v");
+    let mut file = std::fs::File::create(&stuck_path).unwrap();
+    write_verilog(&stuck_register_netlist(), &mut file).unwrap();
+    drop(file);
+    std::fs::write(&config_path, "[levels]\nNL009 = \"deny\"\n").unwrap();
+    let (code, text) = run_psmlint(&[
+        "--config",
+        config_path.to_str().unwrap(),
+        stuck_path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&netlist_path).ok();
+    std::fs::remove_file(&config_path).ok();
+    std::fs::remove_file(&stuck_path).ok();
+    assert_eq!(code, Some(1), "denied warning must fail:\n{text}");
+}
+
+#[test]
+fn psmlint_baseline_suppresses_previous_findings() {
+    let netlist_path = scratch_path("baselined.v");
+    std::fs::write(&netlist_path, UNDRIVEN_VERILOG).unwrap();
+
+    let (code, json) = run_psmlint(&["--format", "json", netlist_path.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(json.contains("\"schema\":\"psmlint/v1\""), "{json}");
+    assert!(json.contains("\"elapsed_ns\":"), "{json}");
+    let baseline_path = scratch_path("baseline.json");
+    std::fs::write(&baseline_path, &json).unwrap();
+
+    // The same findings again: suppressed, clean exit.
+    let (code, text) = run_psmlint(&[
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+        netlist_path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&netlist_path).ok();
+    std::fs::remove_file(&baseline_path).ok();
+    assert_eq!(code, Some(0), "baselined findings must not fail:\n{text}");
+    assert!(text.contains("suppressed"), "{text}");
+}
+
+#[test]
+fn psmlint_sarif_output_is_schema_shaped() {
+    use psm_persist::JsonValue;
+    let path = scratch_path("sarif.v");
+    std::fs::write(&path, UNDRIVEN_VERILOG).unwrap();
+    let (code, sarif) = run_psmlint(&["--format", "sarif", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1), "format does not change the exit code");
+
+    let doc = JsonValue::parse(&sarif).expect("sarif output is valid JSON");
+    assert_eq!(doc.str_field("version").unwrap(), "2.1.0");
+    assert!(doc.str_field("$schema").unwrap().contains("sarif-2.1.0"));
+    let runs = doc.arr_field("runs").unwrap();
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .field("tool")
+        .unwrap()
+        .field("driver")
+        .unwrap()
+        .clone();
+    assert_eq!(driver.str_field("name").unwrap(), "psmlint");
+    assert_eq!(
+        driver.arr_field("rules").unwrap().len(),
+        codes::ALL.len(),
+        "every catalogued code ships as a SARIF rule"
+    );
+    let results = runs[0].arr_field("results").unwrap();
+    let rule_ids: Vec<&str> = results
+        .iter()
+        .map(|r| r.str_field("ruleId").unwrap())
+        .collect();
+    assert!(rule_ids.contains(&"NL003"), "{rule_ids:?}");
+    assert!(rule_ids.contains(&"NL010"), "{rule_ids:?}");
+    assert!(results
+        .iter()
+        .all(|r| r.field("locations").is_ok() && r.field("message").is_ok()));
+}
+
+#[test]
+fn psmlint_cross_checks_model_against_power_traces() {
+    let model = quick_model();
+    let model_path = scratch_path("xa002.json");
+    model.save(&model_path).unwrap();
+    // Two samples cannot be the training trace the model's source windows
+    // reference: the attribute re-derivation must fail loudly.
+    let trace: PowerTrace = [1.0, 2.0].into_iter().collect();
+    let csv_path = scratch_path("xa002.csv");
+    let mut file = std::fs::File::create(&csv_path).unwrap();
+    write_power_csv(&trace, &mut file).unwrap();
+    drop(file);
+
+    let (code, text) = run_psmlint(&[model_path.to_str().unwrap(), csv_path.to_str().unwrap()]);
+    std::fs::remove_file(&model_path).ok();
+    std::fs::remove_file(&csv_path).ok();
+    assert_eq!(code, Some(1), "{text}");
+    assert!(
+        text.contains("XA002"),
+        "attribute mismatch missing:\n{text}"
+    );
+}
+
+/// MultSum advertising a trace interface that disagrees with its netlist:
+/// `a` claims 8 bits where the port has 16.
+struct MismatchedMultSum(MultSum);
+
+impl Ip for MismatchedMultSum {
+    fn name(&self) -> &'static str {
+        "MismatchedMultSum"
+    }
+    fn signals(&self) -> SignalSet {
+        use psmgen::trace::Direction;
+        let mut s = SignalSet::new();
+        s.push("a", 8, Direction::Input).expect("unique");
+        s.push("b", 16, Direction::Input).expect("unique");
+        s.push("en", 1, Direction::Input).expect("unique");
+        s.push("clear", 1, Direction::Input).expect("unique");
+        s.push("sum", 32, Direction::Output).expect("unique");
+        s
+    }
+    fn netlist(&self) -> Result<Netlist, RtlError> {
+        self.0.netlist()
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+    fn step(&mut self, inputs: &[psmgen::trace::Bits]) -> Vec<psmgen::trace::Bits> {
+        self.0.step(inputs)
+    }
+}
+
+#[test]
+fn strict_flow_refuses_interface_mismatch() {
+    let flow = PsmFlow::builder()
+        .preset(IpPreset::MultSum)
+        .strictness(Strictness::Strict)
+        .build();
+    match flow.train(&mut MismatchedMultSum(MultSum::new()), &[short_training()]) {
+        Err(FlowError::Validation(report)) => {
+            assert!(
+                report.diagnostics().iter().any(|d| d.code == "XA001"),
+                "expected the interface mismatch, got: {}",
+                report.text()
+            );
+        }
+        other => panic!("strict mode must fail on XA001, got {other:?}"),
+    }
+}
+
+#[test]
+fn flow_lint_config_overrides_strictness_outcome() {
+    use psmgen::flow::{LintConfig, LintLevel};
+    // Allowing XA001 lets the mismatched interface train even strictly…
+    let flow = PsmFlow::builder()
+        .preset(IpPreset::MultSum)
+        .strictness(Strictness::Strict)
+        .lint_config(LintConfig::new().with_level("XA001", LintLevel::Allow))
+        .build();
+    let model = flow
+        .train(&mut MismatchedMultSum(MultSum::new()), &[short_training()])
+        .expect("allowed code no longer aborts");
+    assert!(model.stats.states > 0);
+    // …and the telemetry no longer carries the finding at all.
+    let (_, report) = flow
+        .train_with_telemetry(&mut MismatchedMultSum(MultSum::new()), &[short_training()])
+        .expect("allowed code no longer aborts");
+    assert!(
+        report.diagnostics.iter().all(|d| d.code != "XA001"),
+        "{}",
+        report.text()
+    );
+}
+
+#[test]
+fn benchmark_netlists_are_clean_under_semantic_lints() {
+    use psmgen::analyze::{lint_interface, lint_netlist_dataflow};
+    use psmgen::ips::{ip_by_name, BENCHMARK_NAMES};
+    for name in BENCHMARK_NAMES {
+        let ip = ip_by_name(name).expect("known IP");
+        let netlist = ip.netlist().expect("netlist builds");
+        let report = lint_netlist_dataflow(&netlist);
+        assert!(report.is_clean(), "{name}: {}", report.text());
+        let report = lint_interface(&ip.signals(), &netlist);
+        assert!(report.is_clean(), "{name}: {}", report.text());
+    }
+}
