@@ -31,6 +31,23 @@ echo "==> psmlint: SARIF over the demo defect set, gated on new findings"
     --baseline examples/artifacts/psmlint-baseline.json \
     examples/artifacts/defective.v multsum_netlist.v > target/psmlint.sarif
 
+echo "==> psmd: loopback smoke test (serve, estimate, stats, clean exit)"
+rm -rf target/psmd-smoke && mkdir -p target/psmd-smoke
+./target/release/psmlint --quiet --json --demo target/psmd-smoke/demo@1.json > /dev/null
+./target/release/psmd --registry target/psmd-smoke \
+    --addr 127.0.0.1:0 --port-file target/psmd-smoke/port &
+PSMD_PID=$!
+for _ in $(seq 1 50); do
+    [ -s target/psmd-smoke/port ] && break
+    sleep 0.1
+done
+PSMD_ADDR="$(cat target/psmd-smoke/port)"
+./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
+    --gen MultSum:7:500 --format json > target/psmd-smoke/estimate.json
+./target/release/psmctl --addr "$PSMD_ADDR" stats > /dev/null
+./target/release/psmctl --addr "$PSMD_ADDR" shutdown
+wait "$PSMD_PID"   # psmd must drain and exit 0
+
 echo "==> psmbench: quick regression gate vs checked-in baseline"
 cargo build --offline --release -p psm-bench --bin psmbench
 ./target/release/psmbench --quick --out target/BENCH_ci.json \

@@ -1,9 +1,11 @@
 //! `psmbench` — the psmgen performance harness.
 //!
 //! Runs the fixed scenario suite from [`psm_bench::scenarios`] (assertion
-//! mining, PSM generation, merging, HMM build + forward simulation, and
-//! the full [`psmgen::flow::PsmFlow`] train/estimate path at several
-//! worker counts), prints a human-readable table, and writes a
+//! mining, PSM generation, merging, HMM build + forward simulation, the
+//! full [`psmgen::flow::PsmFlow`] train/estimate path at several worker
+//! counts, and the `psmd` daemon serving eight concurrent loopback
+//! clients at the same worker counts), prints a human-readable table,
+//! and writes a
 //! schema-versioned `BENCH_psmgen.json` with per-scenario ns/op,
 //! throughput in trace-rows/s and speedup-vs-1-thread.
 //!
@@ -302,6 +304,9 @@ fn main() -> ExitCode {
         for t in &cfg.threads {
             println!("flow_train_t{t}");
             println!("flow_estimate_t{t}");
+        }
+        for t in &cfg.threads {
+            println!("serve_estimate_t{t}");
         }
         return ExitCode::SUCCESS;
     }

@@ -32,9 +32,14 @@
 use std::error::Error;
 use std::fmt;
 
+pub mod artifact;
 mod parse;
 mod render;
 
+pub use artifact::{
+    decode_artifact, encode_artifact, list_artifacts, probe_file_version, probe_version,
+    split_artifact, ArtifactEntry, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+};
 pub use parse::parse_document;
 
 /// Maximum nesting depth accepted by the parser.
@@ -80,6 +85,8 @@ pub enum PersistError {
     },
     /// The document is well-formed but does not match the expected shape.
     Schema(String),
+    /// An artifact or registry file could not be read at all.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for PersistError {
@@ -89,11 +96,19 @@ impl fmt::Display for PersistError {
                 write!(f, "JSON syntax error at byte {offset}: {message}")
             }
             PersistError::Schema(msg) => write!(f, "JSON schema error: {msg}"),
+            PersistError::Io(e) => write!(f, "artifact i/o error: {e}"),
         }
     }
 }
 
-impl Error for PersistError {}
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl PersistError {
     /// Convenience constructor for schema violations.

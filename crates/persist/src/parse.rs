@@ -190,13 +190,19 @@ impl<'a> Parser<'a> {
                     return Err(self.fail("unescaped control character in string"));
                 }
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so boundaries
-                    // are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.fail("invalid UTF-8"))?;
-                    let ch = s.chars().next().expect("non-empty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // Copy the whole run up to the next quote, escape or
+                    // control byte in one slice; validating per character
+                    // would rescan the tail of the input for every byte.
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.fail("invalid UTF-8"))?;
+                    out.push_str(run);
                 }
             }
         }

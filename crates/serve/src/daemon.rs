@@ -1,0 +1,517 @@
+//! The `psmd` daemon: accept loop, dispatch, stats, graceful drain.
+//!
+//! One thread accepts connections; each connection gets a thread that
+//! frames requests off the socket and dispatches them. Estimations go
+//! through the [`pool`](crate::pool) (bounded queue, per-model
+//! batching); everything else is answered inline. Responses are written
+//! under a per-connection mutex keyed by request id, so a batch
+//! answering out of submission order is fine.
+//!
+//! Shutdown — the `SHUTDOWN` opcode or SIGTERM via
+//! [`signals::on_sigterm`](crate::signals::on_sigterm) — is graceful by
+//! construction: the flag stops the accept loop and the connection
+//! readers, the pool drains (every accepted estimate still gets its
+//! response), stats flush into the final [`TelemetryReport`], and
+//! [`Server::run`] returns it.
+
+use crate::pool::{EstimateJob, Pool, PoolConfig, SubmitOutcome};
+use crate::protocol::{self, Frame, Opcode, Status};
+use crate::registry::{Registry, RegistryError, Snapshot};
+use psm_persist::JsonValue;
+use psm_telemetry::{Stage, Telemetry, TelemetryReport};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default listen address of `psmd` (and default target of `psmctl`).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+/// How long a connection reader waits for the first byte of a frame
+/// before re-checking the shutdown flag. Only the first byte is read
+/// under this timeout, so an idle wait can never split a frame.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Read timeout for the remainder of a frame once its first byte
+/// arrived — generous, because a large trace payload crosses the
+/// loopback in many segments.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Daemon configuration: where to listen, what to serve, how to pool.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; `127.0.0.1:0` (the default) takes an ephemeral
+    /// loopback port, reported by [`Server::local_addr`].
+    pub addr: String,
+    /// The model registry directory (see [`Registry`]).
+    pub registry_dir: PathBuf,
+    /// Worker-pool tuning.
+    pub pool: PoolConfig,
+}
+
+impl ServerConfig {
+    /// A loopback config serving `registry_dir` with default pooling.
+    pub fn new(registry_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            registry_dir: registry_dir.into(),
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+/// A daemon startup or accept-loop failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, accept, local_addr).
+    Io(io::Error),
+    /// The model registry could not be loaded.
+    Registry(RegistryError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server socket error: {e}"),
+            ServeError::Registry(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Registry(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> Self {
+        ServeError::Registry(e)
+    }
+}
+
+/// Shared daemon state: everything a connection thread needs.
+struct Ctx {
+    registry: Registry,
+    pool: Pool,
+    telemetry: Arc<Telemetry>,
+    shutdown: AtomicBool,
+    local: SocketAddr,
+    connections: AtomicU64,
+}
+
+impl Ctx {
+    /// Sets the shutdown flag and pokes the accept loop awake.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // A throwaway connection unblocks the blocking accept; the loop
+        // re-checks the flag before serving it.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_secs(1));
+    }
+}
+
+/// A cloneable shutdown trigger, usable from another thread or a signal
+/// watcher ([`crate::signals::on_sigterm`]).
+#[derive(Clone)]
+pub struct ServerHandle {
+    ctx: Arc<Ctx>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: drain, flush stats, exit.
+    pub fn shutdown(&self) {
+        self.ctx.trigger_shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.ctx.local)
+            .finish()
+    }
+}
+
+/// A bound (not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.ctx.local)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Loads the registry and binds the listen socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] when any registry artifact fails to
+    /// load (the daemon never comes up half-populated), or
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(cfg: ServerConfig) -> Result<Server, ServeError> {
+        let telemetry = Arc::new(Telemetry::new());
+        let registry = telemetry.time(Stage::Serve, "registry load", || {
+            Registry::open(&cfg.registry_dir)
+        })?;
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        let local = listener.local_addr()?;
+        let pool = Pool::new(cfg.pool, telemetry.clone());
+        Ok(Server {
+            listener,
+            ctx: Arc::new(Ctx {
+                registry,
+                pool,
+                telemetry,
+                shutdown: AtomicBool::new(false),
+                local,
+                connections: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` configs).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local
+    }
+
+    /// The daemon's telemetry sink (the `STATS` opcode reports it).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.ctx.telemetry.clone()
+    }
+
+    /// A shutdown trigger independent of the serving thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            ctx: self.ctx.clone(),
+        }
+    }
+
+    /// Serves until shutdown, then drains and returns the final stats.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] only for fatal listener failures; per-
+    /// connection errors are answered on that connection and logged to
+    /// the telemetry counters instead.
+    pub fn run(self) -> Result<TelemetryReport, ServeError> {
+        let mut conn_threads = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.ctx.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let ctx = self.ctx.clone();
+                    let n = ctx.connections.fetch_add(1, Ordering::SeqCst);
+                    let thread = std::thread::Builder::new()
+                        .name(format!("psmd-conn-{n}"))
+                        .spawn(move || handle_connection(stream, &ctx))?;
+                    conn_threads.push(thread);
+                }
+                // Transient accept failures (EMFILE and friends) must not
+                // kill the daemon; re-check the flag and keep accepting.
+                Err(_) => {
+                    if self.ctx.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        // Drain: every estimate accepted before the flag flipped gets
+        // its response before the pool stops.
+        self.ctx.pool.drain();
+        for thread in conn_threads {
+            let _ = thread.join();
+        }
+        Ok(self.ctx.telemetry.report())
+    }
+
+    /// Runs the daemon on a background thread.
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.ctx.local;
+        let handle = self.handle();
+        let thread = std::thread::Builder::new()
+            .name("psmd-accept".to_owned())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        RunningServer {
+            addr,
+            handle,
+            thread,
+        }
+    }
+}
+
+/// A daemon running on a background thread (see [`Server::spawn`]).
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<Result<TelemetryReport, ServeError>>,
+}
+
+impl RunningServer {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown trigger for this daemon.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Waits for the daemon to exit and returns its final stats.
+    ///
+    /// # Errors
+    ///
+    /// The daemon's own [`ServeError`]; a panicked serving thread
+    /// surfaces as [`ServeError::Io`].
+    pub fn join(self) -> Result<TelemetryReport, ServeError> {
+        self.thread
+            .join()
+            .map_err(|_| ServeError::Io(io::Error::other("daemon thread panicked")))?
+    }
+}
+
+/// Serves one connection until the peer closes, a protocol error, or
+/// shutdown.
+fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
+    ctx.telemetry.add_named("serve.connections", 1);
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    loop {
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {
+                let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+                let frame = protocol::read_frame_after(&mut stream, first[0]);
+                let _ = stream.set_read_timeout(Some(IDLE_POLL));
+                match frame {
+                    Ok(frame) => {
+                        if !dispatch(ctx, &writer, frame) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        // A malformed frame desynchronises the stream:
+                        // answer once, then hang up.
+                        ctx.telemetry.add_named("serve.protocol_errors", 1);
+                        respond(
+                            &writer,
+                            Status::Error,
+                            0,
+                            protocol::error_payload(&e.to_string()),
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Writes one response frame, ignoring a vanished peer.
+fn respond(writer: &Arc<Mutex<TcpStream>>, status: Status, request_id: u64, payload: Vec<u8>) {
+    let mut w = writer.lock().expect("connection writer poisoned");
+    let _ = protocol::write_frame(&mut *w, &Frame::response(status, request_id, payload));
+}
+
+/// Handles one request frame; `false` ends the connection.
+fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> bool {
+    let id = frame.request_id;
+    let Some(op) = frame.opcode() else {
+        respond(
+            writer,
+            Status::Error,
+            id,
+            protocol::error_payload("frame kind is a response status, not a request opcode"),
+        );
+        return false;
+    };
+    ctx.telemetry
+        .add_named(&format!("serve.op.{}", op.name()), 1);
+    match op {
+        Opcode::Estimate => dispatch_estimate(ctx, writer, &frame),
+        Opcode::Stats => {
+            let format = frame
+                .json()
+                .ok()
+                .and_then(|doc| doc.str_field("format").map(str::to_owned).ok())
+                .unwrap_or_else(|| "text".to_owned());
+            let report = ctx.telemetry.report();
+            let payload = match format.as_str() {
+                "json" => JsonValue::obj([
+                    ("format", JsonValue::from("json")),
+                    ("stats", report.to_json()),
+                ]),
+                _ => JsonValue::obj([
+                    ("format", JsonValue::from("text")),
+                    ("stats", JsonValue::from(report.text())),
+                ]),
+            };
+            respond(writer, Status::Ok, id, payload.render().into_bytes());
+            true
+        }
+        Opcode::Reload => {
+            let reloaded = ctx
+                .telemetry
+                .time(Stage::Serve, "registry reload", || ctx.registry.reload());
+            match reloaded {
+                Ok(snapshot) => respond(writer, Status::Ok, id, models_payload(&snapshot)),
+                Err(e) => {
+                    ctx.telemetry.add_named("serve.reload_failures", 1);
+                    respond(
+                        writer,
+                        Status::Error,
+                        id,
+                        protocol::error_payload(&e.to_string()),
+                    );
+                }
+            }
+            true
+        }
+        Opcode::List => {
+            respond(
+                writer,
+                Status::Ok,
+                id,
+                models_payload(&ctx.registry.snapshot()),
+            );
+            true
+        }
+        Opcode::Ping => {
+            let payload = JsonValue::obj([("protocol", JsonValue::from("psmd/v1"))]);
+            respond(writer, Status::Ok, id, payload.render().into_bytes());
+            true
+        }
+        Opcode::Shutdown => {
+            respond(writer, Status::Ok, id, Vec::new());
+            ctx.trigger_shutdown();
+            false
+        }
+    }
+}
+
+fn dispatch_estimate(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> bool {
+    let id = frame.request_id;
+    let (name, version, trace) = match protocol::parse_estimate_request(frame) {
+        Ok(parts) => parts,
+        Err(e) => {
+            respond(
+                writer,
+                Status::Error,
+                id,
+                protocol::error_payload(&e.to_string()),
+            );
+            return true;
+        }
+    };
+    let Some(model) = ctx.registry.snapshot().lookup(&name, version) else {
+        let msg = match version {
+            Some(v) => format!("unknown model {name}@{v}"),
+            None => format!("unknown model {name}"),
+        };
+        ctx.telemetry.add_named("serve.unknown_model", 1);
+        respond(writer, Status::Error, id, protocol::error_payload(&msg));
+        return true;
+    };
+    let reply_name = model.name.clone();
+    let reply_version = model.version;
+    let reply_writer = writer.clone();
+    let job = EstimateJob {
+        request_id: id,
+        model,
+        trace,
+        respond: Box::new(move |outcome| {
+            respond(
+                &reply_writer,
+                Status::Ok,
+                id,
+                protocol::estimate_reply(&reply_name, reply_version, &outcome),
+            );
+        }),
+    };
+    match ctx.pool.submit(job) {
+        SubmitOutcome::Accepted => {}
+        SubmitOutcome::Busy(_) => respond(writer, Status::Busy, id, Vec::new()),
+        SubmitOutcome::Draining(_) => respond(
+            writer,
+            Status::Error,
+            id,
+            protocol::error_payload("daemon is shutting down"),
+        ),
+    }
+    true
+}
+
+/// Renders a snapshot's model list — the `LIST` and `RELOAD` payload.
+fn models_payload(snapshot: &Snapshot) -> Vec<u8> {
+    JsonValue::obj([(
+        "models",
+        JsonValue::arr(snapshot.models().iter().map(|m| {
+            JsonValue::obj([
+                ("name", JsonValue::from(m.name.as_str())),
+                ("version", JsonValue::from(m.version)),
+                ("format_version", JsonValue::from(m.format_version)),
+                ("states", JsonValue::from(m.state_count())),
+                ("propositions", JsonValue::from(m.proposition_count())),
+            ])
+        })),
+    )])
+    .render()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_loopback_ephemeral() {
+        let cfg = ServerConfig::new("/tmp/registry");
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert!(cfg.pool.workers >= 1);
+    }
+
+    #[test]
+    fn bind_fails_structurally_on_a_missing_registry() {
+        let err = Server::bind(ServerConfig::new("/nonexistent/psmd/registry")).unwrap_err();
+        assert!(matches!(err, ServeError::Registry(_)), "{err}");
+        assert!(err.to_string().contains("registry"), "{err}");
+    }
+}

@@ -1,0 +1,41 @@
+//! The psmgen estimation service: daemon, wire protocol, registry, pool.
+//!
+//! The paper's headline result is that simulating mined PSMs through an
+//! HMM estimates power orders of magnitude faster than gate-level
+//! simulation — fast enough to sit behind an interactive service. This
+//! crate is that service:
+//!
+//! * [`protocol`] — the `psmd/v1` length-prefixed framed wire protocol
+//!   (magic, version, request id, opcode, JSON payload) spoken over
+//!   `std::net` TCP;
+//! * [`registry`] — a directory of `psm-persist` artifacts
+//!   (`<model>@<version>.json`) loaded into an immutable snapshot that
+//!   the `RELOAD` opcode swaps atomically, never failing in-flight
+//!   requests;
+//! * [`pool`] — a fixed worker pool with a bounded queue and explicit
+//!   backpressure (`BUSY`), batching queued requests per model so the
+//!   HMM forward-cache setup is amortised across a batch;
+//! * [`daemon`] — the accept loop, per-connection framing, `STATS`
+//!   reports through [`psm_telemetry`], and graceful drain on `SHUTDOWN`
+//!   or SIGTERM (self-pipe, [`signals`]);
+//! * [`client`] — the blocking client the `psmctl` CLI and the loopback
+//!   tests/benches use.
+//!
+//! Everything is `std`-only: the workspace builds fully offline.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod signals;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use client::{Client, ClientError, EstimateReply, ModelInfo};
+pub use daemon::{RunningServer, ServeError, Server, ServerConfig, ServerHandle, DEFAULT_ADDR};
+pub use pool::PoolConfig;
+pub use registry::{Registry, RegistryError, ServedModel, Snapshot};

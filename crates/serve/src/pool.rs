@@ -1,0 +1,482 @@
+//! The estimation worker pool: bounded queue, per-model batching,
+//! explicit backpressure, graceful drain.
+//!
+//! Requests land in one bounded FIFO. A fixed set of workers pull from
+//! it; each pull takes the oldest job **plus every other queued job for
+//! the same model** (up to [`PoolConfig::max_batch`]), builds one
+//! [`HmmSimulator`](psm_hmm::HmmSimulator) — the forward-cache setup the
+//! batch amortises — and answers the whole batch through it. Because
+//! responses carry the request id, batch reordering is invisible to
+//! clients.
+//!
+//! A full queue never blocks and never grows: [`Pool::submit`] returns
+//! [`SubmitOutcome::Busy`] and the daemon turns that into the wire-level
+//! `BUSY` status — backpressure is explicit, not an OOM or a hang.
+//!
+//! [`Pool::drain`] is the graceful-shutdown half: refuse new work,
+//! run the queue dry, join the workers. Every accepted request gets its
+//! response before drain returns.
+
+use crate::registry::ServedModel;
+use psm_hmm::HmmOutcome;
+use psm_telemetry::{Stage, Telemetry};
+use psm_trace::FunctionalTrace;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Gauge: jobs waiting in the queue, sampled at every push and pull.
+pub const GAUGE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Gauge: size of the batch a worker just pulled.
+pub const GAUGE_BATCH_SIZE: &str = "serve.batch_size";
+/// Counter: batches executed.
+pub const COUNTER_BATCHES: &str = "serve.batches";
+/// Counter: submissions rejected with `BUSY`.
+pub const COUNTER_BUSY: &str = "serve.busy";
+
+/// Worker-pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Queue slots; a submission beyond this is rejected `Busy`.
+    pub queue_capacity: usize,
+    /// Most jobs one worker answers through a single simulator.
+    pub max_batch: usize,
+    /// Fault-injection: how long a worker sleeps before executing a
+    /// batch. Zero in production; tests raise it to hold jobs in the
+    /// queue deterministically (forcing `BUSY`, observing batching, or
+    /// racing a `RELOAD`/`SHUTDOWN` against in-flight work).
+    pub stall: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 64,
+            max_batch: 8,
+            stall: Duration::ZERO,
+        }
+    }
+}
+
+/// One queued estimation: the resolved model, the workload, and the
+/// callback that delivers the outcome (for the daemon, a closure that
+/// writes the response frame).
+pub struct EstimateJob {
+    /// Echoed in the response; also labels the telemetry span.
+    pub request_id: u64,
+    /// The model snapshot resolved at submission time. Holding the
+    /// `Arc` here is what makes registry reloads atomic towards
+    /// in-flight work.
+    pub model: Arc<ServedModel>,
+    /// The functional trace to estimate.
+    pub trace: FunctionalTrace,
+    /// Receives the outcome, exactly once.
+    pub respond: Box<dyn FnOnce(HmmOutcome) + Send>,
+}
+
+impl std::fmt::Debug for EstimateJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimateJob")
+            .field("request_id", &self.request_id)
+            .field("model", &self.model.name)
+            .field("cycles", &self.trace.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`Pool::submit`] did with a job.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Queued; the callback will run.
+    Accepted,
+    /// Queue full; the job was dropped and its callback will not run.
+    Busy(EstimateJob),
+    /// The pool is draining for shutdown; the job was dropped.
+    Draining(EstimateJob),
+}
+
+impl PartialEq<&str> for SubmitOutcome {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(
+            (self, *other),
+            (SubmitOutcome::Accepted, "accepted")
+                | (SubmitOutcome::Busy(_), "busy")
+                | (SubmitOutcome::Draining(_), "draining")
+        )
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<EstimateJob>,
+    busy_workers: usize,
+    draining: bool,
+    stop: bool,
+}
+
+struct Shared {
+    cfg: PoolConfig,
+    state: Mutex<PoolState>,
+    work: Condvar,
+    idle: Condvar,
+    telemetry: Arc<Telemetry>,
+}
+
+/// The fixed worker pool. See the [module docs](self).
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.shared.cfg.workers)
+            .field("queue_capacity", &self.shared.cfg.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Starts the workers.
+    pub fn new(cfg: PoolConfig, telemetry: Arc<Telemetry>) -> Pool {
+        let cfg = PoolConfig {
+            workers: cfg.workers.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+            stall: cfg.stall,
+        };
+        let worker_count = cfg.workers;
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                busy_workers: 0,
+                draining: false,
+                stop: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            telemetry,
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("psmd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Offers a job to the queue; never blocks.
+    ///
+    /// `Busy`/`Draining` hand the job back so the caller can answer the
+    /// client without running the estimate.
+    pub fn submit(&self, job: EstimateJob) -> SubmitOutcome {
+        let mut st = self.shared.state.lock().expect("pool lock poisoned");
+        if st.draining {
+            return SubmitOutcome::Draining(job);
+        }
+        if st.queue.len() >= self.shared.cfg.queue_capacity {
+            self.shared.telemetry.add_named(COUNTER_BUSY, 1);
+            return SubmitOutcome::Busy(job);
+        }
+        st.queue.push_back(job);
+        self.shared
+            .telemetry
+            .set_gauge(GAUGE_QUEUE_DEPTH, st.queue.len() as u64);
+        drop(st);
+        self.shared.work.notify_one();
+        SubmitOutcome::Accepted
+    }
+
+    /// Jobs currently waiting (not counting ones a worker already
+    /// pulled). Test/introspection aid.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Refuses new work, runs the queue dry, joins the workers.
+    ///
+    /// Every job accepted before the call gets its callback before this
+    /// returns. Idempotent.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().expect("pool lock poisoned");
+        st.draining = true;
+        while !(st.queue.is_empty() && st.busy_workers == 0) {
+            st = self.shared.idle.wait(st).expect("pool lock poisoned");
+        }
+        st.stop = true;
+        drop(st);
+        self.shared.work.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("pool lock poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.stop {
+                    return;
+                }
+                st = shared.work.wait(st).expect("pool lock poisoned");
+            }
+            let first = st.queue.pop_front().expect("queue non-empty");
+            let model = first.model.clone();
+            let mut batch = vec![first];
+            // Steal every queued job for the same model (same Arc — a
+            // reload makes new Arcs, so jobs resolved against different
+            // snapshots never share a simulator).
+            let mut i = 0;
+            while batch.len() < shared.cfg.max_batch && i < st.queue.len() {
+                if Arc::ptr_eq(&st.queue[i].model, &model) {
+                    batch.push(st.queue.remove(i).expect("index in range"));
+                } else {
+                    i += 1;
+                }
+            }
+            st.busy_workers += 1;
+            shared
+                .telemetry
+                .set_gauge(GAUGE_QUEUE_DEPTH, st.queue.len() as u64);
+            batch
+        };
+
+        shared
+            .telemetry
+            .set_gauge(GAUGE_BATCH_SIZE, batch.len() as u64);
+        shared.telemetry.add_named(COUNTER_BATCHES, 1);
+        if !shared.cfg.stall.is_zero() {
+            std::thread::sleep(shared.cfg.stall);
+        }
+
+        let model = batch[0].model.clone();
+        let sim = model.simulator();
+        for job in batch {
+            let outcome = shared.telemetry.time(
+                Stage::Serve,
+                format!(
+                    "estimate {}@{} req {}",
+                    model.name, model.version, job.request_id
+                ),
+                || job.model.estimate_with(&sim, &job.trace),
+            );
+            (job.respond)(outcome);
+        }
+        drop(sim);
+
+        let mut st = shared.state.lock().expect("pool lock poisoned");
+        st.busy_workers -= 1;
+        if st.queue.is_empty() && st.busy_workers == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::test_support::{toy_model_json, toy_trace};
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    fn toy_model() -> Arc<ServedModel> {
+        let dir = std::env::temp_dir().join(format!(
+            "psm-serve-pool-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("toy@1.json"),
+            psm_persist::encode_artifact(&toy_model_json()),
+        )
+        .unwrap();
+        let model = Registry::open(&dir)
+            .unwrap()
+            .snapshot()
+            .lookup("toy", None)
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        model
+    }
+
+    fn job(id: u64, model: &Arc<ServedModel>, tx: &mpsc::Sender<(u64, HmmOutcome)>) -> EstimateJob {
+        let tx = tx.clone();
+        EstimateJob {
+            request_id: id,
+            model: model.clone(),
+            trace: toy_trace(),
+            respond: Box::new(move |out| {
+                let _ = tx.send((id, out));
+            }),
+        }
+    }
+
+    fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) {
+        let start = Instant::now();
+        while !cond() {
+            assert!(start.elapsed() < deadline, "condition not reached in time");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn batches_answer_every_job_identically() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = Pool::new(
+            PoolConfig {
+                workers: 2,
+                queue_capacity: 32,
+                max_batch: 8,
+                stall: Duration::ZERO,
+            },
+            telemetry.clone(),
+        );
+        let model = toy_model();
+        let expected = model.estimate(&toy_trace());
+        let (tx, rx) = mpsc::channel();
+        for id in 0..16 {
+            assert_eq!(pool.submit(job(id, &model, &tx)), "accepted");
+        }
+        let mut got = Vec::new();
+        for _ in 0..16 {
+            got.push(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        got.sort_by_key(|(id, _)| *id);
+        assert_eq!(got.len(), 16);
+        for (id, out) in got {
+            assert_eq!(out, expected, "request {id} diverged");
+        }
+        pool.drain();
+        let report = telemetry.report();
+        assert!(report.named_counter(COUNTER_BATCHES) >= 1);
+        assert_eq!(report.named_counter(COUNTER_BUSY), 0);
+    }
+
+    #[test]
+    fn full_queue_is_busy_not_a_hang() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = Pool::new(
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+                stall: Duration::from_millis(400),
+            },
+            telemetry.clone(),
+        );
+        let model = toy_model();
+        let (tx, rx) = mpsc::channel();
+        // First job: wait until the (stalled) worker has pulled it, so
+        // the queue state below is deterministic.
+        assert_eq!(pool.submit(job(0, &model, &tx)), "accepted");
+        wait_until(Duration::from_secs(10), || pool.queue_depth() == 0);
+        // Fill both queue slots, then overflow.
+        assert_eq!(pool.submit(job(1, &model, &tx)), "accepted");
+        assert_eq!(pool.submit(job(2, &model, &tx)), "accepted");
+        let overflow = pool.submit(job(3, &model, &tx));
+        let SubmitOutcome::Busy(rejected) = overflow else {
+            panic!("expected Busy, got {overflow:?}");
+        };
+        assert_eq!(rejected.request_id, 3);
+        // The three accepted jobs all complete; the rejected one never
+        // responds.
+        let mut ids: Vec<u64> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(30)).unwrap().0)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(rx.try_recv().is_err());
+        assert_eq!(telemetry.report().named_counter(COUNTER_BUSY), 1);
+        pool.drain();
+    }
+
+    #[test]
+    fn stalled_queue_forms_batches() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = Pool::new(
+            PoolConfig {
+                workers: 1,
+                queue_capacity: 32,
+                max_batch: 8,
+                stall: Duration::from_millis(200),
+            },
+            telemetry.clone(),
+        );
+        let model = toy_model();
+        let (tx, rx) = mpsc::channel();
+        assert_eq!(pool.submit(job(0, &model, &tx)), "accepted");
+        wait_until(Duration::from_secs(10), || pool.queue_depth() == 0);
+        // These four queue up behind the stalled worker and come out as
+        // one batch through one simulator.
+        for id in 1..5 {
+            assert_eq!(pool.submit(job(id, &model, &tx)), "accepted");
+        }
+        for _ in 0..5 {
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        }
+        pool.drain();
+        let report = telemetry.report();
+        assert_eq!(report.named_counter(COUNTER_BATCHES), 2);
+        assert_eq!(report.gauge(GAUGE_BATCH_SIZE).unwrap().max, 4);
+    }
+
+    #[test]
+    fn drain_answers_accepted_work_then_refuses_more() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pool = Pool::new(
+            PoolConfig {
+                workers: 2,
+                queue_capacity: 32,
+                max_batch: 4,
+                stall: Duration::from_millis(100),
+            },
+            telemetry,
+        );
+        let model = toy_model();
+        let (tx, rx) = mpsc::channel();
+        for id in 0..6 {
+            assert_eq!(pool.submit(job(id, &model, &tx)), "accepted");
+        }
+        pool.drain();
+        // All six responses are already in the channel once drain returns.
+        let mut ids: Vec<u64> = (0..6).map(|_| rx.try_recv().unwrap().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(pool.submit(job(9, &model, &tx)), "draining");
+        pool.drain(); // idempotent
+    }
+}

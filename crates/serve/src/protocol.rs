@@ -1,0 +1,544 @@
+//! The `psmd/v1` framed wire protocol.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic `PSMD`
+//! 4       1     protocol version (1)
+//! 5       1     kind: request opcode (0x01..) or response status (0x80..)
+//! 6       8     request id, u64 little-endian (echoed in the response)
+//! 14      4     payload length, u32 little-endian (≤ 64 MiB)
+//! 18      n     payload: a UTF-8 JSON document, or empty
+//! ```
+//!
+//! The fixed header makes the protocol self-describing enough to fail
+//! fast: a client that connects to the wrong port gets a structured
+//! [`ProtocolError::BadMagic`], not a hung read. The 64 MiB payload cap
+//! bounds what one malicious or confused peer can make the daemon
+//! allocate.
+//!
+//! Payloads are JSON via [`psm_persist::JsonValue`] — the same
+//! dependency-free document model the artifact files use — so an
+//! estimate travels the wire through the identical shortest-round-trip
+//! float writer that persisted the model, and survives bit-exactly.
+
+use psm_hmm::HmmOutcome;
+use psm_persist::{JsonValue, Persist, PersistError};
+use psm_trace::FunctionalTrace;
+use std::io::{self, Read, Write};
+
+/// First bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PSMD";
+
+/// The wire protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload, in bytes.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Size of the fixed frame header.
+pub const HEADER_LEN: usize = 18;
+
+/// A request kind (client → daemon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Estimate power for a submitted functional trace.
+    Estimate,
+    /// Fetch the daemon's telemetry report (text or JSON).
+    Stats,
+    /// Atomically reload the model registry from disk.
+    Reload,
+    /// List the models of the current registry snapshot.
+    List,
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight work, flush stats, exit.
+    Shutdown,
+}
+
+impl Opcode {
+    /// The wire byte of this opcode.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Opcode::Estimate => 0x01,
+            Opcode::Stats => 0x02,
+            Opcode::Reload => 0x03,
+            Opcode::List => 0x04,
+            Opcode::Ping => 0x05,
+            Opcode::Shutdown => 0x06,
+        }
+    }
+
+    /// Decodes a wire byte, `None` when it is not a request opcode.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            0x01 => Some(Opcode::Estimate),
+            0x02 => Some(Opcode::Stats),
+            0x03 => Some(Opcode::Reload),
+            0x04 => Some(Opcode::List),
+            0x05 => Some(Opcode::Ping),
+            0x06 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// Lower-case opcode name, used for per-opcode telemetry counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Estimate => "estimate",
+            Opcode::Stats => "stats",
+            Opcode::Reload => "reload",
+            Opcode::List => "list",
+            Opcode::Ping => "ping",
+            Opcode::Shutdown => "shutdown",
+        }
+    }
+
+    /// Every opcode, in wire-byte order.
+    pub const ALL: [Opcode; 6] = [
+        Opcode::Estimate,
+        Opcode::Stats,
+        Opcode::Reload,
+        Opcode::List,
+        Opcode::Ping,
+        Opcode::Shutdown,
+    ];
+}
+
+/// A response kind (daemon → client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request succeeded; the payload is the result.
+    Ok,
+    /// The request failed; the payload carries `{"error": …}`.
+    Error,
+    /// The estimation queue is full — explicit backpressure. Retry later.
+    Busy,
+}
+
+impl Status {
+    /// The wire byte of this status.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Status::Ok => 0x80,
+            Status::Error => 0x81,
+            Status::Busy => 0x82,
+        }
+    }
+
+    /// Decodes a wire byte, `None` when it is not a response status.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        match b {
+            0x80 => Some(Status::Ok),
+            0x81 => Some(Status::Error),
+            0x82 => Some(Status::Busy),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame: the kind byte, the request id and the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The kind byte: a request [`Opcode`] or a response [`Status`].
+    pub kind: u8,
+    /// Correlates a response with its request. The daemon echoes it
+    /// verbatim, which is what lets the pool answer batched requests out
+    /// of submission order.
+    pub request_id: u64,
+    /// The JSON payload bytes (possibly empty).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a request frame.
+    pub fn request(op: Opcode, request_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind: op.as_u8(),
+            request_id,
+            payload,
+        }
+    }
+
+    /// Builds a response frame.
+    pub fn response(status: Status, request_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind: status.as_u8(),
+            request_id,
+            payload,
+        }
+    }
+
+    /// The frame's request opcode, if it is a request.
+    pub fn opcode(&self) -> Option<Opcode> {
+        Opcode::from_u8(self.kind)
+    }
+
+    /// The frame's response status, if it is a response.
+    pub fn status(&self) -> Option<Status> {
+        Status::from_u8(self.kind)
+    }
+
+    /// Parses the payload as a JSON document; an empty payload is `Null`.
+    pub fn json(&self) -> Result<JsonValue, ProtocolError> {
+        if self.payload.is_empty() {
+            return Ok(JsonValue::Null);
+        }
+        let text = std::str::from_utf8(&self.payload)
+            .map_err(|_| ProtocolError::Payload(PersistError::schema("payload is not UTF-8")))?;
+        JsonValue::parse(text).map_err(ProtocolError::Payload)
+    }
+}
+
+/// A wire-level failure: bad bytes, an unsupported peer, or a payload
+/// that is not the JSON the opcode requires.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer did not send the `PSMD` magic — wrong port or protocol.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The kind byte is neither a known opcode nor a known status.
+    UnknownKind(u8),
+    /// The payload is not the JSON document the opcode requires.
+    Payload(PersistError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "socket error: {e}"),
+            ProtocolError::BadMagic(bytes) => {
+                write!(f, "bad frame magic {bytes:?} (expected \"PSMD\")")
+            }
+            ProtocolError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks v{PROTOCOL_VERSION})"
+                )
+            }
+            ProtocolError::Oversize(n) => {
+                write!(
+                    f,
+                    "frame payload of {n} bytes exceeds the {MAX_PAYLOAD} cap"
+                )
+            }
+            ProtocolError::UnknownKind(b) => write!(f, "unknown frame kind byte {b:#04x}"),
+            ProtocolError::Payload(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Payload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<PersistError> for ProtocolError {
+    fn from(e: PersistError) -> Self {
+        ProtocolError::Payload(e)
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates the writer's [`io::Error`]s. Panics are impossible: an
+/// oversize payload is rejected as [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let len = u32::try_from(frame.payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_PAYLOAD)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "payload of {} bytes exceeds the frame cap",
+                    frame.payload.len()
+                ),
+            )
+        })?;
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = PROTOCOL_VERSION;
+    header[5] = frame.kind;
+    header[6..14].copy_from_slice(&frame.request_id.to_le_bytes());
+    header[14..18].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// [`ProtocolError::Io`] mid-frame (including EOF inside a frame, which
+/// surfaces as [`io::ErrorKind::UnexpectedEof`]), or a structural error
+/// for bad magic / version / kind / oversize payloads.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return read_frame_after(r, first[0]).map(Some),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+}
+
+/// Reads the rest of a frame whose first magic byte has already been
+/// consumed.
+///
+/// The daemon's connection loop reads the first byte with a short
+/// timeout so it can poll the shutdown flag while idle; only that single
+/// byte can time out without desynchronising the stream, so the
+/// remainder is read here with plain blocking `read_exact`.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`], except that EOF anywhere is
+/// [`ProtocolError::Io`] (the frame has definitely started).
+pub fn read_frame_after(r: &mut impl Read, first: u8) -> Result<Frame, ProtocolError> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    r.read_exact(&mut header[1..])?;
+    if header[..4] != MAGIC {
+        return Err(ProtocolError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion(header[4]));
+    }
+    let kind = header[5];
+    if Opcode::from_u8(kind).is_none() && Status::from_u8(kind).is_none() {
+        return Err(ProtocolError::UnknownKind(kind));
+    }
+    let request_id = u64::from_le_bytes(header[6..14].try_into().expect("8-byte slice"));
+    let len = u32::from_le_bytes(header[14..18].try_into().expect("4-byte slice"));
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        kind,
+        request_id,
+        payload,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Payload builders/parsers shared by the daemon and the client.
+// ---------------------------------------------------------------------
+
+/// Builds an `ESTIMATE` request payload: the target model (optionally
+/// pinned to a version) and the functional trace to estimate.
+pub fn estimate_request(model: &str, version: Option<u64>, trace: &FunctionalTrace) -> Vec<u8> {
+    let mut fields = vec![("model", JsonValue::from(model))];
+    if let Some(v) = version {
+        fields.push(("version", JsonValue::from(v)));
+    }
+    fields.push(("trace", trace.to_json()));
+    JsonValue::obj(fields).render().into_bytes()
+}
+
+/// Parses an `ESTIMATE` request payload.
+///
+/// # Errors
+///
+/// [`ProtocolError::Payload`] when the payload is not the documented
+/// shape or the embedded trace is malformed.
+pub fn parse_estimate_request(
+    payload: &Frame,
+) -> Result<(String, Option<u64>, FunctionalTrace), ProtocolError> {
+    let doc = payload.json()?;
+    let model = doc.str_field("model")?.to_owned();
+    let version = match doc.get("version") {
+        Some(v) => Some(v.as_u64()?),
+        None => None,
+    };
+    let trace = FunctionalTrace::from_json(doc.field("trace")?)?;
+    Ok((model, version, trace))
+}
+
+/// Builds the `OK` payload of an `ESTIMATE` response.
+///
+/// The per-instant estimate travels as a JSON array rendered through the
+/// shortest-round-trip float writer, so the client recovers the daemon's
+/// `f64`s bit-exactly.
+pub fn estimate_reply(model: &str, version: u64, outcome: &HmmOutcome) -> Vec<u8> {
+    JsonValue::obj([
+        ("model", JsonValue::from(model)),
+        ("version", JsonValue::from(version)),
+        (
+            "estimate",
+            JsonValue::arr(outcome.estimate.iter().map(JsonValue::from_f64)),
+        ),
+        (
+            "wrong_state_predictions",
+            JsonValue::from(outcome.wrong_state_predictions),
+        ),
+        (
+            "unknown_instants",
+            JsonValue::from(outcome.unknown_instants),
+        ),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Builds an `ERROR` response payload.
+pub fn error_payload(message: &str) -> Vec<u8> {
+    JsonValue::obj([("error", JsonValue::from(message))])
+        .render()
+        .into_bytes()
+}
+
+/// Extracts the message of an `ERROR` response payload, falling back to
+/// a generic description when the payload itself is malformed.
+pub fn parse_error(frame: &Frame) -> String {
+    frame
+        .json()
+        .ok()
+        .and_then(|doc| doc.str_field("error").map(str::to_owned).ok())
+        .unwrap_or_else(|| "unspecified server error".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psm_trace::{Bits, Direction, SignalSet};
+
+    fn round_trip(frame: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, frame).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(&got, frame);
+        got
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(&Frame::request(Opcode::Ping, 7, Vec::new()));
+        round_trip(&Frame::request(Opcode::Estimate, u64::MAX, b"{}".to_vec()));
+        for status in [Status::Ok, Status::Error, Status::Busy] {
+            round_trip(&Frame::response(status, 42, b"{\"a\":1}".to_vec()));
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_an_error() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::request(Opcode::Ping, 1, Vec::new())).unwrap();
+        buf.truncate(HEADER_LEN - 3);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn structural_failures_are_structured() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::request(Opcode::Ping, 1, Vec::new())).unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ProtocolError::BadMagic(_))
+        ));
+
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ProtocolError::UnsupportedVersion(9))
+        ));
+
+        let mut bad = buf.clone();
+        bad[5] = 0x7f;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ProtocolError::UnknownKind(0x7f))
+        ));
+
+        let mut bad = buf;
+        bad[14..18].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ProtocolError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_writes_are_rejected_without_panicking() {
+        // Fake the length without allocating 64 MiB: write_frame checks the
+        // declared length before touching the wire.
+        let frame = Frame {
+            kind: Opcode::Estimate.as_u8(),
+            request_id: 1,
+            payload: vec![0u8; (MAX_PAYLOAD as usize) + 1],
+        };
+        let err = write_frame(&mut Vec::new(), &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn estimate_request_round_trips() {
+        let mut signals = SignalSet::new();
+        signals.push("en", 1, Direction::Input).unwrap();
+        let mut trace = FunctionalTrace::new(signals);
+        trace.push_cycle(vec![Bits::from_bool(true)]).unwrap();
+
+        let payload = estimate_request("ram1k", Some(3), &trace);
+        let frame = Frame::request(Opcode::Estimate, 5, payload);
+        let (model, version, back) = parse_estimate_request(&frame).unwrap();
+        assert_eq!(model, "ram1k");
+        assert_eq!(version, Some(3));
+        assert_eq!(back, trace);
+
+        let payload = estimate_request("ram1k", None, &trace);
+        let frame = Frame::request(Opcode::Estimate, 6, payload);
+        let (_, version, _) = parse_estimate_request(&frame).unwrap();
+        assert_eq!(version, None);
+    }
+
+    #[test]
+    fn error_payloads_degrade_gracefully() {
+        let frame = Frame::response(Status::Error, 1, error_payload("no such model"));
+        assert_eq!(parse_error(&frame), "no such model");
+        let frame = Frame::response(Status::Error, 1, b"garbage".to_vec());
+        assert_eq!(parse_error(&frame), "unspecified server error");
+    }
+
+    #[test]
+    fn opcode_bytes_and_names_are_stable() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op.as_u8()), Some(op));
+            assert!(Status::from_u8(op.as_u8()).is_none());
+            assert!(!op.name().is_empty());
+        }
+        assert!(Opcode::from_u8(0x80).is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! The model registry: artifacts on disk → immutable served snapshots.
+//!
+//! A registry is a flat directory of `psm-persist` artifacts named
+//! `<model>@<version>.json` (a bare `<model>.json` is version 1) — the
+//! layout `psm_persist::list_artifacts` enumerates. [`Registry::open`]
+//! loads every artifact into a [`Snapshot`]; [`Registry::reload`]
+//! rebuilds a complete new snapshot from disk and swaps it in **only if
+//! every artifact loaded** — a half-written registry can never replace a
+//! working one.
+//!
+//! Atomicity towards in-flight work is structural: estimation jobs hold
+//! an `Arc<ServedModel>` captured at dispatch time, so a reload (or even
+//! a model's removal from disk) never invalidates a request that already
+//! resolved its model. The old snapshot simply drops when its last
+//! request finishes.
+
+use psm_core::{classify_trace, Psm};
+use psm_hmm::{Hmm, HmmOutcome, HmmSimulator};
+use psm_mining::PropositionTable;
+use psm_persist::{decode_artifact, ArtifactEntry, Persist, PersistError};
+use psm_trace::FunctionalTrace;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A registry failure, naming the artifact that caused it when there is
+/// one.
+#[derive(Debug)]
+pub struct RegistryError {
+    /// The artifact at fault, `None` for directory-level failures.
+    pub path: Option<PathBuf>,
+    /// The underlying persistence failure.
+    pub source: PersistError,
+}
+
+impl RegistryError {
+    fn of(path: &Path, source: PersistError) -> Self {
+        RegistryError {
+            path: Some(path.to_path_buf()),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.path {
+            Some(path) => write!(f, "registry artifact {}: {}", path.display(), self.source),
+            None => write!(f, "registry: {}", self.source),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// One loaded model, ready to estimate: the proposition table that
+/// classifies raw cycles, the joined PSM, and its HMM.
+///
+/// This mirrors the facade's `TrainedModel` minus the training stats —
+/// the daemon reads the same artifact files `PsmFlow` writes, but only
+/// needs the estimation path, so it parses the three substrate fields
+/// directly and stays off the facade crate.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// The model name (registry file stem up to `@`).
+    pub name: String,
+    /// The model version (`@<N>` stem suffix; bare stems are 1).
+    pub version: u64,
+    /// The artifact *format* version the file was probed at.
+    pub format_version: u32,
+    table: PropositionTable,
+    psm: Psm,
+    hmm: Hmm,
+}
+
+impl ServedModel {
+    /// Loads one registry artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] naming the artifact when the file cannot be
+    /// read, is truncated/wrong-magic, or its body does not hold the
+    /// `table`/`psm`/`hmm` fields of a flat trained model (hierarchical
+    /// artifacts are not servable).
+    pub fn load(entry: &ArtifactEntry) -> Result<ServedModel, RegistryError> {
+        let text = std::fs::read_to_string(&entry.path)
+            .map_err(|e| RegistryError::of(&entry.path, PersistError::Io(e)))?;
+        let (format_version, doc) =
+            decode_artifact(&text).map_err(|e| RegistryError::of(&entry.path, e))?;
+        let parse = || -> Result<(PropositionTable, Psm, Hmm), PersistError> {
+            Ok((
+                Persist::from_json(doc.field("table")?)?,
+                Persist::from_json(doc.field("psm")?)?,
+                Persist::from_json(doc.field("hmm")?)?,
+            ))
+        };
+        let (table, psm, hmm) = parse().map_err(|e| RegistryError::of(&entry.path, e))?;
+        if psm.state_count() != hmm.num_states() {
+            return Err(RegistryError::of(
+                &entry.path,
+                PersistError::schema(format!(
+                    "PSM has {} states but HMM has {}",
+                    psm.state_count(),
+                    hmm.num_states()
+                )),
+            ));
+        }
+        Ok(ServedModel {
+            name: entry.name.clone(),
+            version: entry.version,
+            format_version,
+            table,
+            psm,
+            hmm,
+        })
+    }
+
+    /// Number of PSM states.
+    pub fn state_count(&self) -> usize {
+        self.psm.state_count()
+    }
+
+    /// Number of mined propositions in the classification table.
+    pub fn proposition_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Builds a simulator for a batch of estimations against this model.
+    ///
+    /// Construction builds the HMM forward cache — the per-model setup
+    /// cost the worker pool amortises by running every queued request
+    /// for the same model through one simulator.
+    pub fn simulator(&self) -> HmmSimulator<'_> {
+        HmmSimulator::new(&self.psm, self.hmm.clone())
+    }
+
+    /// Estimates one trace through an existing simulator (the batch
+    /// path). Identical, instant for instant, to the facade's
+    /// `PsmFlow::estimate_from_trace` on the same loaded model.
+    pub fn estimate_with(&self, sim: &HmmSimulator<'_>, trace: &FunctionalTrace) -> HmmOutcome {
+        let observations = classify_trace(&self.table, trace);
+        let hamming = trace.input_hamming_series();
+        sim.run(&observations, &hamming)
+    }
+
+    /// Estimates one trace, building a throwaway simulator (the
+    /// single-request path).
+    pub fn estimate(&self, trace: &FunctionalTrace) -> HmmOutcome {
+        self.estimate_with(&self.simulator(), trace)
+    }
+}
+
+/// An immutable set of loaded models, sorted by name then version.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    models: Vec<Arc<ServedModel>>,
+}
+
+impl Snapshot {
+    /// Resolves a model by name; `version: None` picks the highest
+    /// loaded version of that name.
+    pub fn lookup(&self, name: &str, version: Option<u64>) -> Option<Arc<ServedModel>> {
+        match version {
+            Some(v) => self
+                .models
+                .iter()
+                .find(|m| m.name == name && m.version == v),
+            // Sorted by (name, version): the last match is the highest.
+            None => self.models.iter().rev().find(|m| m.name == name),
+        }
+        .cloned()
+    }
+
+    /// Every loaded model, sorted by name then version.
+    pub fn models(&self) -> &[Arc<ServedModel>] {
+        &self.models
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the snapshot holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// The registry: a directory plus the current [`Snapshot`], swapped
+/// atomically by [`reload`](Registry::reload).
+#[derive(Debug)]
+pub struct Registry {
+    dir: PathBuf,
+    current: Mutex<Arc<Snapshot>>,
+}
+
+impl Registry {
+    /// Opens a registry directory and loads every artifact in it.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] when the directory cannot be listed or any
+    /// artifact fails to load — an unreadable registry never comes up
+    /// half-populated.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Registry, RegistryError> {
+        let dir = dir.into();
+        let snapshot = Self::scan(&dir)?;
+        Ok(Registry {
+            dir,
+            current: Mutex::new(Arc::new(snapshot)),
+        })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current snapshot. Cheap: one mutex lock and an `Arc` clone.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.lock().expect("registry lock poisoned").clone()
+    }
+
+    /// Re-scans the directory and atomically swaps in the new snapshot.
+    ///
+    /// All-or-nothing: if *any* artifact fails to load, the previous
+    /// snapshot stays current and the error is returned. Requests
+    /// already holding a model from the old snapshot are unaffected
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Registry::open`].
+    pub fn reload(&self) -> Result<Arc<Snapshot>, RegistryError> {
+        let snapshot = Arc::new(Self::scan(&self.dir)?);
+        *self.current.lock().expect("registry lock poisoned") = snapshot.clone();
+        Ok(snapshot)
+    }
+
+    fn scan(dir: &Path) -> Result<Snapshot, RegistryError> {
+        let entries = psm_persist::list_artifacts(dir)
+            .map_err(|source| RegistryError { path: None, source })?;
+        let models = entries
+            .iter()
+            .map(|e| ServedModel::load(e).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Snapshot { models })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{toy_model_json, toy_trace};
+    use psm_persist::JsonValue;
+
+    fn write_artifact(dir: &Path, file: &str, body: &JsonValue) {
+        std::fs::write(dir.join(file), psm_persist::encode_artifact(body)).unwrap();
+    }
+
+    fn temp_registry(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("psm-serve-registry-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn open_lookup_and_version_pinning() {
+        let dir = temp_registry("lookup");
+        let body = toy_model_json();
+        write_artifact(&dir, "ram@1.json", &body);
+        write_artifact(&dir, "ram@2.json", &body);
+        // A legacy headerless artifact still serves.
+        std::fs::write(dir.join("mac.json"), body.render()).unwrap();
+
+        let registry = Registry::open(&dir).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.lookup("ram", None).unwrap().version, 2);
+        assert_eq!(snap.lookup("ram", Some(1)).unwrap().version, 1);
+        assert!(snap.lookup("ram", Some(9)).is_none());
+        assert!(snap.lookup("fft", None).is_none());
+        let mac = snap.lookup("mac", None).unwrap();
+        assert_eq!(mac.format_version, 1);
+        assert!(mac.state_count() > 0);
+        assert!(mac.proposition_count() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn served_estimates_match_across_batch_and_single_paths() {
+        let dir = temp_registry("estimate");
+        write_artifact(&dir, "toy@1.json", &toy_model_json());
+        let registry = Registry::open(&dir).unwrap();
+        let model = registry.snapshot().lookup("toy", None).unwrap();
+        let trace = toy_trace();
+        let single = model.estimate(&trace);
+        let sim = model.simulator();
+        let batched = model.estimate_with(&sim, &trace);
+        let again = model.estimate_with(&sim, &trace);
+        assert_eq!(single, batched, "one simulator per batch changes nothing");
+        assert_eq!(batched, again, "simulator reuse is stateless across runs");
+        assert_eq!(single.estimate.len(), trace.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_snapshot() {
+        let dir = temp_registry("reload");
+        write_artifact(&dir, "toy@1.json", &toy_model_json());
+        let registry = Registry::open(&dir).unwrap();
+        assert_eq!(registry.snapshot().len(), 1);
+
+        // A corrupt newcomer fails the reload atomically…
+        std::fs::write(dir.join("bad@1.json"), "not an artifact").unwrap();
+        let err = registry.reload().unwrap_err();
+        assert!(err.to_string().contains("bad@1.json"), "{err}");
+        assert_eq!(registry.snapshot().len(), 1, "old snapshot survives");
+
+        // …and fixing the directory makes the next reload land.
+        std::fs::remove_file(dir.join("bad@1.json")).unwrap();
+        write_artifact(&dir, "toy@2.json", &toy_model_json());
+        let snap = registry.reload().unwrap();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(registry.snapshot().lookup("toy", None).unwrap().version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_never_invalidates_a_held_model() {
+        let dir = temp_registry("held");
+        write_artifact(&dir, "toy@1.json", &toy_model_json());
+        let registry = Registry::open(&dir).unwrap();
+        let held = registry.snapshot().lookup("toy", None).unwrap();
+
+        // The artifact disappears from disk; the reload drops it from the
+        // registry, but the held Arc keeps estimating.
+        std::fs::remove_file(dir.join("toy@1.json")).unwrap();
+        let snap = registry.reload().unwrap();
+        assert!(snap.is_empty());
+        let out = held.estimate(&toy_trace());
+        assert_eq!(out.estimate.len(), toy_trace().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn structured_errors_for_unservable_artifacts() {
+        let dir = temp_registry("unservable");
+        // Well-formed JSON, but not a flat trained model.
+        std::fs::write(
+            dir.join("hier@1.json"),
+            psm_persist::encode_artifact(&JsonValue::obj([
+                ("domains", JsonValue::arr([])),
+                ("models", JsonValue::arr([])),
+            ])),
+        )
+        .unwrap();
+        let err = Registry::open(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("hier@1.json") && msg.contains("table"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_a_directory_level_error() {
+        let err = Registry::open("/nonexistent/psmd/registry").unwrap_err();
+        assert!(err.path.is_none());
+        assert!(matches!(err.source, PersistError::Io(_)));
+    }
+}

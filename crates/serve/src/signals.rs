@@ -1,0 +1,100 @@
+//! SIGTERM → graceful-drain bridge, via the classic self-pipe trick.
+//!
+//! A signal handler may only do async-signal-safe work, so the handler
+//! here writes one byte into a pipe and returns; a watcher thread blocks
+//! on the read end and runs the (arbitrary, non-signal-safe) callback —
+//! for `psmd`, the same drain path the `SHUTDOWN` opcode takes.
+//!
+//! The workspace builds with no external crates, so the three libc
+//! entry points involved (`signal`, `pipe`, `read`/`write`) are declared
+//! directly; `std` already links libc on every Unix target. On
+//! non-Unix targets [`on_sigterm`] is a no-op returning `Ok(())` —
+//! `psmd` still shuts down through the `SHUTDOWN` opcode there.
+
+#[cfg(unix)]
+mod imp {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    /// Write end of the self-pipe, set once before the handler installs.
+    static PIPE_WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    /// Async-signal-safe: one `write` on a pre-opened fd, nothing else.
+    extern "C" fn handle_sigterm(_signum: i32) {
+        let fd = PIPE_WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = [1u8];
+            unsafe {
+                let _ = write(fd, byte.as_ptr(), 1);
+            }
+        }
+    }
+
+    pub fn on_sigterm(callback: impl FnOnce() + Send + 'static) -> io::Result<()> {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "a SIGTERM handler is already installed in this process",
+            ));
+        }
+        let mut fds = [-1i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (read_fd, write_fd) = (fds[0], fds[1]);
+        PIPE_WRITE_FD.store(write_fd, Ordering::SeqCst);
+        std::thread::Builder::new()
+            .name("psmd-sigterm".to_owned())
+            .spawn(move || {
+                let mut byte = 0u8;
+                loop {
+                    let n = unsafe { read(read_fd, &mut byte, 1) };
+                    // Retry EINTR (-1); anything read means a signal fired.
+                    if n > 0 {
+                        callback();
+                        return;
+                    }
+                    if n == 0 {
+                        return; // write end closed — process is exiting
+                    }
+                }
+            })?;
+        let previous = unsafe { signal(SIGTERM, handle_sigterm as *const () as usize) };
+        const SIG_ERR: usize = usize::MAX;
+        if previous == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::io;
+
+    pub fn on_sigterm(_callback: impl FnOnce() + Send + 'static) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Installs a process-wide SIGTERM handler that runs `callback` (once,
+/// on a dedicated thread) when the signal arrives.
+///
+/// # Errors
+///
+/// [`std::io::Error`] when the pipe or handler cannot be installed, or
+/// when a handler was already installed — the daemon installs exactly
+/// one per process.
+pub fn on_sigterm(callback: impl FnOnce() + Send + 'static) -> std::io::Result<()> {
+    imp::on_sigterm(callback)
+}

@@ -1,0 +1,44 @@
+//! A tiny end-to-end trained model for in-crate tests: one enable line,
+//! idle/busy alternation, mined → generated → joined → HMM, rendered as
+//! the same `{"table":…,"psm":…,"hmm":…}` JSON body the facade's
+//! `TrainedModel::save` writes.
+
+use psm_core::{generate_psm, join, MergePolicy};
+use psm_hmm::build_hmm;
+use psm_mining::{Miner, MiningConfig};
+use psm_persist::{JsonValue, Persist};
+use psm_trace::{Bits, Direction, FunctionalTrace, PowerTrace, SignalSet};
+
+/// Idle/busy enable pattern shared by the trace and the power profile.
+const PATTERN: [u64; 24] = [
+    1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0,
+];
+
+/// The training (and test-workload) functional trace.
+pub fn toy_trace() -> FunctionalTrace {
+    let mut signals = SignalSet::new();
+    signals.push("en", 1, Direction::Input).unwrap();
+    let mut phi = FunctionalTrace::new(signals);
+    for v in PATTERN {
+        phi.push_cycle(vec![Bits::from_u64(v, 1)]).unwrap();
+    }
+    phi
+}
+
+/// Trains the toy model and renders its servable JSON body.
+pub fn toy_model_json() -> JsonValue {
+    let phi = toy_trace();
+    let mined = Miner::new(MiningConfig::default()).mine(&[&phi]).unwrap();
+    let power: PowerTrace = PATTERN
+        .iter()
+        .map(|&v| if v == 1 { 9.0 } else { 3.0 })
+        .collect();
+    let psm = generate_psm(&mined.traces[0], &power, 0).unwrap();
+    let joined = join(&[psm], &MergePolicy::default());
+    let hmm = build_hmm(&joined, mined.table.len());
+    JsonValue::obj([
+        ("table", mined.table.to_json()),
+        ("psm", joined.to_json()),
+        ("hmm", hmm.to_json()),
+    ])
+}

@@ -5,7 +5,7 @@
 //! round-trip exactly, which is why the document model distinguishes
 //! integers from floats.
 
-use crate::{Bits, Direction, SignalDecl, SignalId, SignalSet};
+use crate::{Bits, Direction, FunctionalTrace, SignalDecl, SignalId, SignalSet};
 use psm_persist::{JsonValue, Persist, PersistError};
 
 impl Persist for Bits {
@@ -115,6 +115,37 @@ impl Persist for SignalSet {
     }
 }
 
+impl Persist for FunctionalTrace {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("signals", self.signals().to_json()),
+            (
+                "cycles",
+                JsonValue::arr(
+                    self.iter()
+                        .map(|cycle| JsonValue::arr(cycle.iter().map(Persist::to_json))),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+        let signals = SignalSet::from_json(v.field("signals")?)?;
+        let mut trace = FunctionalTrace::new(signals);
+        for (t, cycle) in v.arr_field("cycles")?.iter().enumerate() {
+            let values: Vec<Bits> = cycle
+                .as_arr()?
+                .iter()
+                .map(Bits::from_json)
+                .collect::<Result<_, _>>()?;
+            trace
+                .push_cycle(values)
+                .map_err(|e| PersistError::schema(format!("invalid cycle {t}: {e}")))?;
+        }
+        Ok(trace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +194,32 @@ mod tests {
     fn direction_rejects_unknown() {
         let doc = JsonValue::parse(r#""sideways""#).unwrap();
         assert!(Direction::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn functional_trace_round_trip() {
+        let mut set = SignalSet::new();
+        set.push("en", 1, Direction::Input).unwrap();
+        set.push("q", 8, Direction::Output).unwrap();
+        let mut trace = FunctionalTrace::new(set);
+        trace
+            .push_cycle(vec![Bits::from_bool(true), Bits::from_u64(0x10, 8)])
+            .unwrap();
+        trace
+            .push_cycle(vec![Bits::from_bool(false), Bits::from_u64(0x13, 8)])
+            .unwrap();
+        round_trip(&trace);
+    }
+
+    #[test]
+    fn functional_trace_rejects_malformed_cycles() {
+        // Cycle 1 has the wrong arity.
+        let doc = JsonValue::parse(
+            r#"{"signals":[{"name":"a","width":1,"dir":"in"}],
+                "cycles":[[{"width":1,"words":[1]}],[]]}"#,
+        )
+        .unwrap();
+        let err = FunctionalTrace::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("cycle 1"), "{err}");
     }
 }

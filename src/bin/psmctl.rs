@@ -1,0 +1,254 @@
+//! `psmctl` — client CLI for the `psmd` estimation daemon.
+//!
+//! Submits functional traces for estimation (generated from the built-in
+//! IP testbenches or loaded from a trace artifact), lists and hot-reloads
+//! the daemon's model registry, fetches its stats, and shuts it down.
+//! Results print as text or the machine-readable JSON the workspace's
+//! other tools emit on stdout; progress goes to stderr.
+
+use psm_persist::{decode_artifact, JsonValue, Persist};
+use psmgen::ips::{behavioural_trace, ip_by_name, testbench};
+use psmgen::serve::{Client, ClientError, EstimateReply, ModelInfo, DEFAULT_ADDR};
+use psmgen::trace::FunctionalTrace;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: psmctl [--addr <ip:port>] <command> [options]
+
+Commands:
+  ping                        liveness probe
+  list                        models in the daemon's registry snapshot
+  estimate <model>            estimate a workload against <model>
+      --version <n>           pin a registry version (default: latest)
+      --gen <IP>:<seed>:<cycles>  generate the workload from a built-in
+                              testbench (IP: RAM, MultSum, AES, Camellia)
+      --trace <path>          load the workload from a trace artifact
+                              (FunctionalTrace JSON)
+      --format <text|json>    output format (default text)
+  stats [--format text|json]  the daemon's telemetry report
+  reload                      atomically reload the model registry
+  shutdown                    drain in-flight work and stop the daemon
+
+Options:
+  --addr <ip:port>  daemon address (default 127.0.0.1:7411)
+  -h, --help        show this help
+
+Exit status: 0 on success, 1 on errors, 2 on usage errors, 3 when the
+daemon answered BUSY (queue full — safe to retry).";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("psmctl: {message}");
+    ExitCode::FAILURE
+}
+
+fn client_exit(err: &ClientError) -> ExitCode {
+    eprintln!("psmctl: {err}");
+    match err {
+        ClientError::Busy => ExitCode::from(3),
+        _ => ExitCode::FAILURE,
+    }
+}
+
+/// Builds the estimate workload from `--gen IP:seed:cycles` or `--trace`.
+fn load_workload(gen: Option<&str>, trace: Option<&str>) -> Result<FunctionalTrace, String> {
+    match (gen, trace) {
+        (Some(spec), None) => {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [ip_name, seed, cycles] = parts.as_slice() else {
+                return Err(format!("--gen wants <IP>:<seed>:<cycles>, got `{spec}`"));
+            };
+            let seed: u64 = seed.parse().map_err(|_| format!("bad seed `{seed}`"))?;
+            let cycles: usize = cycles
+                .parse()
+                .map_err(|_| format!("bad cycle count `{cycles}`"))?;
+            let stimulus = testbench::long_ts(ip_name, seed, cycles)
+                .ok_or_else(|| format!("unknown IP `{ip_name}`"))?;
+            let mut ip = ip_by_name(ip_name).ok_or_else(|| format!("unknown IP `{ip_name}`"))?;
+            behavioural_trace(ip.as_mut(), &stimulus).map_err(|e| format!("generating trace: {e}"))
+        }
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let (_, doc) = decode_artifact(&text).map_err(|e| format!("{path}: {e}"))?;
+            FunctionalTrace::from_json(&doc).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err("estimate needs exactly one of --gen or --trace".to_owned()),
+    }
+}
+
+fn print_models(models: &[ModelInfo], action: &str) {
+    println!("{action}: {} model(s)", models.len());
+    for m in models {
+        println!(
+            "  {}@{}  format v{}  {} state(s), {} proposition(s)",
+            m.name, m.version, m.format_version, m.states, m.propositions
+        );
+    }
+}
+
+fn print_estimate(reply: &EstimateReply, format: &str) {
+    if format == "json" {
+        let doc = JsonValue::obj([
+            ("model", JsonValue::from(reply.model.as_str())),
+            ("version", JsonValue::from(reply.version)),
+            ("cycles", JsonValue::from(reply.estimate.len())),
+            ("mean_mw", JsonValue::from_f64(reply.mean_power())),
+            (
+                "wrong_state_predictions",
+                JsonValue::from(reply.wrong_state_predictions),
+            ),
+            ("unknown_instants", JsonValue::from(reply.unknown_instants)),
+            (
+                "estimate",
+                JsonValue::arr(reply.estimate.iter().map(|&v| JsonValue::from_f64(v))),
+            ),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!(
+            "{}@{}: {} cycle(s), mean {:.4} mW, {} wrong-state prediction(s), {} unknown instant(s)",
+            reply.model,
+            reply.version,
+            reply.estimate.len(),
+            reply.mean_power(),
+            reply.wrong_state_predictions,
+            reply.unknown_instants
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut format = "text".to_owned();
+    let mut version: Option<u64> = None;
+    let mut gen: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut command: Option<String> = None;
+    let mut model: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => return fail("--addr needs ip:port"),
+            },
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => return fail("--format needs text or json"),
+            },
+            "--version" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => version = Some(v),
+                None => return fail("--version needs a number"),
+            },
+            "--gen" => match it.next() {
+                Some(spec) => gen = Some(spec.clone()),
+                None => return fail("--gen needs <IP>:<seed>:<cycles>"),
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => return fail("--trace needs a path"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("psmctl: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            word if command.is_none() => command = Some(word.to_owned()),
+            word if command.as_deref() == Some("estimate") && model.is_none() => {
+                model = Some(word.to_owned());
+            }
+            word => {
+                eprintln!("psmctl: unexpected argument `{word}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(command) = command else {
+        eprintln!("psmctl: no command given\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+
+    match command.as_str() {
+        "ping" => match client.ping() {
+            Ok(()) => {
+                println!("psmd at {addr} is alive (psmd/v1)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => client_exit(&e),
+        },
+        "list" => match client.list() {
+            Ok(models) => {
+                print_models(&models, "registry");
+                ExitCode::SUCCESS
+            }
+            Err(e) => client_exit(&e),
+        },
+        "estimate" => {
+            let Some(model) = model else {
+                eprintln!("psmctl: estimate needs a model name\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            let workload = match load_workload(gen.as_deref(), trace_path.as_deref()) {
+                Ok(trace) => trace,
+                Err(message) => {
+                    eprintln!("psmctl: {message}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            eprintln!(
+                "psmctl: submitting {} cycle(s) to {model} at {addr}",
+                workload.len()
+            );
+            match client.estimate(&model, version, &workload) {
+                Ok(reply) => {
+                    print_estimate(&reply, &format);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => client_exit(&e),
+            }
+        }
+        "stats" => {
+            let result = if format == "json" {
+                client.stats_json().map(|doc| doc.render())
+            } else {
+                client.stats_text()
+            };
+            match result {
+                Ok(stats) => {
+                    println!("{stats}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => client_exit(&e),
+            }
+        }
+        "reload" => match client.reload() {
+            Ok(models) => {
+                print_models(&models, "reloaded");
+                ExitCode::SUCCESS
+            }
+            Err(e) => client_exit(&e),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                println!("psmd at {addr} is draining and shutting down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => client_exit(&e),
+        },
+        other => {
+            eprintln!("psmctl: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

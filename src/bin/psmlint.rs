@@ -23,6 +23,11 @@
 //! Findings can be policed per code (`--config psmlint.toml`) and gated
 //! against a previous run (`--baseline old.json`); see DIAGNOSTICS.md.
 //!
+//! Stdout carries only the report in the selected format — progress and
+//! log lines go to stderr (suppressed entirely by `--quiet`), so
+//! `--format json|sarif` output pipes straight into `jq` or a SARIF
+//! viewer.
+//!
 //! Exit status: `0` when clean, `1` when any *new* error-severity
 //! diagnostic survives the configuration and baseline (warnings too under
 //! `--deny-warnings`), `2` when an artifact could not be loaded or the
@@ -62,6 +67,8 @@ Options:
   --deny-warnings   exit non-zero on warnings, not just errors
   --demo <path>     train a quick MultSum model, save it at <path>,
                     then lint the saved file
+  -q, --quiet       suppress progress lines (stderr); stdout carries
+                    only the report in the selected format
   -h, --help        show this help";
 
 /// Version tag of the JSON envelope (`--format json`).
@@ -81,16 +88,28 @@ enum Format {
 struct Options {
     format: Format,
     deny_warnings: bool,
+    quiet: bool,
     config: Option<String>,
     baseline: Option<String>,
     demo: Option<String>,
     paths: Vec<String>,
 }
 
+impl Options {
+    /// A progress/log line: stderr only, silenced by `--quiet`. Keeps
+    /// stdout pipe-clean for `--format json|sarif` consumers.
+    fn progress(&self, message: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("psmlint: {message}");
+        }
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         format: Format::Text,
         deny_warnings: false,
+        quiet: false,
         config: None,
         baseline: None,
         demo: None,
@@ -110,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--json" => opts.format = Format::Json,
             "--deny-warnings" => opts.deny_warnings = true,
+            "-q" | "--quiet" => opts.quiet = true,
             "--config" => {
                 let path = it.next().ok_or("--config needs a file path")?;
                 opts.config = Some(path.clone());
@@ -245,7 +265,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Some(demo) = &opts.demo {
+    if let Some(demo) = &opts.demo.clone() {
+        opts.progress(format_args!("training demo MultSum model at {demo}"));
         if let Err(message) = train_demo(demo) {
             eprintln!("psmlint: {message}");
             return ExitCode::from(2);
@@ -256,6 +277,7 @@ fn main() -> ExitCode {
     let mut loaded = Loaded::default();
     let mut files: Vec<LintedFile> = Vec::new();
     for path in &opts.paths {
+        opts.progress(format_args!("linting {path}"));
         let start = Instant::now();
         match lint_path(path, &mut loaded) {
             Ok(found) => {
@@ -277,6 +299,10 @@ fn main() -> ExitCode {
     // alongside it (XA002: are the stored attributes re-derivable?).
     if !loaded.power.is_empty() {
         for (path, psm) in &loaded.models {
+            opts.progress(format_args!(
+                "cross-checking {path} against {} power trace(s)",
+                loaded.power.len()
+            ));
             let start = Instant::now();
             let report = lint_psm_against_training(psm, &loaded.power, CROSS_CHECK_ALPHA);
             files.push(LintedFile {
@@ -324,11 +350,17 @@ fn main() -> ExitCode {
                 ("suppressed", JsonValue::from(suppressed)),
             ]);
             println!("{}", doc.render());
+            opts.progress(format_args!(
+                "{errors} error(s), {warnings} warning(s), {suppressed} suppressed"
+            ));
         }
         Format::Sarif => {
             let pairs: Vec<(String, AnalysisReport)> =
                 files.into_iter().map(|f| (f.file, f.report)).collect();
             println!("{}", to_sarif(&pairs).render());
+            opts.progress(format_args!(
+                "{errors} error(s), {warnings} warning(s), {suppressed} suppressed"
+            ));
         }
         Format::Text => {
             for f in &files {

@@ -253,10 +253,10 @@ impl TrainedModel {
         crate::persist::load_from_path(path.as_ref())
     }
 
-    /// The canonical serialised JSON text — exactly what
-    /// [`TrainedModel::save`] writes. Deterministic: equal models render to
-    /// equal bytes, regardless of the [`Parallelism`] they were trained
-    /// under.
+    /// The canonical serialised JSON body — what [`TrainedModel::save`]
+    /// wraps in the `psmgen-artifact/v2` container. Deterministic: equal
+    /// models render to equal bytes, regardless of the [`Parallelism`]
+    /// they were trained under.
     pub fn to_json_string(&self) -> String {
         crate::persist::render_model(self)
     }
@@ -291,8 +291,9 @@ impl HierarchicalModel {
         crate::persist::load_from_path(path.as_ref())
     }
 
-    /// The canonical serialised JSON text — exactly what
-    /// [`HierarchicalModel::save`] writes.
+    /// The canonical serialised JSON body — what
+    /// [`HierarchicalModel::save`] wraps in the `psmgen-artifact/v2`
+    /// container.
     pub fn to_json_string(&self) -> String {
         crate::persist::render_model(self)
     }

@@ -40,8 +40,9 @@
 //! ```
 //!
 //! The layer crates are re-exported under short names: [`stats`],
-//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`], [`hmm`] and
-//! [`analyze`]. The static lints of [`analyze`] also run inside the flow
+//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`], [`hmm`], [`analyze`]
+//! and [`serve`] (the `psmd` estimation daemon and its `psmctl` client).
+//! The static lints of [`analyze`] also run inside the flow
 //! itself (the telemetry's `validate` stage, gated by
 //! [`Strictness`](flow::Strictness)) and behind the `psmlint` binary.
 
@@ -54,6 +55,7 @@ pub use psm_hmm as hmm;
 pub use psm_ips as ips;
 pub use psm_mining as mining;
 pub use psm_rtl as rtl;
+pub use psm_serve as serve;
 pub use psm_stats as stats;
 pub use psm_trace as trace;
 

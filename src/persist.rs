@@ -87,19 +87,25 @@ impl Persist for HierarchicalModel {
     }
 }
 
-/// The canonical serialised text of a model — what [`TrainedModel::save`]
-/// writes, and the byte string the parallel-equivalence tests compare.
+/// The canonical serialised JSON body of a model — the byte string the
+/// parallel-equivalence tests compare. [`TrainedModel::save`] wraps this
+/// body in the versioned artifact container
+/// (`psm_persist::encode_artifact`, header `psmgen-artifact/v2`).
 pub(crate) fn render_model<T: Persist>(value: &T) -> String {
     value.to_json().render()
 }
 
 pub(crate) fn save_to_path<T: Persist>(value: &T, path: &Path) -> Result<(), FlowError> {
-    std::fs::write(path, render_model(value)).map_err(|e| FlowError::persistence_io(path, e))
+    std::fs::write(path, psm_persist::encode_artifact(&value.to_json()))
+        .map_err(|e| FlowError::persistence_io(path, e))
 }
 
 pub(crate) fn load_from_path<T: Persist>(path: &Path) -> Result<T, FlowError> {
     let text = std::fs::read_to_string(path).map_err(|e| FlowError::persistence_io(path, e))?;
-    let doc = JsonValue::parse(&text).map_err(|e| FlowError::persistence_format(path, e))?;
+    // Both container versions load: v2 (headered) and the PR 1-era bare
+    // JSON (v1). Truncated or wrong-magic files fail structurally here.
+    let (_, doc) =
+        psm_persist::decode_artifact(&text).map_err(|e| FlowError::persistence_format(path, e))?;
     T::from_json(&doc).map_err(|e| FlowError::persistence_format(path, e))
 }
 

@@ -1,0 +1,223 @@
+//! End-to-end contracts of the `psmd` estimation service: wire-level
+//! estimates are byte-identical to in-process `PsmFlow` estimation,
+//! backpressure is explicit (`BUSY`), registry hot-reload is atomic
+//! towards in-flight requests, and shutdown drains before exiting.
+
+use psmgen::flow::{IpPreset, PsmFlow, TrainedModel};
+use psmgen::ips::{behavioural_trace, testbench, MultSum};
+use psmgen::serve::{Client, ClientError, PoolConfig, Server, ServerConfig};
+use psmgen::trace::FunctionalTrace;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_registry(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psmgen-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Trains a MultSum model from `stimuli_seeds` and saves it as a
+/// registry artifact.
+fn train_into(dir: &Path, file: &str, stimuli_seeds: &[u64]) -> TrainedModel {
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    let stimuli: Vec<_> = stimuli_seeds
+        .iter()
+        .map(|&seed| testbench::multsum_short_ts(seed))
+        .collect();
+    let model = flow
+        .train(&mut MultSum::new(), &stimuli)
+        .expect("training succeeds");
+    model.save(dir.join(file)).expect("model saves");
+    model
+}
+
+/// A fresh MultSum workload trace (never part of training).
+fn workload(seed: u64, cycles: usize) -> FunctionalTrace {
+    let stimulus = testbench::multsum_long_ts(seed, cycles);
+    behavioural_trace(&mut MultSum::new(), &stimulus).expect("behavioural trace")
+}
+
+#[test]
+fn eight_parallel_clients_get_byte_identical_estimates() {
+    let dir = temp_registry("equivalence");
+    train_into(&dir, "multsum@1.json", &[1]);
+
+    // The reference is the facade estimating against the *loaded* model —
+    // the same artifact bytes the daemon serves.
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    let loaded = TrainedModel::load(dir.join("multsum@1.json")).unwrap();
+
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let addr = running.addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let trace = workload(100 + i, 400 + 25 * i as usize);
+            let expected = flow.estimate_from_trace(&loaded, &trace);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let reply = client.estimate("multsum", None, &trace).expect("estimate");
+                let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
+                let got_bits: Vec<u64> = reply.estimate.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    got_bits, expected_bits,
+                    "client {i}: daemon estimate must be byte-identical to PsmFlow"
+                );
+                assert_eq!(
+                    reply.wrong_state_predictions,
+                    expected.wrong_state_predictions
+                );
+                assert_eq!(reply.unknown_instants, expected.unknown_instants);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    let report = running.join().expect("clean exit");
+    assert_eq!(report.named_counter("serve.op.estimate"), 8);
+    assert!(report.named_counter("serve.connections") >= 8);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_answers_busy_without_losing_accepted_work() {
+    let dir = temp_registry("busy");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let mut cfg = ServerConfig::new(&dir);
+    // One worker that stalls long enough for the queue to be observably
+    // full: one request in flight, one queued, the third must bounce.
+    cfg.pool = PoolConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        stall: Duration::from_millis(600),
+    };
+    let running = Server::bind(cfg).unwrap().spawn();
+    let addr = running.addr();
+
+    let spawn_estimate = |seed: u64| {
+        std::thread::spawn(move || {
+            let trace = workload(seed, 300);
+            Client::connect(addr)
+                .unwrap()
+                .estimate("multsum", None, &trace)
+        })
+    };
+    let a = spawn_estimate(1);
+    std::thread::sleep(Duration::from_millis(200));
+    let b = spawn_estimate(2);
+    std::thread::sleep(Duration::from_millis(150));
+    let trace = workload(3, 300);
+    let mut c = Client::connect(addr).unwrap();
+    let err = c.estimate("multsum", None, &trace).unwrap_err();
+    assert!(matches!(err, ClientError::Busy), "expected BUSY, got {err}");
+
+    // Backpressure never cancels accepted work.
+    a.join().unwrap().expect("first request completes");
+    b.join().unwrap().expect("queued request completes");
+
+    c.shutdown().unwrap();
+    let report = running.join().expect("clean exit");
+    assert!(report.named_counter("serve.busy") >= 1);
+    assert_eq!(report.named_counter("serve.op.estimate"), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_reload_is_atomic_towards_a_live_request_stream() {
+    let dir = temp_registry("reload");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let addr = running.addr();
+
+    // A client hammers estimates while the registry is swapped under it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stream = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let trace = workload(7, 200);
+            let mut versions = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                let reply = client
+                    .estimate("multsum", None, &trace)
+                    .expect("no estimate may fail across the reload");
+                assert_eq!(reply.estimate.len(), trace.len());
+                versions.push(reply.version);
+            }
+            versions
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(150));
+    // v2 is a genuinely different model (more training data).
+    train_into(&dir, "multsum@2.json", &[1, 2]);
+    let mut admin = Client::connect(addr).unwrap();
+    let models = admin.reload().expect("reload succeeds");
+    assert_eq!(models.len(), 2);
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::SeqCst);
+
+    let versions = stream.join().expect("request stream");
+    assert!(!versions.is_empty());
+    assert_eq!(*versions.first().unwrap(), 1, "stream started on v1");
+    assert_eq!(*versions.last().unwrap(), 2, "stream ended on v2");
+    // Monotone flip: once v2 serves, v1 never reappears.
+    let first_v2 = versions.iter().position(|&v| v == 2).expect("v2 served");
+    assert!(versions[first_v2..].iter().all(|&v| v == 2));
+
+    admin.shutdown().unwrap();
+    running.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_drains_queued_estimates_and_flushes_stats() {
+    let dir = temp_registry("drain");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.pool = PoolConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 8,
+        stall: Duration::from_millis(400),
+    };
+    let running = Server::bind(cfg).unwrap().spawn();
+    let addr = running.addr();
+
+    // Three estimates pile up behind the stalled worker…
+    let pending: Vec<_> = (0..3)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let trace = workload(seed, 250);
+                let reply = Client::connect(addr)
+                    .unwrap()
+                    .estimate("multsum", None, &trace)
+                    .expect("accepted estimate must be answered before exit");
+                (reply.estimate.len(), trace.len())
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    // …then the daemon is told to shut down while they are in flight.
+    Client::connect(addr).unwrap().shutdown().unwrap();
+
+    for p in pending {
+        let (got, want) = p.join().expect("pending client");
+        assert_eq!(got, want, "drained estimate is complete, not truncated");
+    }
+    let report = running.join().expect("exit 0 equivalent: a clean Ok join");
+    assert_eq!(report.named_counter("serve.op.estimate"), 3);
+    assert_eq!(report.named_counter("serve.op.shutdown"), 1);
+    assert!(
+        report.gauge("serve.queue_depth").is_some(),
+        "gauges flushed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
