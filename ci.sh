@@ -19,7 +19,10 @@ echo "==> rustdoc: no warnings, doc-tests pass"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 cargo test --offline --doc --workspace -q
 
-echo "==> psmlint: checked-in netlist + freshly trained model"
+echo "==> psmlint: generated netlist + freshly trained model"
+# multsum_netlist.v is gitignored; the example regenerates it
+# deterministically so a fresh checkout lints the same bytes.
+cargo run --offline --release --example netlist_tools > /dev/null
 ./target/release/psmlint --deny-warnings multsum_netlist.v
 ./target/release/psmlint --json --demo target/psmlint-demo-model.json
 
@@ -31,7 +34,7 @@ echo "==> psmlint: SARIF over the demo defect set, gated on new findings"
     --baseline examples/artifacts/psmlint-baseline.json \
     examples/artifacts/defective.v multsum_netlist.v > target/psmlint.sarif
 
-echo "==> psmd: loopback smoke test (serve, estimate, stats, clean exit)"
+echo "==> psmd: loopback smoke test (serve, estimate, stream, stats, clean exit)"
 rm -rf target/psmd-smoke && mkdir -p target/psmd-smoke
 ./target/release/psmlint --quiet --json --demo target/psmd-smoke/demo@1.json > /dev/null
 ./target/release/psmd --registry target/psmd-smoke \
@@ -42,8 +45,28 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 PSMD_ADDR="$(cat target/psmd-smoke/port)"
+./target/release/psmctl --addr "$PSMD_ADDR" ping
 ./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
     --gen MultSum:7:500 --format json > target/psmd-smoke/estimate.json
+# The same workload streamed in two+ chunks must reproduce the one-shot
+# estimate bit for bit.
+./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
+    --gen MultSum:7:500 --stream --chunks 250 --format json \
+    > target/psmd-smoke/streamed.json
+cmp target/psmd-smoke/estimate.json target/psmd-smoke/streamed.json
+# A deliberately slow partial-write client must not stall other clients:
+# the normal estimate below completes while the slow frame trickles in.
+./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
+    --gen MultSum:7:500 --slow-write-ms 400 --format json \
+    > target/psmd-smoke/slow.json &
+SLOW_PID=$!
+./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
+    --gen MultSum:7:500 > /dev/null
+wait "$SLOW_PID"
+cmp target/psmd-smoke/estimate.json target/psmd-smoke/slow.json
+./target/release/psmctl --addr "$PSMD_ADDR" bench demo \
+    --gen MultSum:7:200 --clients 2 --streams 2 --rounds 3 \
+    --format json > /dev/null
 ./target/release/psmctl --addr "$PSMD_ADDR" stats > /dev/null
 ./target/release/psmctl --addr "$PSMD_ADDR" shutdown
 wait "$PSMD_PID"   # psmd must drain and exit 0

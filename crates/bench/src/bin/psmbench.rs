@@ -3,9 +3,10 @@
 //! Runs the fixed scenario suite from [`psm_bench::scenarios`] (assertion
 //! mining, PSM generation, merging, HMM build + forward simulation, the
 //! full [`psmgen::flow::PsmFlow`] train/estimate path at several worker
-//! counts, and the `psmd` daemon serving eight concurrent loopback
-//! clients at the same worker counts), prints a human-readable table,
-//! and writes a
+//! counts, and the `psmd` daemon end to end: eight concurrent loopback
+//! clients at the same worker counts, a one-shot JSON-vs-binary wire
+//! format comparison, and chunked streaming sessions with per-chunk
+//! latency percentiles), prints a human-readable table, and writes a
 //! schema-versioned `BENCH_psmgen.json` with per-scenario ns/op,
 //! throughput in trace-rows/s and speedup-vs-1-thread.
 //!
@@ -157,6 +158,9 @@ fn scenario_json(name: &str, r: &ScenarioResult) -> JsonValue {
         });
         fields.push(("stages".into(), JsonValue::arr(stages)));
     }
+    for (key, value) in &r.extras {
+        fields.push((key.clone(), JsonValue::from(*value)));
+    }
     JsonValue::obj(fields)
 }
 
@@ -307,6 +311,11 @@ fn main() -> ExitCode {
         }
         for t in &cfg.threads {
             println!("serve_estimate_t{t}");
+        }
+        println!("serve_oneshot_json");
+        println!("serve_oneshot_bin");
+        for t in &cfg.threads {
+            println!("serve_stream_t{t}");
         }
         return ExitCode::SUCCESS;
     }

@@ -60,7 +60,7 @@ mod simulate;
 
 pub use build::build_hmm;
 pub use model::{ForwardCache, Hmm};
-pub use simulate::{HmmOutcome, HmmSimulator};
+pub use simulate::{ForwardPass, ForwardState, HmmOutcome, HmmSimulator};
 
 use std::error::Error;
 use std::fmt;

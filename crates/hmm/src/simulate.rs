@@ -65,6 +65,314 @@ struct Cursor {
     alts: Vec<Alt>,
 }
 
+/// Resumable state of an assertion-driven estimation run.
+///
+/// Captures everything [`HmmSimulator::run`] keeps between instants — the
+/// filtered belief, the chain cursor, the last valid state and the
+/// wrong/unknown counters — so a long trace can be estimated chunk by
+/// chunk through [`ForwardPass::resume`] with results bit-identical to a
+/// single [`HmmSimulator::run`] over the concatenated observations. The
+/// internal buffers are reused across chunks; feeding a chunk allocates
+/// nothing inside the state itself.
+#[derive(Debug, Clone)]
+pub struct ForwardState {
+    belief: Vec<f64>,
+    scratch: Vec<f64>,
+    cursor: Option<Cursor>,
+    last_state: StateId,
+    wrong: usize,
+    unknown: usize,
+    instants: usize,
+}
+
+impl ForwardState {
+    /// Wrong-state predictions accumulated over every resumed chunk.
+    pub fn wrong_state_predictions(&self) -> usize {
+        self.wrong
+    }
+
+    /// Unknown instants accumulated over every resumed chunk.
+    pub fn unknown_instants(&self) -> usize {
+        self.unknown
+    }
+
+    /// Total instants fed through this state so far.
+    pub fn instants(&self) -> usize {
+        self.instants
+    }
+}
+
+/// A borrowed view over a PSM/HMM pair that drives the assertion-based
+/// walker without owning either — the resumable core behind
+/// [`HmmSimulator::run`].
+///
+/// Where [`HmmSimulator`] owns its HMM (convenient for one-shot runs),
+/// `ForwardPass` borrows `(psm, hmm, cache)` so long-lived owners (for
+/// example a model registry serving streaming sessions) can drive many
+/// concurrent [`ForwardState`]s against one loaded model without cloning
+/// per chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardPass<'a> {
+    psm: &'a Psm,
+    hmm: &'a Hmm,
+    cache: &'a ForwardCache,
+}
+
+impl<'a> ForwardPass<'a> {
+    /// Borrows a PSM, its HMM and a [`ForwardCache`] built from that HMM
+    /// (see [`Hmm::forward_cache`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the HMM's state count does not match the PSM's or the
+    /// cache was built for a different state space.
+    pub fn new(psm: &'a Psm, hmm: &'a Hmm, cache: &'a ForwardCache) -> Self {
+        assert_eq!(
+            psm.state_count(),
+            hmm.num_states(),
+            "HMM and PSM must agree on the state space"
+        );
+        assert_eq!(
+            cache.num_states(),
+            hmm.num_states(),
+            "forward cache must be built from this HMM"
+        );
+        ForwardPass { psm, hmm, cache }
+    }
+
+    /// A fresh [`ForwardState`] positioned before the first instant —
+    /// uniform belief, no cursor, the PSM's initial state as the holder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the PSM has no states.
+    pub fn begin(&self) -> ForwardState {
+        assert!(self.psm.state_count() > 0, "cannot simulate an empty PSM");
+        let m = self.psm.state_count();
+        ForwardState {
+            belief: vec![1.0 / m as f64; m],
+            scratch: vec![0.0; m],
+            cursor: None,
+            last_state: self
+                .psm
+                .initials()
+                .first()
+                .map(|(s, _)| *s)
+                .unwrap_or(StateId::from_index(0)),
+            wrong: 0,
+            unknown: 0,
+            instants: 0,
+        }
+    }
+
+    /// Feeds one chunk of observations through `state`, appending one
+    /// power estimate per instant to `estimate`.
+    ///
+    /// Splitting a trace into chunks and resuming each through the same
+    /// `ForwardState` produces estimates and counters bit-identical to a
+    /// single call over the concatenated slices: the loop body is the
+    /// one-shot walker's, and all carried state lives in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn resume(
+        &self,
+        state: &mut ForwardState,
+        observations: &[Option<PropositionId>],
+        input_hamming: &[u32],
+        estimate: &mut PowerTrace,
+    ) {
+        assert_eq!(
+            observations.len(),
+            input_hamming.len(),
+            "observations and hamming series must align"
+        );
+        for (t, obs) in observations.iter().enumerate() {
+            match obs {
+                None => {
+                    state.unknown += 1;
+                    state.cursor = None;
+                }
+                Some(o) => {
+                    // Keep the statistical belief in sync with the
+                    // evidence; fall back to the emission model when the
+                    // transition-constrained update collapses.
+                    let sym = o.index();
+                    if sym < self.hmm.num_symbols() {
+                        let like = self
+                            .hmm
+                            .filter_step_cached(
+                                self.cache,
+                                &mut state.belief,
+                                sym,
+                                &mut state.scratch,
+                            )
+                            .unwrap_or(0.0);
+                        if like <= 0.0 {
+                            if let Some(nb) = self.hmm.emission_belief(sym) {
+                                state.belief = nb;
+                            }
+                        }
+                    }
+
+                    match state.cursor.as_ref() {
+                        Some(cur) => match self.advance(cur, *o, &state.belief) {
+                            Some(next) => {
+                                state.last_state = next.state;
+                                state.cursor = Some(next);
+                            }
+                            None => {
+                                // The chosen state's assertion failed.
+                                match self.resync(*o, &state.belief) {
+                                    Some(next) => {
+                                        state.wrong += 1;
+                                        state.last_state = next.state;
+                                        state.cursor = Some(next);
+                                    }
+                                    None => {
+                                        state.unknown += 1;
+                                        state.cursor = None;
+                                    }
+                                }
+                            }
+                        },
+                        None => {
+                            // (Re-)synchronise on the first acceptable
+                            // behaviour; missing targets stay unknown but
+                            // are only counted once per instant.
+                            if let Some(next) = self.resync(*o, &state.belief) {
+                                state.last_state = next.state;
+                                state.cursor = Some(next);
+                            } else {
+                                state.unknown += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            let holder = self.psm.state(state.last_state);
+            estimate.push(holder.output().evaluate(input_hamming[t] as f64));
+        }
+        state.instants += observations.len();
+    }
+
+    /// Enters `state`, activating every alternative chain whose entry
+    /// proposition is `o` (they stay live concurrently and narrow as
+    /// observations arrive).
+    fn enter(&self, state: StateId, o: PropositionId) -> Option<Cursor> {
+        let alts: Vec<Alt> = self
+            .psm
+            .state(state)
+            .chains()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.entry_proposition() == o)
+            .map(|(ci, c)| Alt {
+                chain: ci,
+                part: 0,
+                next_consumed: c.parts()[0].pattern() == TemporalPattern::Next,
+            })
+            .collect();
+        if alts.is_empty() {
+            None
+        } else {
+            Some(Cursor { state, alts })
+        }
+    }
+
+    /// One step from `cursor` on observation `o`. Every live alternative
+    /// either continues (the until run repeats, or the sequence cascades)
+    /// or requests an exit; continuing wins over exiting unless the belief
+    /// clearly prefers an exit target, and ambiguous exits are ranked by
+    /// the belief. `None` signals that no alternative accepts `o`.
+    fn advance(&self, cursor: &Cursor, o: PropositionId, belief: &[f64]) -> Option<Cursor> {
+        let state = self.psm.state(cursor.state);
+        let mut stays: Vec<Alt> = Vec::new();
+        let mut wants_exit = false;
+        for alt in &cursor.alts {
+            let chain = &state.chains()[alt.chain];
+            let part = chain.parts()[alt.part];
+            if o == part.left() && !alt.next_consumed && part.pattern() == TemporalPattern::Until {
+                stays.push(*alt);
+                continue;
+            }
+            if o == part.right() {
+                if alt.part + 1 < chain.len() {
+                    // Cascade into the next part of the sequence.
+                    let next_part = chain.parts()[alt.part + 1];
+                    stays.push(Alt {
+                        chain: alt.chain,
+                        part: alt.part + 1,
+                        next_consumed: next_part.pattern() == TemporalPattern::Next,
+                    });
+                } else {
+                    wants_exit = true;
+                }
+            }
+        }
+
+        let exit_target = if wants_exit {
+            self.best_exit(cursor.state, o, belief)
+        } else {
+            None
+        };
+        match (stays.is_empty(), exit_target) {
+            (false, None) => Some(Cursor {
+                state: cursor.state,
+                alts: stays,
+            }),
+            (true, Some(c)) => Some(c),
+            (false, Some(c)) => {
+                // Both staying and exiting are possible: a genuine
+                // non-deterministic choice, resolved by the belief.
+                if belief[c.state.index()] > belief[cursor.state.index()] {
+                    Some(c)
+                } else {
+                    Some(Cursor {
+                        state: cursor.state,
+                        alts: stays,
+                    })
+                }
+            }
+            (true, None) => None,
+        }
+    }
+
+    /// The belief-preferred exit of `from` through a transition guarded by
+    /// `o`.
+    fn best_exit(&self, from: StateId, o: PropositionId, belief: &[f64]) -> Option<Cursor> {
+        let mut best: Option<(f64, Cursor)> = None;
+        for tr in self.psm.successors(from) {
+            if tr.guard != o {
+                continue;
+            }
+            if let Some(c) = self.enter(tr.to, o) {
+                let score = belief[tr.to.index()];
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, c));
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// Finds the best state accepting `o` as an entry, ranked by the
+    /// belief — the paper's revert-and-follow-a-different-path.
+    fn resync(&self, o: PropositionId, belief: &[f64]) -> Option<Cursor> {
+        let mut best: Option<(f64, Cursor)> = None;
+        for (id, _) in self.psm.states() {
+            if let Some(c) = self.enter(id, o) {
+                let score = belief[id.index()];
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, c));
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+}
+
 /// Simulates a (possibly non-deterministic) joined PSM: chain-cursor
 /// walking with HMM-ranked choices.
 ///
@@ -118,6 +426,16 @@ impl<'a> HmmSimulator<'a> {
         &self.hmm
     }
 
+    /// A [`ForwardPass`] borrowing this simulator's PSM, HMM and cache —
+    /// the entry point for resumable, chunked estimation.
+    pub fn forward_pass(&self) -> ForwardPass<'_> {
+        ForwardPass {
+            psm: self.psm,
+            hmm: &self.hmm,
+            cache: &self.cache,
+        }
+    }
+
     /// Replays an observation stream, producing per-instant power
     /// estimates.
     ///
@@ -157,93 +475,14 @@ impl<'a> HmmSimulator<'a> {
     /// # Ok::<(), psm_core::CoreError>(())
     /// ```
     pub fn run(&self, observations: &[Option<PropositionId>], input_hamming: &[u32]) -> HmmOutcome {
-        assert_eq!(
-            observations.len(),
-            input_hamming.len(),
-            "observations and hamming series must align"
-        );
-        assert!(self.psm.state_count() > 0, "cannot simulate an empty PSM");
-
-        let m = self.psm.state_count();
-        let mut belief = vec![1.0 / m as f64; m];
-        let mut scratch = vec![0.0; m];
-        let mut cursor: Option<Cursor> = None;
-        let mut last_state = self
-            .psm
-            .initials()
-            .first()
-            .map(|(s, _)| *s)
-            .unwrap_or(StateId::from_index(0));
+        let pass = self.forward_pass();
+        let mut state = pass.begin();
         let mut estimate = PowerTrace::with_capacity(observations.len());
-        let mut wrong = 0usize;
-        let mut unknown = 0usize;
-
-        for (t, obs) in observations.iter().enumerate() {
-            match obs {
-                None => {
-                    unknown += 1;
-                    cursor = None;
-                }
-                Some(o) => {
-                    // Keep the statistical belief in sync with the
-                    // evidence; fall back to the emission model when the
-                    // transition-constrained update collapses.
-                    let sym = o.index();
-                    if sym < self.hmm.num_symbols() {
-                        let like = self
-                            .hmm
-                            .filter_step_cached(&self.cache, &mut belief, sym, &mut scratch)
-                            .unwrap_or(0.0);
-                        if like <= 0.0 {
-                            if let Some(nb) = self.hmm.emission_belief(sym) {
-                                belief = nb;
-                            }
-                        }
-                    }
-
-                    match cursor.as_ref() {
-                        Some(cur) => match self.advance(cur, *o, &belief) {
-                            Some(next) => {
-                                last_state = next.state;
-                                cursor = Some(next);
-                            }
-                            None => {
-                                // The chosen state's assertion failed.
-                                match self.resync(*o, &belief) {
-                                    Some(next) => {
-                                        wrong += 1;
-                                        last_state = next.state;
-                                        cursor = Some(next);
-                                    }
-                                    None => {
-                                        unknown += 1;
-                                        cursor = None;
-                                    }
-                                }
-                            }
-                        },
-                        None => {
-                            // (Re-)synchronise on the first acceptable
-                            // behaviour; missing targets stay unknown but
-                            // are only counted once per instant.
-                            if let Some(next) = self.resync(*o, &belief) {
-                                last_state = next.state;
-                                cursor = Some(next);
-                            } else {
-                                unknown += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            let state = self.psm.state(last_state);
-            estimate.push(state.output().evaluate(input_hamming[t] as f64));
-        }
-
+        pass.resume(&mut state, observations, input_hamming, &mut estimate);
         HmmOutcome {
             estimate,
-            wrong_state_predictions: wrong,
-            unknown_instants: unknown,
+            wrong_state_predictions: state.wrong,
+            unknown_instants: state.unknown,
         }
     }
 
@@ -391,121 +630,6 @@ impl<'a> HmmSimulator<'a> {
             }
         }
         estimate
-    }
-
-    /// Enters `state`, activating every alternative chain whose entry
-    /// proposition is `o` (they stay live concurrently and narrow as
-    /// observations arrive).
-    fn enter(&self, state: StateId, o: PropositionId) -> Option<Cursor> {
-        let alts: Vec<Alt> = self
-            .psm
-            .state(state)
-            .chains()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.entry_proposition() == o)
-            .map(|(ci, c)| Alt {
-                chain: ci,
-                part: 0,
-                next_consumed: c.parts()[0].pattern() == TemporalPattern::Next,
-            })
-            .collect();
-        if alts.is_empty() {
-            None
-        } else {
-            Some(Cursor { state, alts })
-        }
-    }
-
-    /// One step from `cursor` on observation `o`. Every live alternative
-    /// either continues (the until run repeats, or the sequence cascades)
-    /// or requests an exit; continuing wins over exiting unless the belief
-    /// clearly prefers an exit target, and ambiguous exits are ranked by
-    /// the belief. `None` signals that no alternative accepts `o`.
-    fn advance(&self, cursor: &Cursor, o: PropositionId, belief: &[f64]) -> Option<Cursor> {
-        let state = self.psm.state(cursor.state);
-        let mut stays: Vec<Alt> = Vec::new();
-        let mut wants_exit = false;
-        for alt in &cursor.alts {
-            let chain = &state.chains()[alt.chain];
-            let part = chain.parts()[alt.part];
-            if o == part.left() && !alt.next_consumed && part.pattern() == TemporalPattern::Until {
-                stays.push(*alt);
-                continue;
-            }
-            if o == part.right() {
-                if alt.part + 1 < chain.len() {
-                    // Cascade into the next part of the sequence.
-                    let next_part = chain.parts()[alt.part + 1];
-                    stays.push(Alt {
-                        chain: alt.chain,
-                        part: alt.part + 1,
-                        next_consumed: next_part.pattern() == TemporalPattern::Next,
-                    });
-                } else {
-                    wants_exit = true;
-                }
-            }
-        }
-
-        let exit_target = if wants_exit {
-            self.best_exit(cursor.state, o, belief)
-        } else {
-            None
-        };
-        match (stays.is_empty(), exit_target) {
-            (false, None) => Some(Cursor {
-                state: cursor.state,
-                alts: stays,
-            }),
-            (true, Some(c)) => Some(c),
-            (false, Some(c)) => {
-                // Both staying and exiting are possible: a genuine
-                // non-deterministic choice, resolved by the belief.
-                if belief[c.state.index()] > belief[cursor.state.index()] {
-                    Some(c)
-                } else {
-                    Some(Cursor {
-                        state: cursor.state,
-                        alts: stays,
-                    })
-                }
-            }
-            (true, None) => None,
-        }
-    }
-
-    /// The belief-preferred exit of `from` through a transition guarded by
-    /// `o`.
-    fn best_exit(&self, from: StateId, o: PropositionId, belief: &[f64]) -> Option<Cursor> {
-        let mut best: Option<(f64, Cursor)> = None;
-        for tr in self.psm.successors(from) {
-            if tr.guard != o {
-                continue;
-            }
-            if let Some(c) = self.enter(tr.to, o) {
-                let score = belief[tr.to.index()];
-                if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                    best = Some((score, c));
-                }
-            }
-        }
-        best.map(|(_, c)| c)
-    }
-
-    /// Finds the best state accepting `o` as an entry, ranked by the
-    /// belief — the paper's revert-and-follow-a-different-path.
-    fn resync(&self, o: PropositionId, belief: &[f64]) -> Option<Cursor> {
-        let mut best: Option<(f64, Cursor)> = None;
-        for (id, _) in self.psm.states() {
-            if let Some(c) = self.enter(id, o) {
-                let score = belief[id.index()];
-                if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                    best = Some((score, c));
-                }
-            }
-        }
-        best.map(|(_, c)| c)
     }
 }
 
@@ -657,6 +781,50 @@ mod tests {
         assert!((out.estimate[5] - 9.0).abs() < 0.2, "{}", out.estimate[5]);
         // …busy after `lk` marker is the 2 mW behaviour.
         assert!((out.estimate[12] - 2.0).abs() < 0.2, "{}", out.estimate[12]);
+    }
+
+    #[test]
+    fn chunked_resume_is_bit_identical_to_one_shot() {
+        let (psm, syms) = looped_model();
+        let hmm = build_hmm(&psm, syms);
+        let sim = HmmSimulator::new(&psm, hmm);
+        let mut o = obs(&[0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1, 1, 0]);
+        o[6] = None; // exercise the unknown path across a chunk boundary
+        let h: Vec<u32> = (0..o.len() as u32).collect();
+        let oneshot = sim.run(&o, &h);
+
+        // Every split point, including degenerate empty chunks.
+        for cut in 0..=o.len() {
+            let pass = sim.forward_pass();
+            let mut state = pass.begin();
+            let mut estimate = PowerTrace::with_capacity(o.len());
+            pass.resume(&mut state, &o[..cut], &h[..cut], &mut estimate);
+            pass.resume(&mut state, &o[cut..], &h[cut..], &mut estimate);
+            let got: Vec<u64> = estimate.iter().map(f64::to_bits).collect();
+            let want: Vec<u64> = oneshot.estimate.iter().map(f64::to_bits).collect();
+            assert_eq!(got, want, "split at {cut} must not change the estimate");
+            assert_eq!(
+                state.wrong_state_predictions(),
+                oneshot.wrong_state_predictions
+            );
+            assert_eq!(state.unknown_instants(), oneshot.unknown_instants);
+            assert_eq!(state.instants(), o.len());
+        }
+    }
+
+    #[test]
+    fn forward_pass_borrows_an_external_cache() {
+        let (psm, syms) = looped_model();
+        let hmm = build_hmm(&psm, syms);
+        let cache = hmm.forward_cache();
+        let pass = ForwardPass::new(&psm, &hmm, &cache);
+        let o = obs(&[0, 0, 1, 1, 0]);
+        let mut state = pass.begin();
+        let mut estimate = PowerTrace::new();
+        pass.resume(&mut state, &o, &[0; 5], &mut estimate);
+        let sim = HmmSimulator::new(&psm, hmm);
+        let oneshot = sim.run(&o, &[0; 5]);
+        assert_eq!(estimate.as_slice(), oneshot.estimate.as_slice());
     }
 
     #[test]

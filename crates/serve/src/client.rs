@@ -4,12 +4,20 @@
 //! A [`Client`] owns one connection and keeps one request in flight at
 //! a time, so every response on the socket is the answer to its last
 //! request (the id is still checked). Concurrency comes from opening
-//! more clients — each daemon connection gets its own reader thread and
-//! submits into the shared pool.
+//! more clients — each daemon connection multiplexes through the
+//! daemon's readiness loop and submits into the shared pool.
+//!
+//! The client speaks protocol v2 by default: one-shot estimates travel
+//! as binary trace frames ([`Client::estimate_binary`]) and chunked
+//! traces stream through [`Client::open_stream`]. [`Client::negotiate`]
+//! drops to the JSON-only v1 dialect when the daemon is older;
+//! [`Client::estimate_json`] speaks v1's `ESTIMATE` explicitly. The
+//! bench harness bypasses the one-in-flight discipline via
+//! [`Client::pipeline_request`]/[`Client::pipeline_response`].
 
-use crate::protocol::{self, Frame, Opcode, ProtocolError, Status};
+use crate::protocol::{self, Frame, Opcode, ProtocolError, Status, PROTOCOL_VERSION};
 use psm_persist::{JsonValue, PersistError};
-use psm_trace::FunctionalTrace;
+use psm_trace::{FunctionalTrace, SignalSet};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -18,7 +26,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// The socket failed.
     Io(io::Error),
-    /// The daemon (or an imposter) sent bytes that are not `psmd/v1`.
+    /// The daemon (or an imposter) sent bytes that are not `psmd`.
     Protocol(ProtocolError),
     /// The daemon's estimation queue is full — retry later. This is the
     /// wire-level `BUSY` status, surfaced as its own variant because
@@ -74,7 +82,7 @@ impl From<PersistError> for ClientError {
     }
 }
 
-/// A successful `ESTIMATE` response.
+/// A successful `ESTIMATE`/`ESTIMATE_BIN` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EstimateReply {
     /// The model that served the estimate.
@@ -100,6 +108,32 @@ impl EstimateReply {
     }
 }
 
+/// The incremental answer to one `STREAM_CHUNK`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkReply {
+    /// Per-instant power estimate (mW) for *this chunk only*.
+    pub estimate: Vec<f64>,
+    /// Cumulative wrong-state predictions across the stream so far.
+    pub wrong_state_predictions: usize,
+    /// Cumulative unknown instants across the stream so far.
+    pub unknown_instants: usize,
+}
+
+/// The `STREAM_CLOSE` answer: the session's lifetime totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// The model that served the stream.
+    pub model: String,
+    /// Its resolved registry version.
+    pub version: u64,
+    /// Total instants estimated across all chunks.
+    pub instants: usize,
+    /// Total wrong-state predictions.
+    pub wrong_state_predictions: usize,
+    /// Total unknown instants.
+    pub unknown_instants: usize,
+}
+
 /// One model of a `LIST`/`RELOAD` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelInfo {
@@ -115,15 +149,20 @@ pub struct ModelInfo {
     pub propositions: usize,
 }
 
-/// A blocking `psmd/v1` client over one TCP connection.
+/// A blocking `psmd` client over one TCP connection (v2 by default,
+/// v1-compatible after [`Client::negotiate`]).
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    next_stream: u32,
+    protocol: u8,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon, assuming protocol v2 (every daemon built
+    /// from this workspace). Call [`Client::negotiate`] when the peer
+    /// might be an older v1 daemon.
     ///
     /// # Errors
     ///
@@ -131,14 +170,28 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client {
+            stream,
+            next_id: 1,
+            next_stream: 1,
+            protocol: PROTOCOL_VERSION,
+        })
     }
 
-    /// One request/response exchange.
-    fn call(&mut self, op: Opcode, payload: Vec<u8>) -> Result<Frame, ClientError> {
+    /// The protocol version this connection speaks (2 until a
+    /// negotiation says otherwise).
+    pub fn protocol(&self) -> u8 {
+        self.protocol
+    }
+
+    /// One request/response exchange at an explicit protocol version.
+    fn call_v(&mut self, version: u8, op: Opcode, payload: Vec<u8>) -> Result<Frame, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        protocol::write_frame(&mut self.stream, &Frame::request(op, id, payload))?;
+        protocol::write_frame(
+            &mut self.stream,
+            &Frame::request_v(version, op, id, payload),
+        )?;
         let frame = protocol::read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
         if frame.request_id != id {
             return Err(ClientError::Server(format!(
@@ -156,28 +209,98 @@ impl Client {
         }
     }
 
-    /// Liveness probe.
-    ///
-    /// # Errors
-    ///
-    /// Any [`ClientError`]; also checks the daemon names the protocol.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
-        let frame = self.call(Opcode::Ping, Vec::new())?;
-        let doc = frame.json()?;
-        if doc.str_field("protocol")? != "psmd/v1" {
-            return Err(ClientError::Server("peer is not a psmd/v1 daemon".into()));
+    /// One request/response exchange at the negotiated version.
+    fn call(&mut self, op: Opcode, payload: Vec<u8>) -> Result<Frame, ClientError> {
+        self.call_v(self.protocol, op, payload)
+    }
+
+    /// Fails fast when the connection negotiated down to v1.
+    fn require_v2(&self) -> Result<(), ClientError> {
+        if self.protocol < 2 {
+            return Err(ClientError::Server(
+                "peer speaks psmd/v1 only — binary and streaming requests need v2".into(),
+            ));
         }
         Ok(())
     }
 
-    /// Estimates `trace` against `model` (`version: None` = latest).
+    /// Probes the daemon with a v1 `PING` — the one frame every daemon
+    /// generation accepts — and adopts the highest protocol version both
+    /// sides support. Returns the adopted version.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; in particular [`ClientError::Server`] when
+    /// the peer does not identify as a psmd daemon at all.
+    pub fn negotiate(&mut self) -> Result<u8, ClientError> {
+        let frame = self.call_v(1, Opcode::Ping, Vec::new())?;
+        let (tag, versions) = protocol::parse_ping_reply(&frame)?;
+        if !tag.starts_with("psmd/v") {
+            return Err(ClientError::Server(format!(
+                "peer identifies as {tag:?}, not a psmd daemon"
+            )));
+        }
+        let best = versions
+            .into_iter()
+            .filter(|v| *v >= 1 && *v <= PROTOCOL_VERSION)
+            .max()
+            .unwrap_or(1);
+        self.protocol = best;
+        Ok(best)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; also checks the daemon names the protocol
+    /// version this connection is speaking.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let frame = self.call(Opcode::Ping, Vec::new())?;
+        let (tag, _) = protocol::parse_ping_reply(&frame)?;
+        let expected = format!("psmd/v{}", self.protocol);
+        if tag != expected {
+            return Err(ClientError::Server(format!(
+                "peer answers {tag:?} where {expected:?} was expected"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Estimates `trace` against `model` over the v2 binary codec —
+    /// the fast path for large traces (`version: None` = latest).
     ///
     /// # Errors
     ///
     /// [`ClientError::Busy`] under backpressure — the request was *not*
     /// queued and can safely be retried; [`ClientError::Server`] for an
-    /// unknown model or a draining daemon.
-    pub fn estimate(
+    /// unknown model, a draining daemon, or a v1-only peer.
+    pub fn estimate_binary(
+        &mut self,
+        model: &str,
+        version: Option<u64>,
+        trace: &FunctionalTrace,
+    ) -> Result<EstimateReply, ClientError> {
+        self.require_v2()?;
+        let payload = protocol::estimate_bin_request(model, version, trace);
+        let frame = self.call(Opcode::EstimateBin, payload)?;
+        let bin = protocol::parse_estimate_bin_reply(&frame)?;
+        Ok(EstimateReply {
+            model: bin.model,
+            version: bin.version,
+            estimate: bin.estimate,
+            wrong_state_predictions: bin.wrong_state_predictions as usize,
+            unknown_instants: bin.unknown_instants as usize,
+        })
+    }
+
+    /// Estimates `trace` against `model` over the v1 JSON `ESTIMATE`
+    /// opcode — the dialect every daemon generation accepts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::estimate_binary`], minus the v2 requirement.
+    pub fn estimate_json(
         &mut self,
         model: &str,
         version: Option<u64>,
@@ -196,6 +319,69 @@ impl Client {
                 .collect::<Result<_, _>>()?,
             wrong_state_predictions: doc.usize_field("wrong_state_predictions")?,
             unknown_instants: doc.usize_field("unknown_instants")?,
+        })
+    }
+
+    /// Estimates `trace` in one shot (`version: None` = latest).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::estimate_binary`].
+    #[deprecated(
+        note = "use `estimate_binary` (or `estimate_json` against v1 daemons); \
+                this shim routes through one `open_stream` session"
+    )]
+    pub fn estimate(
+        &mut self,
+        model: &str,
+        version: Option<u64>,
+        trace: &FunctionalTrace,
+    ) -> Result<EstimateReply, ClientError> {
+        let mut stream = self.open_stream(model, version, trace.signals())?;
+        let chunk = stream.send_chunk(trace)?;
+        let summary = stream.close()?;
+        Ok(EstimateReply {
+            model: summary.model,
+            version: summary.version,
+            estimate: chunk.estimate,
+            wrong_state_predictions: summary.wrong_state_predictions,
+            unknown_instants: summary.unknown_instants,
+        })
+    }
+
+    /// Opens a streaming estimation session: the daemon pins the model
+    /// and interns `signals` once; chunks are cycles-only afterwards.
+    /// The concatenated chunk estimates are bit-identical to a one-shot
+    /// estimate of the concatenated trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an unknown model, a draining daemon,
+    /// or a v1-only peer.
+    pub fn open_stream(
+        &mut self,
+        model: &str,
+        version: Option<u64>,
+        signals: &SignalSet,
+    ) -> Result<EstimateStream<'_>, ClientError> {
+        self.require_v2()?;
+        let stream = self.next_stream;
+        self.next_stream += 1;
+        let payload = protocol::stream_open_request(stream, model, version, signals);
+        let frame = self.call(Opcode::StreamOpen, payload)?;
+        let doc = frame.json()?;
+        let echoed = doc.u64_field("stream")?;
+        if echoed != u64::from(stream) {
+            return Err(ClientError::Server(format!(
+                "daemon opened stream {echoed}, not the requested {stream}"
+            )));
+        }
+        Ok(EstimateStream {
+            model: doc.str_field("model")?.to_owned(),
+            version: doc.u64_field("version")?,
+            client: self,
+            stream,
+            closed: false,
         })
     }
 
@@ -252,6 +438,109 @@ impl Client {
         self.call(Opcode::Shutdown, Vec::new())?;
         Ok(())
     }
+
+    /// Writes one request frame without waiting for its response,
+    /// returning the request id. Pair each call with one
+    /// [`Client::pipeline_response`] — the bench harness uses this to
+    /// keep several requests in flight on one connection.
+    ///
+    /// # Errors
+    ///
+    /// The socket-level [`ClientError::Io`].
+    pub fn pipeline_request(&mut self, op: Opcode, payload: Vec<u8>) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        protocol::write_frame(
+            &mut self.stream,
+            &Frame::request_v(self.protocol, op, id, payload),
+        )?;
+        Ok(id)
+    }
+
+    /// Reads one response frame of a pipelined exchange, whatever its
+    /// status. The daemon answers a connection's requests in submission
+    /// order, so responses pair with [`Client::pipeline_request`] ids
+    /// first-in-first-out.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on EOF, otherwise socket or framing
+    /// errors.
+    pub fn pipeline_response(&mut self) -> Result<Frame, ClientError> {
+        protocol::read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)
+    }
+}
+
+/// One open streaming session (see [`Client::open_stream`]). Borrows
+/// the client exclusively: a session owns the connection's
+/// request/response discipline until closed. Dropping it without
+/// [`EstimateStream::close`] sends a best-effort close so the daemon
+/// frees the session.
+#[derive(Debug)]
+pub struct EstimateStream<'a> {
+    client: &'a mut Client,
+    stream: u32,
+    model: String,
+    version: u64,
+    closed: bool,
+}
+
+impl EstimateStream<'_> {
+    /// The model serving this stream.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The resolved registry version serving this stream.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Feeds the next chunk and returns its incremental estimate.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] when this session's daemon-side queue is
+    /// full — the chunk was *not* applied and resending it preserves the
+    /// stream; any other [`ClientError`] for decode failures.
+    pub fn send_chunk(&mut self, chunk: &FunctionalTrace) -> Result<ChunkReply, ClientError> {
+        let payload = protocol::stream_chunk_request(self.stream, chunk);
+        let frame = self.client.call(Opcode::StreamChunk, payload)?;
+        let bin = protocol::parse_estimate_bin_reply(&frame)?;
+        Ok(ChunkReply {
+            estimate: bin.estimate,
+            wrong_state_predictions: bin.wrong_state_predictions as usize,
+            unknown_instants: bin.unknown_instants as usize,
+        })
+    }
+
+    /// Closes the stream and returns its lifetime totals.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn close(mut self) -> Result<StreamSummary, ClientError> {
+        self.closed = true;
+        let payload = protocol::stream_close_request(self.stream);
+        let frame = self.client.call(Opcode::StreamClose, payload)?;
+        let doc = frame.json()?;
+        Ok(StreamSummary {
+            model: doc.str_field("model")?.to_owned(),
+            version: doc.u64_field("version")?,
+            instants: doc.usize_field("instants")?,
+            wrong_state_predictions: doc.usize_field("wrong_state_predictions")?,
+            unknown_instants: doc.usize_field("unknown_instants")?,
+        })
+    }
+}
+
+impl Drop for EstimateStream<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            let payload = protocol::stream_close_request(self.stream);
+            let _ = self.client.call(Opcode::StreamClose, payload);
+        }
+    }
 }
 
 fn parse_models(frame: &Frame) -> Result<Vec<ModelInfo>, ClientError> {
@@ -300,6 +589,7 @@ mod tests {
         let running = server.spawn();
         let mut client = Client::connect(running.addr()).unwrap();
 
+        assert_eq!(client.negotiate().unwrap(), 2);
         client.ping().unwrap();
 
         let models = client.list().unwrap();
@@ -308,7 +598,7 @@ mod tests {
         assert!(models[0].states > 0);
 
         // The daemon's estimate is bit-identical to estimating directly
-        // against the same artifact.
+        // against the same artifact — over both payload codecs.
         let local = Registry::open(&dir)
             .unwrap()
             .snapshot()
@@ -316,11 +606,11 @@ mod tests {
             .unwrap();
         let trace = toy_trace();
         let expected = local.estimate(&trace);
-        let reply = client.estimate("toy", None, &trace).unwrap();
+        let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
+        let reply = client.estimate_json("toy", None, &trace).unwrap();
         assert_eq!(reply.model, "toy");
         assert_eq!(reply.version, 1);
         assert_eq!(reply.estimate.len(), trace.len());
-        let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
         let got_bits: Vec<u64> = reply.estimate.iter().map(|v| v.to_bits()).collect();
         assert_eq!(
             got_bits, expected_bits,
@@ -331,14 +621,21 @@ mod tests {
             expected.wrong_state_predictions
         );
         assert!(reply.mean_power() > 0.0);
+        let bin = client.estimate_binary("toy", None, &trace).unwrap();
+        let bin_bits: Vec<u64> = bin.estimate.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bin_bits, expected_bits, "binary codec is bit-exact too");
+        assert_eq!(
+            bin.wrong_state_predictions,
+            expected.wrong_state_predictions
+        );
 
         // Unknown models are structured errors, not hangs.
-        let err = client.estimate("fft", None, &trace).unwrap_err();
+        let err = client.estimate_json("fft", None, &trace).unwrap_err();
         assert!(
             matches!(&err, ClientError::Server(msg) if msg.contains("fft")),
             "{err}"
         );
-        let err = client.estimate("toy", Some(9), &trace).unwrap_err();
+        let err = client.estimate_json("toy", Some(9), &trace).unwrap_err();
         assert!(
             matches!(&err, ClientError::Server(msg) if msg.contains("toy@9")),
             "{err}"
@@ -347,6 +644,7 @@ mod tests {
         // Stats see the traffic, in both formats.
         let text = client.stats_text().unwrap();
         assert!(text.contains("serve.op.estimate=3"), "{text}");
+        assert!(text.contains("serve.op.estimate_bin=1"), "{text}");
         assert!(text.contains("serve.op.list=1"), "{text}");
         let stats = client.stats_json().unwrap();
         let named = stats.arr_field("named_counters").unwrap();
@@ -360,7 +658,7 @@ mod tests {
         .unwrap();
         let models = client.reload().unwrap();
         assert_eq!(models.len(), 2);
-        let reply = client.estimate("toy", None, &trace).unwrap();
+        let reply = client.estimate_json("toy", None, &trace).unwrap();
         assert_eq!(reply.version, 2);
 
         // A corrupt artifact fails the reload but keeps serving.
@@ -370,15 +668,46 @@ mod tests {
             matches!(&err, ClientError::Server(msg) if msg.contains("bad@1.json")),
             "{err}"
         );
-        client.estimate("toy", None, &trace).unwrap();
+        client.estimate_json("toy", None, &trace).unwrap();
 
         client.shutdown().unwrap();
         let report = running.join().unwrap();
         assert_eq!(report.named_counter("serve.op.shutdown"), 1);
         assert_eq!(report.named_counter("serve.op.estimate"), 5);
+        assert_eq!(report.named_counter("serve.op.estimate_bin"), 1);
         assert_eq!(report.named_counter("serve.unknown_model"), 2);
         assert_eq!(report.named_counter("serve.reload_failures"), 1);
         assert!(report.named_counter("serve.connections") >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deprecated_one_shot_shim_rides_the_session_api() {
+        let dir = temp_registry("shim");
+        let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+        let mut client = Client::connect(running.addr()).unwrap();
+        let trace = toy_trace();
+        let local = Registry::open(&dir)
+            .unwrap()
+            .snapshot()
+            .lookup("toy", None)
+            .unwrap();
+        let expected = local.estimate(&trace);
+        #[allow(deprecated)]
+        let reply = client.estimate("toy", None, &trace).unwrap();
+        assert_eq!(reply.estimate.len(), trace.len());
+        let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
+        let got_bits: Vec<u64> = reply.estimate.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, expected_bits);
+        assert_eq!(
+            reply.wrong_state_predictions,
+            expected.wrong_state_predictions
+        );
+        client.shutdown().unwrap();
+        let report = running.join().unwrap();
+        assert_eq!(report.named_counter("serve.op.stream_open"), 1);
+        assert_eq!(report.named_counter("serve.op.stream_chunk"), 1);
+        assert_eq!(report.named_counter("serve.op.stream_close"), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -399,15 +728,21 @@ mod tests {
         // A occupies the worker (stalled 500 ms), B fills the single
         // queue slot, C must bounce with BUSY.
         let t = trace.clone();
-        let a =
-            std::thread::spawn(move || Client::connect(addr).unwrap().estimate("toy", None, &t));
+        let a = std::thread::spawn(move || {
+            Client::connect(addr)
+                .unwrap()
+                .estimate_json("toy", None, &t)
+        });
         std::thread::sleep(Duration::from_millis(150));
         let t = trace.clone();
-        let b =
-            std::thread::spawn(move || Client::connect(addr).unwrap().estimate("toy", None, &t));
+        let b = std::thread::spawn(move || {
+            Client::connect(addr)
+                .unwrap()
+                .estimate_json("toy", None, &t)
+        });
         std::thread::sleep(Duration::from_millis(100));
         let mut c = Client::connect(addr).unwrap();
-        let err = c.estimate("toy", None, &trace).unwrap_err();
+        let err = c.estimate_json("toy", None, &trace).unwrap_err();
         assert!(matches!(err, ClientError::Busy), "{err}");
 
         // The accepted requests still complete.
@@ -439,7 +774,9 @@ mod tests {
         for _ in 0..2 {
             let t = trace.clone();
             workers.push(std::thread::spawn(move || {
-                Client::connect(addr).unwrap().estimate("toy", None, &t)
+                Client::connect(addr)
+                    .unwrap()
+                    .estimate_json("toy", None, &t)
             }));
         }
         std::thread::sleep(Duration::from_millis(100));

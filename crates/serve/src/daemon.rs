@@ -1,25 +1,43 @@
-//! The `psmd` daemon: accept loop, dispatch, stats, graceful drain.
+//! The `psmd` daemon: connection engine, dispatch, stats, graceful drain.
 //!
-//! One thread accepts connections; each connection gets a thread that
-//! frames requests off the socket and dispatches them. Estimations go
-//! through the [`pool`](crate::pool) (bounded queue, per-model
-//! batching); everything else is answered inline. Responses are written
-//! under a per-connection mutex keyed by request id, so a batch
-//! answering out of submission order is fine.
+//! Two I/O engines share one dispatch path ([`IoMode`]):
+//!
+//! * **Readiness** (the default on Unix) — a single event-loop thread
+//!   drives every connection through `poll(2)`
+//!   ([`poll`](crate::poll)): non-blocking accepts, per-connection read
+//!   buffers parsed at frame granularity
+//!   ([`protocol::parse_frame_bytes`]), and per-connection outboxes
+//!   flushed as sockets become writable. A peer trickling a frame in
+//!   byte-sized writes owns a buffer, not a thread — it cannot stall
+//!   other connections. Worker-pool callbacks append responses to the
+//!   outbox and wake the loop through the wake pipe.
+//! * **Threads** — the classic thread-per-connection fallback (also the
+//!   automatic fallback off Unix): blocking reads with an idle timeout,
+//!   responses written under a per-connection mutex.
+//!
+//! Estimations go through the [`pool`](crate::pool) (bounded queue,
+//! per-model batching, per-stream session turns); everything else is
+//! answered inline. Responses echo the request frame's protocol version,
+//! so v1 clients interoperate with this v2 daemon untouched.
 //!
 //! Shutdown — the `SHUTDOWN` opcode or SIGTERM via
 //! [`signals::on_sigterm`](crate::signals::on_sigterm) — is graceful by
-//! construction: the flag stops the accept loop and the connection
-//! readers, the pool drains (every accepted estimate still gets its
-//! response), stats flush into the final [`TelemetryReport`], and
-//! [`Server::run`] returns it.
+//! construction: the flag stops accepts and reads, the pool drains
+//! (every accepted job still gets its response), outboxes flush, stats
+//! land in the final [`TelemetryReport`], and [`Server::run`] returns it.
 
-use crate::pool::{EstimateJob, Pool, PoolConfig, SubmitOutcome};
-use crate::protocol::{self, Frame, Opcode, Status};
+use crate::poll::Waker;
+use crate::pool::{
+    EstimateJob, Pool, PoolConfig, SessionEntry, StreamJob, StreamReply, StreamSubmit, StreamWork,
+    SubmitOutcome,
+};
+use crate::protocol::{self, Frame, Opcode, Status, MIN_PROTOCOL_VERSION};
 use crate::registry::{Registry, RegistryError, Snapshot};
 use psm_persist::JsonValue;
 use psm_telemetry::{Stage, Telemetry, TelemetryReport};
-use std::io::{self, Read};
+use psm_trace::SignalSet;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,15 +47,30 @@ use std::time::Duration;
 /// Default listen address of `psmd` (and default target of `psmctl`).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
 
-/// How long a connection reader waits for the first byte of a frame
-/// before re-checking the shutdown flag. Only the first byte is read
-/// under this timeout, so an idle wait can never split a frame.
+/// How long a blocking connection reader (threads mode) waits for the
+/// first byte of a frame before re-checking the shutdown flag; also the
+/// readiness loop's poll timeout. Only the first byte is read under the
+/// blocking timeout, so an idle wait can never split a frame.
 const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// Read timeout for the remainder of a frame once its first byte
-/// arrived — generous, because a large trace payload crosses the
-/// loopback in many segments.
+/// arrived (threads mode) — generous, because a large trace payload
+/// crosses the loopback in many segments.
 const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long the readiness loop keeps flushing outboxes after drain.
+const FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Which connection engine the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One event-loop thread, `poll(2)` readiness, non-blocking I/O.
+    /// Falls back to [`IoMode::Threads`] on targets without `poll`.
+    #[default]
+    Readiness,
+    /// One blocking thread per connection.
+    Threads,
+}
 
 /// Daemon configuration: where to listen, what to serve, how to pool.
 #[derive(Debug, Clone)]
@@ -49,6 +82,8 @@ pub struct ServerConfig {
     pub registry_dir: PathBuf,
     /// Worker-pool tuning.
     pub pool: PoolConfig,
+    /// Connection engine (readiness-driven by default).
+    pub io: IoMode,
 }
 
 impl ServerConfig {
@@ -58,6 +93,7 @@ impl ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             registry_dir: registry_dir.into(),
             pool: PoolConfig::default(),
+            io: IoMode::default(),
         }
     }
 }
@@ -101,7 +137,7 @@ impl From<RegistryError> for ServeError {
     }
 }
 
-/// Shared daemon state: everything a connection thread needs.
+/// Shared daemon state: everything a connection needs.
 struct Ctx {
     registry: Registry,
     pool: Pool,
@@ -112,10 +148,11 @@ struct Ctx {
 }
 
 impl Ctx {
-    /// Sets the shutdown flag and pokes the accept loop awake.
+    /// Sets the shutdown flag and pokes the I/O engine awake.
     fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // A throwaway connection unblocks the blocking accept; the loop
+        // A throwaway connection unblocks a blocking accept and makes
+        // the readiness loop's listener fd readable; either engine
         // re-checks the flag before serving it.
         let _ = TcpStream::connect_timeout(&self.local, Duration::from_secs(1));
     }
@@ -147,12 +184,14 @@ impl std::fmt::Debug for ServerHandle {
 pub struct Server {
     listener: TcpListener,
     ctx: Arc<Ctx>,
+    io: IoMode,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.ctx.local)
+            .field("io", &self.io)
             .finish()
     }
 }
@@ -183,6 +222,7 @@ impl Server {
                 local,
                 connections: AtomicU64::new(0),
             }),
+            io: cfg.io,
         })
     }
 
@@ -207,10 +247,109 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] only for fatal listener failures; per-
+    /// [`ServeError::Io`] only for fatal listener/poll failures; per-
     /// connection errors are answered on that connection and logged to
     /// the telemetry counters instead.
     pub fn run(self) -> Result<TelemetryReport, ServeError> {
+        match self.io {
+            IoMode::Readiness => self.run_readiness(),
+            IoMode::Threads => self.run_threads(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn run_readiness(self) -> Result<TelemetryReport, ServeError> {
+        self.run_threads()
+    }
+
+    #[cfg(unix)]
+    fn run_readiness(self) -> Result<TelemetryReport, ServeError> {
+        use crate::poll::{poll_fds, PollFd, WakePipe, POLLHUP, POLLIN, POLLOUT};
+        use std::os::unix::io::AsRawFd;
+        use std::time::Instant;
+
+        let Ok(wake) = WakePipe::new() else {
+            return self.run_threads();
+        };
+        self.listener.set_nonblocking(true)?;
+        let listener_fd = self.listener.as_raw_fd();
+        let waker = wake.waker();
+        let mut conns: Vec<Conn> = Vec::new();
+
+        while !self.ctx.shutdown.load(Ordering::SeqCst) {
+            let mut fds = Vec::with_capacity(2 + conns.len());
+            fds.push(PollFd::new(listener_fd, POLLIN));
+            fds.push(PollFd::new(wake.read_fd(), POLLIN));
+            for conn in &conns {
+                let mut events = 0i16;
+                if !conn.closing {
+                    events |= POLLIN;
+                }
+                if !conn.outbox.lock().expect("outbox poisoned").is_empty() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.fd, events));
+            }
+            poll_fds(&mut fds, IDLE_POLL.as_millis() as i32)?;
+
+            if fds[1].ready(POLLIN) {
+                wake.drain();
+            }
+            if fds[0].ready(POLLIN) && !self.ctx.shutdown.load(Ordering::SeqCst) {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            if let Some(conn) = Conn::accept(stream, &self.ctx, waker) {
+                                conns.push(conn);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        // Transient accept failures (EMFILE and friends)
+                        // must not kill the daemon.
+                        Err(_) => break,
+                    }
+                }
+            }
+            // Connections accepted above have no pollfd entry yet; they
+            // are serviced from the next iteration on.
+            for (i, conn) in conns.iter_mut().take(fds.len() - 2).enumerate() {
+                let pfd = fds[i + 2];
+                if pfd.failed() {
+                    conn.dead = true;
+                    continue;
+                }
+                if pfd.ready(POLLIN | POLLHUP) && !conn.closing {
+                    conn.service_read(&self.ctx);
+                }
+                conn.flush_outbox();
+            }
+            conns.retain(|c| {
+                !(c.dead || c.closing && c.outbox.lock().expect("outbox poisoned").is_empty())
+            });
+        }
+
+        // Drain: reads have stopped (the loop exited); every accepted
+        // job still runs, its response landing in an outbox…
+        self.ctx.pool.drain();
+        // …then flush what remains, bounded so a vanished peer cannot
+        // wedge shutdown.
+        let deadline = Instant::now() + FLUSH_DEADLINE;
+        loop {
+            for conn in conns.iter_mut() {
+                conn.flush_outbox();
+            }
+            conns.retain(|c| !c.dead && !c.outbox.lock().expect("outbox poisoned").is_empty());
+            if conns.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            let mut fds: Vec<PollFd> = conns.iter().map(|c| PollFd::new(c.fd, POLLOUT)).collect();
+            let _ = poll_fds(&mut fds, 50);
+        }
+        Ok(self.ctx.telemetry.report())
+    }
+
+    /// The thread-per-connection engine.
+    fn run_threads(self) -> Result<TelemetryReport, ServeError> {
         let mut conn_threads = Vec::new();
         for stream in self.listener.incoming() {
             if self.ctx.shutdown.load(Ordering::SeqCst) {
@@ -292,8 +431,165 @@ impl RunningServer {
     }
 }
 
+// ---------------------------------------------------------------------
+// Readiness-mode connection state.
+// ---------------------------------------------------------------------
+
+/// Bytes queued towards one peer, flushed as the socket drains.
+struct Outbox {
+    queue: std::collections::VecDeque<Vec<u8>>,
+    /// How much of the front entry has been written.
+    offset: usize,
+}
+
+impl Outbox {
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// One readiness-mode connection: non-blocking socket, accumulated read
+/// buffer, response outbox, and this connection's open streams.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    rbuf: Vec<u8>,
+    outbox: Arc<Mutex<Outbox>>,
+    sink: ResponseSink,
+    sessions: HashMap<u32, ConnSession>,
+    /// Stop reading; close once the outbox is flushed.
+    closing: bool,
+    /// Remove immediately (peer gone or socket error).
+    dead: bool,
+}
+
+impl Conn {
+    #[cfg(unix)]
+    fn accept(stream: TcpStream, ctx: &Arc<Ctx>, waker: Waker) -> Option<Conn> {
+        use std::os::unix::io::AsRawFd;
+        ctx.telemetry.add_named("serve.connections", 1);
+        ctx.connections.fetch_add(1, Ordering::SeqCst);
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).ok()?;
+        let fd = stream.as_raw_fd();
+        let outbox = Arc::new(Mutex::new(Outbox {
+            queue: std::collections::VecDeque::new(),
+            offset: 0,
+        }));
+        Some(Conn {
+            stream,
+            fd,
+            rbuf: Vec::new(),
+            sink: ResponseSink::Queued {
+                outbox: outbox.clone(),
+                waker,
+            },
+            outbox,
+            sessions: HashMap::new(),
+            closing: false,
+            dead: false,
+        })
+    }
+
+    /// Reads until the socket would block, then dispatches every
+    /// complete frame in the buffer.
+    fn service_read(&mut self, ctx: &Arc<Ctx>) {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // Peer closed. Parse what already arrived, then go.
+                    self.closing = true;
+                    break;
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        let mut consumed = 0;
+        loop {
+            match protocol::parse_frame_bytes(&self.rbuf[consumed..]) {
+                Ok(None) => break,
+                Ok(Some((frame, used))) => {
+                    consumed += used;
+                    if !dispatch(ctx, &self.sink, &mut self.sessions, frame) {
+                        self.closing = true;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // A malformed frame desynchronises the stream:
+                    // answer once, then hang up (after the flush).
+                    ctx.telemetry.add_named("serve.protocol_errors", 1);
+                    respond(
+                        &self.sink,
+                        MIN_PROTOCOL_VERSION,
+                        Status::Error,
+                        0,
+                        protocol::error_payload(&e.to_string()),
+                    );
+                    self.closing = true;
+                    break;
+                }
+            }
+        }
+        self.rbuf.drain(..consumed);
+        if self.closing {
+            self.rbuf.clear();
+        }
+    }
+
+    /// Writes queued responses until the socket would block.
+    fn flush_outbox(&mut self) {
+        if self.dead {
+            return;
+        }
+        let mut ob = self.outbox.lock().expect("outbox poisoned");
+        while let Some(front) = ob.queue.front() {
+            match self.stream.write(&front[ob.offset..]) {
+                Ok(n) => {
+                    ob.offset += n;
+                    if ob.offset == ob.queue.front().expect("front exists").len() {
+                        ob.queue.pop_front();
+                        ob.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One open stream on a connection: the pool-side session plus the
+/// interned dictionary chunks decode against.
+struct ConnSession {
+    entry: Arc<SessionEntry>,
+    signals: SignalSet,
+}
+
+/// Where a response goes: written directly under a mutex (threads mode)
+/// or queued on an outbox and signalled to the event loop (readiness).
+#[derive(Clone)]
+enum ResponseSink {
+    Direct(Arc<Mutex<TcpStream>>),
+    Queued {
+        outbox: Arc<Mutex<Outbox>>,
+        waker: Waker,
+    },
+}
+
 /// Serves one connection until the peer closes, a protocol error, or
-/// shutdown.
+/// shutdown (threads mode).
 fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
     ctx.telemetry.add_named("serve.connections", 1);
     let _ = stream.set_nodelay(true);
@@ -304,6 +600,8 @@ fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    let sink = ResponseSink::Direct(writer);
+    let mut sessions = HashMap::new();
     loop {
         let mut first = [0u8; 1];
         match stream.read(&mut first) {
@@ -314,7 +612,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
                 let _ = stream.set_read_timeout(Some(IDLE_POLL));
                 match frame {
                     Ok(frame) => {
-                        if !dispatch(ctx, &writer, frame) {
+                        if !dispatch(ctx, &sink, &mut sessions, frame) {
                             return;
                         }
                     }
@@ -323,7 +621,8 @@ fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
                         // answer once, then hang up.
                         ctx.telemetry.add_named("serve.protocol_errors", 1);
                         respond(
-                            &writer,
+                            &sink,
+                            MIN_PROTOCOL_VERSION,
                             Status::Error,
                             0,
                             protocol::error_payload(&e.to_string()),
@@ -345,18 +644,36 @@ fn handle_connection(mut stream: TcpStream, ctx: &Arc<Ctx>) {
     }
 }
 
-/// Writes one response frame, ignoring a vanished peer.
-fn respond(writer: &Arc<Mutex<TcpStream>>, status: Status, request_id: u64, payload: Vec<u8>) {
-    let mut w = writer.lock().expect("connection writer poisoned");
-    let _ = protocol::write_frame(&mut *w, &Frame::response(status, request_id, payload));
+/// Delivers one response frame, echoing the request's protocol version.
+fn respond(sink: &ResponseSink, version: u8, status: Status, request_id: u64, payload: Vec<u8>) {
+    let frame = Frame::response_v(version, status, request_id, payload);
+    match sink {
+        ResponseSink::Direct(writer) => {
+            let mut w = writer.lock().expect("connection writer poisoned");
+            let _ = protocol::write_frame(&mut *w, &frame);
+        }
+        ResponseSink::Queued { outbox, waker } => {
+            let mut buf = Vec::with_capacity(protocol::HEADER_LEN + frame.payload.len());
+            protocol::write_frame(&mut buf, &frame).expect("vec write cannot fail");
+            outbox.lock().expect("outbox poisoned").queue.push_back(buf);
+            waker.wake();
+        }
+    }
 }
 
 /// Handles one request frame; `false` ends the connection.
-fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> bool {
+fn dispatch(
+    ctx: &Arc<Ctx>,
+    sink: &ResponseSink,
+    sessions: &mut HashMap<u32, ConnSession>,
+    frame: Frame,
+) -> bool {
     let id = frame.request_id;
+    let v = frame.version;
     let Some(op) = frame.opcode() else {
         respond(
-            writer,
+            sink,
+            v,
             Status::Error,
             id,
             protocol::error_payload("frame kind is a response status, not a request opcode"),
@@ -365,8 +682,26 @@ fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> boo
     };
     ctx.telemetry
         .add_named(&format!("serve.op.{}", op.name()), 1);
+    if v < op.min_version() {
+        respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload(&format!(
+                "opcode {} requires protocol v{} (frame is v{v})",
+                op.name(),
+                op.min_version()
+            )),
+        );
+        return true;
+    }
     match op {
-        Opcode::Estimate => dispatch_estimate(ctx, writer, &frame),
+        Opcode::Estimate => dispatch_estimate(ctx, sink, &frame),
+        Opcode::EstimateBin => dispatch_estimate_bin(ctx, sink, &frame),
+        Opcode::StreamOpen => dispatch_stream_open(ctx, sink, sessions, &frame),
+        Opcode::StreamChunk => dispatch_stream_chunk(ctx, sink, sessions, &frame),
+        Opcode::StreamClose => dispatch_stream_close(ctx, sink, sessions, &frame),
         Opcode::Stats => {
             let format = frame
                 .json()
@@ -384,7 +719,7 @@ fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> boo
                     ("stats", JsonValue::from(report.text())),
                 ]),
             };
-            respond(writer, Status::Ok, id, payload.render().into_bytes());
+            respond(sink, v, Status::Ok, id, payload.render().into_bytes());
             true
         }
         Opcode::Reload => {
@@ -392,11 +727,12 @@ fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> boo
                 .telemetry
                 .time(Stage::Serve, "registry reload", || ctx.registry.reload());
             match reloaded {
-                Ok(snapshot) => respond(writer, Status::Ok, id, models_payload(&snapshot)),
+                Ok(snapshot) => respond(sink, v, Status::Ok, id, models_payload(&snapshot)),
                 Err(e) => {
                     ctx.telemetry.add_named("serve.reload_failures", 1);
                     respond(
-                        writer,
+                        sink,
+                        v,
                         Status::Error,
                         id,
                         protocol::error_payload(&e.to_string()),
@@ -407,7 +743,8 @@ fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> boo
         }
         Opcode::List => {
             respond(
-                writer,
+                sink,
+                v,
                 Status::Ok,
                 id,
                 models_payload(&ctx.registry.snapshot()),
@@ -415,25 +752,63 @@ fn dispatch(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: Frame) -> boo
             true
         }
         Opcode::Ping => {
-            let payload = JsonValue::obj([("protocol", JsonValue::from("psmd/v1"))]);
-            respond(writer, Status::Ok, id, payload.render().into_bytes());
+            respond(sink, v, Status::Ok, id, protocol::ping_reply(v));
             true
         }
         Opcode::Shutdown => {
-            respond(writer, Status::Ok, id, Vec::new());
+            respond(sink, v, Status::Ok, id, Vec::new());
             ctx.trigger_shutdown();
             false
         }
     }
 }
 
-fn dispatch_estimate(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> bool {
+/// Resolves the model of an estimate-class request, answering the error
+/// inline when it is unknown.
+fn resolve_model(
+    ctx: &Arc<Ctx>,
+    sink: &ResponseSink,
+    v: u8,
+    id: u64,
+    name: &str,
+    version: Option<u64>,
+) -> Option<Arc<crate::registry::ServedModel>> {
+    let model = ctx.registry.snapshot().lookup(name, version);
+    if model.is_none() {
+        let msg = match version {
+            Some(ver) => format!("unknown model {name}@{ver}"),
+            None => format!("unknown model {name}"),
+        };
+        ctx.telemetry.add_named("serve.unknown_model", 1);
+        respond(sink, v, Status::Error, id, protocol::error_payload(&msg));
+    }
+    model
+}
+
+/// Submits an estimate job, answering backpressure inline.
+fn submit_estimate(ctx: &Arc<Ctx>, sink: &ResponseSink, v: u8, id: u64, job: EstimateJob) {
+    match ctx.pool.submit(job) {
+        SubmitOutcome::Accepted => {}
+        SubmitOutcome::Busy(_) => respond(sink, v, Status::Busy, id, Vec::new()),
+        SubmitOutcome::Draining(_) => respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload("daemon is shutting down"),
+        ),
+    }
+}
+
+fn dispatch_estimate(ctx: &Arc<Ctx>, sink: &ResponseSink, frame: &Frame) -> bool {
     let id = frame.request_id;
+    let v = frame.version;
     let (name, version, trace) = match protocol::parse_estimate_request(frame) {
         Ok(parts) => parts,
         Err(e) => {
             respond(
-                writer,
+                sink,
+                v,
                 Status::Error,
                 id,
                 protocol::error_payload(&e.to_string()),
@@ -441,36 +816,296 @@ fn dispatch_estimate(ctx: &Arc<Ctx>, writer: &Arc<Mutex<TcpStream>>, frame: &Fra
             return true;
         }
     };
-    let Some(model) = ctx.registry.snapshot().lookup(&name, version) else {
-        let msg = match version {
-            Some(v) => format!("unknown model {name}@{v}"),
-            None => format!("unknown model {name}"),
-        };
-        ctx.telemetry.add_named("serve.unknown_model", 1);
-        respond(writer, Status::Error, id, protocol::error_payload(&msg));
+    let Some(model) = resolve_model(ctx, sink, v, id, &name, version) else {
         return true;
     };
     let reply_name = model.name.clone();
     let reply_version = model.version;
-    let reply_writer = writer.clone();
+    let reply_sink = sink.clone();
     let job = EstimateJob {
         request_id: id,
         model,
         trace,
         respond: Box::new(move |outcome| {
             respond(
-                &reply_writer,
+                &reply_sink,
+                v,
                 Status::Ok,
                 id,
                 protocol::estimate_reply(&reply_name, reply_version, &outcome),
             );
         }),
     };
-    match ctx.pool.submit(job) {
-        SubmitOutcome::Accepted => {}
-        SubmitOutcome::Busy(_) => respond(writer, Status::Busy, id, Vec::new()),
-        SubmitOutcome::Draining(_) => respond(
-            writer,
+    submit_estimate(ctx, sink, v, id, job);
+    true
+}
+
+fn dispatch_estimate_bin(ctx: &Arc<Ctx>, sink: &ResponseSink, frame: &Frame) -> bool {
+    let id = frame.request_id;
+    let v = frame.version;
+    let (name, version, trace) = match protocol::parse_estimate_bin_request(frame) {
+        Ok(parts) => parts,
+        Err(e) => {
+            respond(
+                sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload(&e.to_string()),
+            );
+            return true;
+        }
+    };
+    let Some(model) = resolve_model(ctx, sink, v, id, &name, version) else {
+        return true;
+    };
+    let reply_name = model.name.clone();
+    let reply_version = model.version;
+    let reply_sink = sink.clone();
+    let job = EstimateJob {
+        request_id: id,
+        model,
+        trace,
+        respond: Box::new(move |outcome| {
+            let estimate: Vec<f64> = outcome.estimate.iter().collect();
+            respond(
+                &reply_sink,
+                v,
+                Status::Ok,
+                id,
+                protocol::estimate_bin_reply(
+                    &reply_name,
+                    reply_version,
+                    &estimate,
+                    outcome.wrong_state_predictions as u64,
+                    outcome.unknown_instants as u64,
+                ),
+            );
+        }),
+    };
+    submit_estimate(ctx, sink, v, id, job);
+    true
+}
+
+fn dispatch_stream_open(
+    ctx: &Arc<Ctx>,
+    sink: &ResponseSink,
+    sessions: &mut HashMap<u32, ConnSession>,
+    frame: &Frame,
+) -> bool {
+    let id = frame.request_id;
+    let v = frame.version;
+    let (stream, name, version, signals) = match protocol::parse_stream_open_request(frame) {
+        Ok(parts) => parts,
+        Err(e) => {
+            respond(
+                sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload(&e.to_string()),
+            );
+            return true;
+        }
+    };
+    if sessions.contains_key(&stream) {
+        respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload(&format!("stream {stream} is already open")),
+        );
+        return true;
+    }
+    let Some(model) = resolve_model(ctx, sink, v, id, &name, version) else {
+        return true;
+    };
+    match ctx.pool.open_session(model) {
+        Some(entry) => {
+            let m = entry.model().clone();
+            respond(
+                sink,
+                v,
+                Status::Ok,
+                id,
+                protocol::stream_open_reply(stream, &m.name, m.version),
+            );
+            sessions.insert(stream, ConnSession { entry, signals });
+        }
+        None => respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload("daemon is shutting down"),
+        ),
+    }
+    true
+}
+
+fn dispatch_stream_chunk(
+    ctx: &Arc<Ctx>,
+    sink: &ResponseSink,
+    sessions: &mut HashMap<u32, ConnSession>,
+    frame: &Frame,
+) -> bool {
+    let id = frame.request_id;
+    let v = frame.version;
+    let stream = match protocol::parse_stream_id(frame) {
+        Ok(s) => s,
+        Err(e) => {
+            respond(
+                sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload(&e.to_string()),
+            );
+            return true;
+        }
+    };
+    let Some(cs) = sessions.get(&stream) else {
+        respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload(&format!("stream {stream} is not open")),
+        );
+        return true;
+    };
+    let chunk = match protocol::parse_stream_chunk_cycles(frame, &cs.signals) {
+        Ok(c) => c,
+        Err(e) => {
+            respond(
+                sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload(&e.to_string()),
+            );
+            return true;
+        }
+    };
+    let model = cs.entry.model().clone();
+    let reply_sink = sink.clone();
+    let job = StreamJob {
+        request_id: id,
+        kind: StreamWork::Chunk(chunk),
+        respond: Box::new(move |reply| match reply {
+            StreamReply::Chunk(out) => {
+                let estimate: Vec<f64> = out.estimate.iter().collect();
+                respond(
+                    &reply_sink,
+                    v,
+                    Status::Ok,
+                    id,
+                    protocol::estimate_bin_reply(
+                        &model.name,
+                        model.version,
+                        &estimate,
+                        out.wrong_state_predictions as u64,
+                        out.unknown_instants as u64,
+                    ),
+                );
+            }
+            StreamReply::Failed(msg) => respond(
+                &reply_sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload(&msg),
+            ),
+            StreamReply::Closed(_) => respond(
+                &reply_sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload("stream closed before the chunk ran"),
+            ),
+        }),
+    };
+    match ctx.pool.submit_stream(&cs.entry, job) {
+        StreamSubmit::Accepted => {}
+        StreamSubmit::Busy(_) => respond(sink, v, Status::Busy, id, Vec::new()),
+        StreamSubmit::Draining(_) => respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload("daemon is shutting down"),
+        ),
+    }
+    true
+}
+
+fn dispatch_stream_close(
+    ctx: &Arc<Ctx>,
+    sink: &ResponseSink,
+    sessions: &mut HashMap<u32, ConnSession>,
+    frame: &Frame,
+) -> bool {
+    let id = frame.request_id;
+    let v = frame.version;
+    let stream = match protocol::parse_stream_id(frame) {
+        Ok(s) => s,
+        Err(e) => {
+            respond(
+                sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload(&e.to_string()),
+            );
+            return true;
+        }
+    };
+    let Some(cs) = sessions.remove(&stream) else {
+        respond(
+            sink,
+            v,
+            Status::Error,
+            id,
+            protocol::error_payload(&format!("stream {stream} is not open")),
+        );
+        return true;
+    };
+    let model = cs.entry.model().clone();
+    let reply_sink = sink.clone();
+    let job = StreamJob {
+        request_id: id,
+        kind: StreamWork::Close,
+        respond: Box::new(move |reply| match reply {
+            StreamReply::Closed(totals) => respond(
+                &reply_sink,
+                v,
+                Status::Ok,
+                id,
+                protocol::stream_close_reply(
+                    stream,
+                    &model.name,
+                    model.version,
+                    totals.instants as u64,
+                    totals.wrong_state_predictions as u64,
+                    totals.unknown_instants as u64,
+                ),
+            ),
+            StreamReply::Chunk(_) | StreamReply::Failed(_) => respond(
+                &reply_sink,
+                v,
+                Status::Error,
+                id,
+                protocol::error_payload("close answered with a non-close reply"),
+            ),
+        }),
+    };
+    match ctx.pool.submit_stream(&cs.entry, job) {
+        StreamSubmit::Accepted => {}
+        StreamSubmit::Busy(_) => respond(sink, v, Status::Busy, id, Vec::new()),
+        StreamSubmit::Draining(_) => respond(
+            sink,
+            v,
             Status::Error,
             id,
             protocol::error_payload("daemon is shutting down"),
@@ -502,10 +1137,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_config_is_loopback_ephemeral() {
+    fn default_config_is_loopback_ephemeral_readiness() {
         let cfg = ServerConfig::new("/tmp/registry");
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert!(cfg.pool.workers >= 1);
+        assert_eq!(cfg.io, IoMode::Readiness);
     }
 
     #[test]

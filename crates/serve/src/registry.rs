@@ -15,8 +15,8 @@
 //! request finishes.
 
 use psm_core::{classify_trace, Psm};
-use psm_hmm::{Hmm, HmmOutcome, HmmSimulator};
-use psm_mining::PropositionTable;
+use psm_hmm::{ForwardCache, ForwardPass, Hmm, HmmOutcome, HmmSimulator};
+use psm_mining::{PropositionId, PropositionTable};
 use psm_persist::{decode_artifact, ArtifactEntry, Persist, PersistError};
 use psm_trace::FunctionalTrace;
 use std::path::{Path, PathBuf};
@@ -74,6 +74,7 @@ pub struct ServedModel {
     table: PropositionTable,
     psm: Psm,
     hmm: Hmm,
+    cache: ForwardCache,
 }
 
 impl ServedModel {
@@ -108,6 +109,7 @@ impl ServedModel {
                 )),
             ));
         }
+        let cache = hmm.forward_cache();
         Ok(ServedModel {
             name: entry.name.clone(),
             version: entry.version,
@@ -115,6 +117,7 @@ impl ServedModel {
             table,
             psm,
             hmm,
+            cache,
         })
     }
 
@@ -150,6 +153,21 @@ impl ServedModel {
     /// single-request path).
     pub fn estimate(&self, trace: &FunctionalTrace) -> HmmOutcome {
         self.estimate_with(&self.simulator(), trace)
+    }
+
+    /// Builds a resumable forward pass over the model's *owned* forward
+    /// cache (built once at load time) — the streaming path, where a
+    /// session must re-enter the model chunk after chunk without paying
+    /// cache construction per chunk.
+    pub fn forward_pass(&self) -> ForwardPass<'_> {
+        ForwardPass::new(&self.psm, &self.hmm, &self.cache)
+    }
+
+    /// Classifies one chunk of a streamed trace against the model's
+    /// proposition table. Classification is per-instant, so chunked
+    /// classification equals classification of the concatenated trace.
+    pub fn classify_chunk(&self, chunk: &FunctionalTrace) -> Vec<Option<PropositionId>> {
+        classify_trace(&self.table, chunk)
     }
 }
 

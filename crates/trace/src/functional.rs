@@ -205,6 +205,30 @@ impl FunctionalTrace {
         out
     }
 
+    /// Hamming distance of the input signals between an externally held
+    /// previous cycle and instant `t` of this trace.
+    ///
+    /// `prev` holds one value per declared signal in declaration order —
+    /// the shape [`cycle`](FunctionalTrace::cycle) returns. Streaming
+    /// estimation uses this to stitch the Hamming series across chunk
+    /// boundaries: when `prev` is the cycle immediately preceding this
+    /// chunk in the full trace, the result equals the corresponding entry
+    /// of [`input_hamming_series`](FunctionalTrace::input_hamming_series)
+    /// on the concatenated trace.
+    pub fn input_hamming_vs(&self, prev: &[Bits], t: usize) -> Result<u32, TraceError> {
+        if prev.len() != self.signals.len() {
+            return Err(TraceError::CycleShapeMismatch {
+                expected: self.signals.len(),
+                actual: prev.len(),
+            });
+        }
+        let mut total = 0u32;
+        for id in self.signals.inputs() {
+            total += prev[id.index()].hamming_distance(self.value(id, t))?;
+        }
+        Ok(total)
+    }
+
     /// Splits the trace into windows of at most `window` instants each
     /// (the last window may be shorter). Useful for turning one long
     /// testbench run into the paper's "set of functional traces".

@@ -41,6 +41,7 @@
 //! ```
 
 mod activity;
+pub mod binary;
 mod bits;
 mod functional;
 mod io;

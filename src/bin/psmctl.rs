@@ -1,22 +1,29 @@
 //! `psmctl` — client CLI for the `psmd` estimation daemon.
 //!
 //! Submits functional traces for estimation (generated from the built-in
-//! IP testbenches or loaded from a trace artifact), lists and hot-reloads
-//! the daemon's model registry, fetches its stats, and shuts it down.
+//! IP testbenches or loaded from a trace artifact) as binary v2 frames —
+//! one-shot, streamed in chunks, or the v1 JSON dialect on request —
+//! benchmarks a daemon with pipelined streams, lists and hot-reloads the
+//! daemon's model registry, fetches its stats, and shuts it down.
 //! Results print as text or the machine-readable JSON the workspace's
 //! other tools emit on stdout; progress goes to stderr.
 
 use psm_persist::{decode_artifact, JsonValue, Persist};
 use psmgen::ips::{behavioural_trace, ip_by_name, testbench};
+use psmgen::serve::protocol::{self, Frame, Opcode, Status};
 use psmgen::serve::{Client, ClientError, EstimateReply, ModelInfo, DEFAULT_ADDR};
 use psmgen::trace::FunctionalTrace;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 usage: psmctl [--addr <ip:port>] <command> [options]
 
 Commands:
-  ping                        liveness probe
+  ping                        liveness probe and protocol negotiation
   list                        models in the daemon's registry snapshot
   estimate <model>            estimate a workload against <model>
       --version <n>           pin a registry version (default: latest)
@@ -24,7 +31,20 @@ Commands:
                               testbench (IP: RAM, MultSum, AES, Camellia)
       --trace <path>          load the workload from a trace artifact
                               (FunctionalTrace JSON)
+      --json-payload          send the trace as v1 JSON instead of the
+                              default v2 binary frames
+      --stream                stream the workload through a session
+      --chunks <k>            cycles per streamed chunk (default 256)
+      --slow-write-ms <ms>    write the request in two halves with a
+                              pause between them (I/O testing aid)
       --format <text|json>    output format (default text)
+  bench <model>               streaming throughput/latency benchmark
+      --gen <IP>:<seed>:<cycles>  the per-chunk workload (required;
+                              the seed makes runs reproducible)
+      --clients <n>           parallel connections (default 4)
+      --streams <m>           in-flight streams per connection (default 4)
+      --rounds <r>            chunks sent per stream (default 32)
+      --format <text|json>    report format (default text)
   stats [--format text|json]  the daemon's telemetry report
   reload                      atomically reload the model registry
   shutdown                    drain in-flight work and stop the daemon
@@ -117,6 +137,249 @@ fn print_estimate(reply: &EstimateReply, format: &str) {
     }
 }
 
+/// Streams the workload through one session in `chunk` cycle pieces.
+fn stream_estimate(
+    client: &mut Client,
+    model: &str,
+    version: Option<u64>,
+    workload: &FunctionalTrace,
+    chunk: usize,
+) -> Result<EstimateReply, ClientError> {
+    let mut stream = client.open_stream(model, version, workload.signals())?;
+    let mut estimate = Vec::with_capacity(workload.len());
+    for piece in workload.split_windows(chunk) {
+        estimate.extend(stream.send_chunk(&piece)?.estimate);
+    }
+    let summary = stream.close()?;
+    Ok(EstimateReply {
+        model: summary.model,
+        version: summary.version,
+        estimate,
+        wrong_state_predictions: summary.wrong_state_predictions,
+        unknown_instants: summary.unknown_instants,
+    })
+}
+
+/// One-shot binary estimate written in two halves with a pause between
+/// them — exercises the daemon's partial-read handling from the CLI.
+fn slow_estimate(
+    addr: &str,
+    model: &str,
+    version: Option<u64>,
+    workload: &FunctionalTrace,
+    pause: Duration,
+) -> Result<EstimateReply, ClientError> {
+    let mut sock = TcpStream::connect(addr)?;
+    let _ = sock.set_nodelay(true);
+    let payload = protocol::estimate_bin_request(model, version, workload);
+    let mut bytes = Vec::new();
+    protocol::write_frame(
+        &mut bytes,
+        &Frame::request_v(2, Opcode::EstimateBin, 1, payload),
+    )?;
+    let half = bytes.len() / 2;
+    sock.write_all(&bytes[..half])?;
+    std::thread::sleep(pause);
+    sock.write_all(&bytes[half..])?;
+    let frame = protocol::read_frame(&mut sock)?.ok_or(ClientError::Disconnected)?;
+    match frame.status() {
+        Some(Status::Ok) => {
+            let bin = protocol::parse_estimate_bin_reply(&frame)?;
+            Ok(EstimateReply {
+                model: bin.model,
+                version: bin.version,
+                estimate: bin.estimate,
+                wrong_state_predictions: bin.wrong_state_predictions as usize,
+                unknown_instants: bin.unknown_instants as usize,
+            })
+        }
+        Some(Status::Busy) => Err(ClientError::Busy),
+        _ => Err(ClientError::Server(protocol::parse_error(&frame))),
+    }
+}
+
+/// The `bench` report: latencies in nanoseconds plus wall-clock facts.
+struct BenchReport {
+    clients: usize,
+    streams: usize,
+    rounds: usize,
+    chunk_cycles: usize,
+    wall: Duration,
+    latencies_ns: Vec<u64>,
+}
+
+impl BenchReport {
+    fn chunks(&self) -> usize {
+        self.latencies_ns.len()
+    }
+
+    fn chunks_per_sec(&self) -> f64 {
+        self.chunks() as f64 / self.wall.as_secs_f64()
+    }
+
+    fn percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
+        self.latencies_ns[idx]
+    }
+
+    fn print(&self, format: &str) {
+        let p50 = self.percentile_ns(0.50);
+        let p99 = self.percentile_ns(0.99);
+        if format == "json" {
+            let doc = JsonValue::obj([
+                ("clients", JsonValue::from(self.clients)),
+                ("streams_per_client", JsonValue::from(self.streams)),
+                ("rounds", JsonValue::from(self.rounds)),
+                ("chunk_cycles", JsonValue::from(self.chunk_cycles)),
+                ("chunks", JsonValue::from(self.chunks())),
+                (
+                    "wall_ms",
+                    JsonValue::from_f64(self.wall.as_secs_f64() * 1e3),
+                ),
+                ("chunks_per_sec", JsonValue::from_f64(self.chunks_per_sec())),
+                (
+                    "cycles_per_sec",
+                    JsonValue::from_f64(self.chunks_per_sec() * self.chunk_cycles as f64),
+                ),
+                ("p50_ns", JsonValue::from(p50)),
+                ("p99_ns", JsonValue::from(p99)),
+            ]);
+            println!("{}", doc.render());
+        } else {
+            println!(
+                "bench: {} client(s) × {} stream(s) × {} round(s) = {} chunk(s) of {} cycle(s)",
+                self.clients,
+                self.streams,
+                self.rounds,
+                self.chunks(),
+                self.chunk_cycles
+            );
+            println!(
+                "throughput: {:.1} chunk/s ({:.0} cycle/s) over {:.2} s",
+                self.chunks_per_sec(),
+                self.chunks_per_sec() * self.chunk_cycles as f64,
+                self.wall.as_secs_f64()
+            );
+            println!(
+                "latency: p50 {:.3} ms, p99 {:.3} ms",
+                p50 as f64 / 1e6,
+                p99 as f64 / 1e6
+            );
+        }
+    }
+}
+
+/// One bench connection: `streams` pipelined sessions fed `rounds`
+/// chunks each, chunk latencies measured per response id.
+fn bench_connection(
+    addr: &str,
+    model: &str,
+    version: Option<u64>,
+    chunk: &FunctionalTrace,
+    streams: usize,
+    rounds: usize,
+) -> Result<Vec<u64>, ClientError> {
+    let mut client = Client::connect(addr)?;
+    // Open every stream up front (ids 1..=streams), pipelined.
+    for s in 0..streams {
+        let payload = protocol::stream_open_request(s as u32 + 1, model, version, chunk.signals());
+        client.pipeline_request(Opcode::StreamOpen, payload)?;
+    }
+    for _ in 0..streams {
+        let frame = client.pipeline_response()?;
+        if frame.status() != Some(Status::Ok) {
+            return Err(ClientError::Server(protocol::parse_error(&frame)));
+        }
+    }
+    // Rounds of one chunk per stream: `streams` requests in flight, each
+    // latency measured from its own send. Responses of different streams
+    // may arrive out of order — pair them by request id.
+    let mut latencies = Vec::with_capacity(streams * rounds);
+    let mut in_flight: HashMap<u64, Instant> = HashMap::with_capacity(streams);
+    for _ in 0..rounds {
+        for s in 0..streams {
+            let payload = protocol::stream_chunk_request(s as u32 + 1, chunk);
+            let id = client.pipeline_request(Opcode::StreamChunk, payload)?;
+            in_flight.insert(id, Instant::now());
+        }
+        for _ in 0..streams {
+            let frame = client.pipeline_response()?;
+            let sent = in_flight
+                .remove(&frame.request_id)
+                .ok_or_else(|| ClientError::Server("unsolicited response id".into()))?;
+            if frame.status() != Some(Status::Ok) {
+                return Err(ClientError::Server(protocol::parse_error(&frame)));
+            }
+            latencies.push(sent.elapsed().as_nanos() as u64);
+        }
+    }
+    for s in 0..streams {
+        client.pipeline_request(
+            Opcode::StreamClose,
+            protocol::stream_close_request(s as u32 + 1),
+        )?;
+    }
+    for _ in 0..streams {
+        let frame = client.pipeline_response()?;
+        if frame.status() != Some(Status::Ok) {
+            return Err(ClientError::Server(protocol::parse_error(&frame)));
+        }
+    }
+    Ok(latencies)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_bench(
+    addr: &str,
+    model: &str,
+    version: Option<u64>,
+    chunk: FunctionalTrace,
+    clients: usize,
+    streams: usize,
+    rounds: usize,
+    format: &str,
+) -> ExitCode {
+    eprintln!(
+        "psmctl: benching {model} at {addr}: {clients} client(s) × {streams} stream(s) × \
+         {rounds} round(s), {} cycle(s) per chunk",
+        chunk.len()
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_owned();
+            let model = model.to_owned();
+            let chunk = chunk.clone();
+            std::thread::spawn(move || {
+                bench_connection(&addr, &model, version, &chunk, streams, rounds)
+            })
+        })
+        .collect();
+    let mut latencies_ns = Vec::with_capacity(clients * streams * rounds);
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(lat)) => latencies_ns.extend(lat),
+            Ok(Err(e)) => return client_exit(&e),
+            Err(_) => return fail("bench connection thread panicked"),
+        }
+    }
+    let wall = t0.elapsed();
+    latencies_ns.sort_unstable();
+    BenchReport {
+        clients,
+        streams,
+        rounds,
+        chunk_cycles: chunk.len(),
+        wall,
+        latencies_ns,
+    }
+    .print(format);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = DEFAULT_ADDR.to_owned();
@@ -126,6 +389,19 @@ fn main() -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut command: Option<String> = None;
     let mut model: Option<String> = None;
+    let mut json_payload = false;
+    let mut stream_mode = false;
+    let mut chunk_cycles = 256usize;
+    let mut slow_write: Option<Duration> = None;
+    let mut clients = 4usize;
+    let mut streams = 4usize;
+    let mut rounds = 32usize;
+
+    let parse_pos = |text: Option<&String>, what: &str| -> Result<usize, String> {
+        text.and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("{what} needs a positive number"))
+    };
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -150,6 +426,28 @@ fn main() -> ExitCode {
                 Some(path) => trace_path = Some(path.clone()),
                 None => return fail("--trace needs a path"),
             },
+            "--json-payload" => json_payload = true,
+            "--stream" => stream_mode = true,
+            "--chunks" => match parse_pos(it.next(), "--chunks") {
+                Ok(n) => chunk_cycles = n,
+                Err(e) => return fail(&e),
+            },
+            "--slow-write-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => slow_write = Some(Duration::from_millis(ms)),
+                None => return fail("--slow-write-ms needs a number"),
+            },
+            "--clients" => match parse_pos(it.next(), "--clients") {
+                Ok(n) => clients = n,
+                Err(e) => return fail(&e),
+            },
+            "--streams" => match parse_pos(it.next(), "--streams") {
+                Ok(n) => streams = n,
+                Err(e) => return fail(&e),
+            },
+            "--rounds" => match parse_pos(it.next(), "--rounds") {
+                Ok(n) => rounds = n,
+                Err(e) => return fail(&e),
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -159,7 +457,9 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             word if command.is_none() => command = Some(word.to_owned()),
-            word if command.as_deref() == Some("estimate") && model.is_none() => {
+            word if matches!(command.as_deref(), Some("estimate") | Some("bench"))
+                && model.is_none() =>
+            {
                 model = Some(word.to_owned());
             }
             word => {
@@ -174,15 +474,35 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
+    if command == "bench" {
+        let Some(model) = model else {
+            eprintln!("psmctl: bench needs a model name\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        let workload = match load_workload(gen.as_deref(), trace_path.as_deref()) {
+            Ok(trace) => trace,
+            Err(message) => {
+                eprintln!("psmctl: {message}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        return run_bench(
+            &addr, &model, version, workload, clients, streams, rounds, &format,
+        );
+    }
+
     let mut client = match Client::connect(addr.as_str()) {
         Ok(client) => client,
         Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
     };
 
     match command.as_str() {
-        "ping" => match client.ping() {
-            Ok(()) => {
-                println!("psmd at {addr} is alive (psmd/v1)");
+        "ping" => match client.negotiate().and_then(|v| {
+            client.ping()?;
+            Ok(v)
+        }) {
+            Ok(v) => {
+                println!("psmd at {addr} is alive (psmd/v{v})");
                 ExitCode::SUCCESS
             }
             Err(e) => client_exit(&e),
@@ -206,11 +526,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            let payload_kind = match (stream_mode, json_payload) {
+                (true, _) => "streamed binary",
+                (false, true) => "JSON",
+                (false, false) => "binary",
+            };
             eprintln!(
-                "psmctl: submitting {} cycle(s) to {model} at {addr}",
+                "psmctl: submitting {} cycle(s) to {model} at {addr} ({payload_kind} payload)",
                 workload.len()
             );
-            match client.estimate(&model, version, &workload) {
+            let result = if let Some(pause) = slow_write {
+                slow_estimate(&addr, &model, version, &workload, pause)
+            } else if stream_mode {
+                stream_estimate(&mut client, &model, version, &workload, chunk_cycles)
+            } else if json_payload {
+                client.estimate_json(&model, version, &workload)
+            } else {
+                client.estimate_binary(&model, version, &workload)
+            };
+            match result {
                 Ok(reply) => {
                     print_estimate(&reply, &format);
                     ExitCode::SUCCESS

@@ -1,15 +1,18 @@
 //! `psmd` — the power-estimation daemon.
 //!
 //! Serves a registry of trained models (`psm-persist` artifacts named
-//! `<model>@<version>.json`) over the `psmd/v1` framed TCP protocol:
-//! clients submit functional traces, the daemon classifies and
-//! HMM-simulates them through a batching worker pool and streams the
-//! per-instant estimates back. `RELOAD` hot-swaps the registry
-//! atomically; `SHUTDOWN` (or SIGTERM) drains in-flight work, flushes
-//! the telemetry report to stderr and exits 0. See `psmctl` for the
-//! client.
+//! `<model>@<version>.json`) over the `psmd/v2` framed TCP protocol
+//! (v1 clients keep working): clients submit functional traces as JSON
+//! or binary frames — one-shot or chunked over a streaming session —
+//! and the daemon classifies and HMM-simulates them through a batching
+//! worker pool, answering per-instant estimates incrementally. By
+//! default one readiness-driven event loop serves every connection
+//! (`--io threads` restores thread-per-connection). `RELOAD` hot-swaps
+//! the registry atomically; `SHUTDOWN` (or SIGTERM) drains in-flight
+//! work, flushes the telemetry report to stderr and exits 0. See
+//! `psmctl` for the client.
 
-use psmgen::serve::{PoolConfig, Server, ServerConfig, DEFAULT_ADDR};
+use psmgen::serve::{IoMode, PoolConfig, Server, ServerConfig, DEFAULT_ADDR};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -23,6 +26,8 @@ Options:
   --workers <n>      estimation worker threads (default: CPU count, max 8)
   --queue <n>        queue slots before requests bounce BUSY (default 64)
   --batch <n>        max estimates answered through one simulator (default 8)
+  --io <mode>        connection engine: readiness (poll-driven event
+                     loop, the default) or threads (one per connection)
   --port-file <path> write the bound address to <path> once listening
   -h, --help         show this help
 
@@ -33,6 +38,7 @@ struct Options {
     registry: String,
     addr: String,
     pool: PoolConfig,
+    io: IoMode,
     port_file: Option<String>,
 }
 
@@ -40,6 +46,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut registry = None;
     let mut addr = DEFAULT_ADDR.to_owned();
     let mut pool = PoolConfig::default();
+    let mut io = IoMode::default();
     let mut port_file = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -57,6 +64,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--batch" => {
                 pool.max_batch = parse_count(it.next().ok_or("--batch needs a number")?)?;
             }
+            "--io" => {
+                io = match it.next().ok_or("--io needs a mode")?.as_str() {
+                    "readiness" => IoMode::Readiness,
+                    "threads" => IoMode::Threads,
+                    other => {
+                        return Err(format!("--io must be readiness or threads, got `{other}`"))
+                    }
+                };
+            }
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file needs a path")?.clone());
             }
@@ -68,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         registry: registry.ok_or("--registry is required")?.to_owned(),
         addr,
         pool,
+        io,
         port_file,
     })
 }
@@ -98,6 +115,7 @@ fn main() -> ExitCode {
         addr: opts.addr,
         registry_dir: opts.registry.clone().into(),
         pool: opts.pool,
+        io: opts.io,
     }) {
         Ok(server) => server,
         Err(e) => {

@@ -1,16 +1,22 @@
 //! End-to-end contracts of the `psmd` estimation service: wire-level
-//! estimates are byte-identical to in-process `PsmFlow` estimation,
-//! backpressure is explicit (`BUSY`), registry hot-reload is atomic
-//! towards in-flight requests, and shutdown drains before exiting.
+//! estimates (JSON, binary and streamed) are byte-identical to
+//! in-process `PsmFlow` estimation, v1 clients interoperate with the v2
+//! daemon, malformed binary frames get structured errors, backpressure
+//! is explicit (`BUSY`), registry hot-reload is atomic towards
+//! in-flight requests, slow writers cannot stall other connections, and
+//! shutdown drains before exiting.
 
 use psmgen::flow::{IpPreset, PsmFlow, TrainedModel};
 use psmgen::ips::{behavioural_trace, testbench, MultSum};
-use psmgen::serve::{Client, ClientError, PoolConfig, Server, ServerConfig};
+use psmgen::serve::protocol::{self, Frame, Opcode, Status};
+use psmgen::serve::{Client, ClientError, IoMode, PoolConfig, Server, ServerConfig};
 use psmgen::trace::FunctionalTrace;
+use std::io::Write;
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn temp_registry(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("psmgen-serve-test-{tag}-{}", std::process::id()));
@@ -59,7 +65,9 @@ fn eight_parallel_clients_get_byte_identical_estimates() {
             let expected = flow.estimate_from_trace(&loaded, &trace);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
-                let reply = client.estimate("multsum", None, &trace).expect("estimate");
+                let reply = client
+                    .estimate_json("multsum", None, &trace)
+                    .expect("estimate");
                 let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
                 let got_bits: Vec<u64> = reply.estimate.iter().map(|v| v.to_bits()).collect();
                 assert_eq!(
@@ -106,7 +114,7 @@ fn full_queue_answers_busy_without_losing_accepted_work() {
             let trace = workload(seed, 300);
             Client::connect(addr)
                 .unwrap()
-                .estimate("multsum", None, &trace)
+                .estimate_json("multsum", None, &trace)
         })
     };
     let a = spawn_estimate(1);
@@ -115,7 +123,7 @@ fn full_queue_answers_busy_without_losing_accepted_work() {
     std::thread::sleep(Duration::from_millis(150));
     let trace = workload(3, 300);
     let mut c = Client::connect(addr).unwrap();
-    let err = c.estimate("multsum", None, &trace).unwrap_err();
+    let err = c.estimate_json("multsum", None, &trace).unwrap_err();
     assert!(matches!(err, ClientError::Busy), "expected BUSY, got {err}");
 
     // Backpressure never cancels accepted work.
@@ -146,7 +154,7 @@ fn hot_reload_is_atomic_towards_a_live_request_stream() {
             let mut versions = Vec::new();
             while !stop.load(Ordering::SeqCst) {
                 let reply = client
-                    .estimate("multsum", None, &trace)
+                    .estimate_json("multsum", None, &trace)
                     .expect("no estimate may fail across the reload");
                 assert_eq!(reply.estimate.len(), trace.len());
                 versions.push(reply.version);
@@ -198,7 +206,7 @@ fn shutdown_drains_queued_estimates_and_flushes_stats() {
                 let trace = workload(seed, 250);
                 let reply = Client::connect(addr)
                     .unwrap()
-                    .estimate("multsum", None, &trace)
+                    .estimate_json("multsum", None, &trace)
                     .expect("accepted estimate must be answered before exit");
                 (reply.estimate.len(), trace.len())
             })
@@ -219,5 +227,278 @@ fn shutdown_drains_queued_estimates_and_flushes_stats() {
         report.gauge("serve.queue_depth").is_some(),
         "gauges flushed"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_client_interops_with_the_v2_daemon() {
+    let dir = temp_registry("v1compat");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    let loaded = TrainedModel::load(dir.join("multsum@1.json")).unwrap();
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let addr = running.addr();
+    let trace = workload(5, 120);
+    let expected = flow.estimate_from_trace(&loaded, &trace);
+
+    // Speak raw v1 frames — exactly what a client built before the v2
+    // protocol existed sends.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    protocol::write_frame(&mut sock, &Frame::request_v(1, Opcode::Ping, 1, Vec::new())).unwrap();
+    let reply = protocol::read_frame(&mut sock)
+        .unwrap()
+        .expect("ping reply");
+    assert_eq!(reply.version, 1, "responses echo the request's version");
+    assert_eq!(reply.status(), Some(Status::Ok));
+    let (tag, versions) = protocol::parse_ping_reply(&reply).unwrap();
+    assert_eq!(tag, "psmd/v1", "a v1 conversation stays psmd/v1");
+    assert!(
+        versions.contains(&2),
+        "the daemon still advertises v2 for upgraders: {versions:?}"
+    );
+
+    let payload = protocol::estimate_request("multsum", None, &trace);
+    protocol::write_frame(
+        &mut sock,
+        &Frame::request_v(1, Opcode::Estimate, 2, payload),
+    )
+    .unwrap();
+    let reply = protocol::read_frame(&mut sock)
+        .unwrap()
+        .expect("estimate reply");
+    assert_eq!(reply.version, 1);
+    assert_eq!(reply.status(), Some(Status::Ok));
+    let doc = reply.json().unwrap();
+    let got_bits: Vec<u64> = doc
+        .arr_field("estimate")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap().to_bits())
+        .collect();
+    let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
+    assert_eq!(got_bits, expected_bits, "v1 estimates stay bit-exact");
+
+    // v2-only opcodes inside a v1 frame are structured errors, not hangs.
+    let payload = protocol::stream_close_request(1);
+    protocol::write_frame(
+        &mut sock,
+        &Frame::request_v(1, Opcode::StreamClose, 3, payload),
+    )
+    .unwrap();
+    let reply = protocol::read_frame(&mut sock)
+        .unwrap()
+        .expect("gate reply");
+    assert_eq!(reply.version, 1);
+    assert_eq!(reply.status(), Some(Status::Error));
+    assert!(
+        protocol::parse_error(&reply).contains("requires protocol v2"),
+        "{}",
+        protocol::parse_error(&reply)
+    );
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    running.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_binary_frames_are_structured_errors() {
+    let dir = temp_registry("malformed");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let addr = running.addr();
+    let trace = workload(2, 60);
+
+    // Payload-level corruption keeps the connection usable: bad magic…
+    let mut client = Client::connect(addr).unwrap();
+    let mut payload = protocol::estimate_bin_request("multsum", None, &trace);
+    payload[0] = b'X';
+    let id = client
+        .pipeline_request(Opcode::EstimateBin, payload)
+        .unwrap();
+    let reply = client.pipeline_response().unwrap();
+    assert_eq!(reply.request_id, id);
+    assert_eq!(reply.status(), Some(Status::Error));
+
+    // …and truncated bodies, cut at several depths.
+    for cut in [5usize, 9, 2] {
+        let full = protocol::estimate_bin_request("multsum", None, &trace);
+        let mut payload = full.clone();
+        payload.truncate(full.len() / cut);
+        let id = client
+            .pipeline_request(Opcode::EstimateBin, payload)
+            .unwrap();
+        let reply = client.pipeline_response().unwrap();
+        assert_eq!(reply.request_id, id);
+        assert_eq!(reply.status(), Some(Status::Error), "cut 1/{cut}");
+    }
+    // The same connection still serves good requests afterwards.
+    client.estimate_binary("multsum", None, &trace).unwrap();
+
+    // An oversized frame header is answered once, then the daemon hangs
+    // up — it cannot resynchronise inside a lying length field.
+    let mut sock = TcpStream::connect(addr).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(b"PSMD");
+    header.push(2);
+    header.push(Opcode::EstimateBin.as_u8());
+    header.extend_from_slice(&9u64.to_le_bytes());
+    header.extend_from_slice(&(protocol::MAX_PAYLOAD + 1).to_le_bytes());
+    sock.write_all(&header).unwrap();
+    let reply = protocol::read_frame(&mut sock)
+        .unwrap()
+        .expect("error reply");
+    assert_eq!(reply.status(), Some(Status::Error));
+    assert!(matches!(protocol::read_frame(&mut sock), Ok(None) | Err(_)));
+
+    client.shutdown().unwrap();
+    let report = running.join().expect("clean exit");
+    assert!(report.named_counter("serve.protocol_errors") >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streamed_chunks_are_bit_identical_to_one_shot_estimation() {
+    let dir = temp_registry("stream");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let flow = PsmFlow::builder().preset(IpPreset::MultSum).build();
+    let loaded = TrainedModel::load(dir.join("multsum@1.json")).unwrap();
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let trace = workload(11, 600);
+    let expected = flow.estimate_from_trace(&loaded, &trace);
+    let expected_bits: Vec<u64> = expected.estimate.iter().map(f64::to_bits).collect();
+
+    let mut client = Client::connect(running.addr()).unwrap();
+    let mut stream = client
+        .open_stream("multsum", None, trace.signals())
+        .unwrap();
+    assert_eq!(stream.model(), "multsum");
+    let mut streamed = Vec::new();
+    for chunk in trace.split_windows(64) {
+        let reply = stream.send_chunk(&chunk).unwrap();
+        streamed.extend(reply.estimate);
+    }
+    let summary = stream.close().unwrap();
+    let streamed_bits: Vec<u64> = streamed.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        streamed_bits, expected_bits,
+        "chunked estimates must be bit-identical to PsmFlow::estimate_from_trace"
+    );
+    assert_eq!(summary.instants, trace.len());
+    assert_eq!(
+        summary.wrong_state_predictions,
+        expected.wrong_state_predictions
+    );
+    assert_eq!(summary.unknown_instants, expected.unknown_instants);
+
+    // The binary one-shot path agrees too.
+    let bin = client.estimate_binary("multsum", None, &trace).unwrap();
+    let bin_bits: Vec<u64> = bin.estimate.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bin_bits, expected_bits);
+
+    client.shutdown().unwrap();
+    let report = running.join().expect("clean exit");
+    assert_eq!(report.named_counter("serve.op.stream_open"), 1);
+    assert_eq!(
+        report.named_counter("serve.op.stream_chunk"),
+        trace.len().div_ceil(64) as u64
+    );
+    assert_eq!(report.named_counter("serve.op.stream_close"), 1);
+    assert_eq!(
+        report.named_counter("serve.stream_chunks"),
+        trace.len().div_ceil(64) as u64
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threaded_io_mode_still_serves_every_dialect() {
+    let dir = temp_registry("threads");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.io = IoMode::Threads;
+    let running = Server::bind(cfg).unwrap().spawn();
+    let trace = workload(4, 150);
+
+    let mut client = Client::connect(running.addr()).unwrap();
+    assert_eq!(client.negotiate().unwrap(), 2);
+    let json = client.estimate_json("multsum", None, &trace).unwrap();
+    let bin = client.estimate_binary("multsum", None, &trace).unwrap();
+    assert_eq!(
+        json.estimate
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        bin.estimate.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    let mut stream = client
+        .open_stream("multsum", None, trace.signals())
+        .unwrap();
+    let mut streamed = Vec::new();
+    for chunk in trace.split_windows(40) {
+        streamed.extend(stream.send_chunk(&chunk).unwrap().estimate);
+    }
+    let summary = stream.close().unwrap();
+    assert_eq!(summary.instants, trace.len());
+    assert_eq!(
+        streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        bin.estimate.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    client.shutdown().unwrap();
+    running.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_partial_writer_does_not_stall_other_clients() {
+    let dir = temp_registry("slowwrite");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let addr = running.addr();
+    let trace = workload(3, 200);
+
+    // One connection trickles an estimate request in eight pieces with
+    // long pauses — under thread-per-connection this held a thread; the
+    // readiness loop must keep serving everyone else meanwhile.
+    let mut bytes = Vec::new();
+    protocol::write_frame(
+        &mut bytes,
+        &Frame::request_v(
+            2,
+            Opcode::EstimateBin,
+            77,
+            protocol::estimate_bin_request("multsum", None, &trace),
+        ),
+    )
+    .unwrap();
+    let slow = std::thread::spawn(move || {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let piece = bytes.len().div_ceil(8);
+        for part in bytes.chunks(piece) {
+            sock.write_all(part).unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        let reply = protocol::read_frame(&mut sock)
+            .unwrap()
+            .expect("slow reply");
+        assert_eq!(reply.status(), Some(Status::Ok));
+        assert_eq!(reply.request_id, 77);
+        Instant::now()
+    });
+
+    // Meanwhile a normal client completes several estimates.
+    let mut fast = Client::connect(addr).unwrap();
+    for _ in 0..3 {
+        fast.estimate_binary("multsum", None, &trace).unwrap();
+    }
+    let fast_done = Instant::now();
+    let slow_done = slow.join().expect("slow writer");
+    assert!(
+        fast_done < slow_done,
+        "fast client had to finish while the slow writer was still trickling"
+    );
+
+    fast.shutdown().unwrap();
+    running.join().expect("clean exit");
     std::fs::remove_dir_all(&dir).ok();
 }
