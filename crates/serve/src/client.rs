@@ -282,6 +282,7 @@ impl Client {
         trace: &FunctionalTrace,
     ) -> Result<EstimateReply, ClientError> {
         self.require_v2()?;
+        protocol::validate_model_name(model)?;
         let payload = protocol::estimate_bin_request(model, version, trace);
         let frame = self.call(Opcode::EstimateBin, payload)?;
         let bin = protocol::parse_estimate_bin_reply(&frame)?;
@@ -365,6 +366,7 @@ impl Client {
         signals: &SignalSet,
     ) -> Result<EstimateStream<'_>, ClientError> {
         self.require_v2()?;
+        protocol::validate_model_name(model)?;
         let stream = self.next_stream;
         self.next_stream += 1;
         let payload = protocol::stream_open_request(stream, model, version, signals);

@@ -281,11 +281,18 @@ impl Server {
             fds.push(PollFd::new(listener_fd, POLLIN));
             fds.push(PollFd::new(wake.read_fd(), POLLIN));
             for conn in &conns {
+                let (outbox_empty, outbox_bytes) = {
+                    let ob = conn.outbox.lock().expect("outbox poisoned");
+                    (ob.is_empty(), ob.bytes)
+                };
                 let mut events = 0i16;
-                if !conn.closing {
+                // Backpressure: a peer whose outbox is over the cap
+                // (it pipelines requests without reading responses)
+                // stops being read until the queue drains.
+                if !conn.closing && outbox_bytes < OUTBOX_BACKPRESSURE_BYTES {
                     events |= POLLIN;
                 }
-                if !conn.outbox.lock().expect("outbox poisoned").is_empty() {
+                if !outbox_empty {
                     events |= POLLOUT;
                 }
                 fds.push(PollFd::new(conn.fd, events));
@@ -323,8 +330,15 @@ impl Server {
                 }
                 conn.flush_outbox();
             }
+            // A closing conn survives while the pool still owes it
+            // responses; `inflight` is checked before the outbox so a
+            // response queued between the two loads is never missed
+            // (the guard decrements only after the response is queued).
             conns.retain(|c| {
-                !(c.dead || c.closing && c.outbox.lock().expect("outbox poisoned").is_empty())
+                !(c.dead
+                    || c.closing
+                        && c.inflight.load(Ordering::SeqCst) == 0
+                        && c.outbox.lock().expect("outbox poisoned").is_empty())
             });
         }
 
@@ -435,16 +449,31 @@ impl RunningServer {
 // Readiness-mode connection state.
 // ---------------------------------------------------------------------
 
+/// Bytes a peer may queue in its outbox before the daemon stops
+/// reading (and so stops accepting) further requests from it. A peer
+/// that pipelines requests without ever reading responses hits this cap
+/// and stalls itself instead of growing daemon memory without bound;
+/// responses already owed by the pool still land and flush normally.
+const OUTBOX_BACKPRESSURE_BYTES: usize = 8 * 1024 * 1024;
+
 /// Bytes queued towards one peer, flushed as the socket drains.
 struct Outbox {
     queue: std::collections::VecDeque<Vec<u8>>,
     /// How much of the front entry has been written.
     offset: usize,
+    /// Total bytes across `queue` (the front entry counts in full
+    /// until it is popped) — the backpressure gauge.
+    bytes: usize,
 }
 
 impl Outbox {
     fn is_empty(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    fn push(&mut self, buf: Vec<u8>) {
+        self.bytes += buf.len();
+        self.queue.push_back(buf);
     }
 }
 
@@ -455,6 +484,12 @@ struct Conn {
     fd: i32,
     rbuf: Vec<u8>,
     outbox: Arc<Mutex<Outbox>>,
+    /// Pool jobs submitted for this connection whose responses have not
+    /// been queued yet; a closing connection is retired only once this
+    /// reaches zero *and* the outbox is flushed, so a peer that sends
+    /// requests and immediately `shutdown(SHUT_WR)`s still gets its
+    /// responses (matching threads-mode behaviour).
+    inflight: Arc<AtomicU64>,
     sink: ResponseSink,
     sessions: HashMap<u32, ConnSession>,
     /// Stop reading; close once the outbox is flushed.
@@ -475,16 +510,20 @@ impl Conn {
         let outbox = Arc::new(Mutex::new(Outbox {
             queue: std::collections::VecDeque::new(),
             offset: 0,
+            bytes: 0,
         }));
+        let inflight = Arc::new(AtomicU64::new(0));
         Some(Conn {
             stream,
             fd,
             rbuf: Vec::new(),
             sink: ResponseSink::Queued {
                 outbox: outbox.clone(),
+                inflight: inflight.clone(),
                 waker,
             },
             outbox,
+            inflight,
             sessions: HashMap::new(),
             closing: false,
             dead: false,
@@ -555,7 +594,8 @@ impl Conn {
                 Ok(n) => {
                     ob.offset += n;
                     if ob.offset == ob.queue.front().expect("front exists").len() {
-                        ob.queue.pop_front();
+                        let done = ob.queue.pop_front().expect("front exists");
+                        ob.bytes -= done.len();
                         ob.offset = 0;
                     }
                 }
@@ -584,8 +624,46 @@ enum ResponseSink {
     Direct(Arc<Mutex<TcpStream>>),
     Queued {
         outbox: Arc<Mutex<Outbox>>,
+        inflight: Arc<AtomicU64>,
         waker: Waker,
     },
+}
+
+impl ResponseSink {
+    /// Registers one pool job against this connection (readiness mode)
+    /// so the event loop will not retire a half-closed peer before the
+    /// job's response lands in the outbox. `None` in threads mode,
+    /// where the blocking writer clone already outlives the read loop.
+    fn job_guard(&self) -> Option<JobGuard> {
+        match self {
+            ResponseSink::Direct(_) => None,
+            ResponseSink::Queued {
+                inflight, waker, ..
+            } => {
+                inflight.fetch_add(1, Ordering::SeqCst);
+                Some(JobGuard {
+                    inflight: inflight.clone(),
+                    waker: *waker,
+                })
+            }
+        }
+    }
+}
+
+/// Releases a [`ResponseSink::job_guard`] registration on drop —
+/// whether the job responded, was rejected by a full queue, or was
+/// dropped by a draining pool — and wakes the event loop so it
+/// re-evaluates the connection.
+struct JobGuard {
+    inflight: Arc<AtomicU64>,
+    waker: Waker,
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.waker.wake();
+    }
 }
 
 /// Serves one connection until the peer closes, a protocol error, or
@@ -652,10 +730,10 @@ fn respond(sink: &ResponseSink, version: u8, status: Status, request_id: u64, pa
             let mut w = writer.lock().expect("connection writer poisoned");
             let _ = protocol::write_frame(&mut *w, &frame);
         }
-        ResponseSink::Queued { outbox, waker } => {
+        ResponseSink::Queued { outbox, waker, .. } => {
             let mut buf = Vec::with_capacity(protocol::HEADER_LEN + frame.payload.len());
             protocol::write_frame(&mut buf, &frame).expect("vec write cannot fail");
-            outbox.lock().expect("outbox poisoned").queue.push_back(buf);
+            outbox.lock().expect("outbox poisoned").push(buf);
             waker.wake();
         }
     }
@@ -822,11 +900,13 @@ fn dispatch_estimate(ctx: &Arc<Ctx>, sink: &ResponseSink, frame: &Frame) -> bool
     let reply_name = model.name.clone();
     let reply_version = model.version;
     let reply_sink = sink.clone();
+    let guard = sink.job_guard();
     let job = EstimateJob {
         request_id: id,
         model,
         trace,
         respond: Box::new(move |outcome| {
+            let _guard = guard;
             respond(
                 &reply_sink,
                 v,
@@ -862,11 +942,13 @@ fn dispatch_estimate_bin(ctx: &Arc<Ctx>, sink: &ResponseSink, frame: &Frame) -> 
     let reply_name = model.name.clone();
     let reply_version = model.version;
     let reply_sink = sink.clone();
+    let guard = sink.job_guard();
     let job = EstimateJob {
         request_id: id,
         model,
         trace,
         respond: Box::new(move |outcome| {
+            let _guard = guard;
             let estimate: Vec<f64> = outcome.estimate.iter().collect();
             respond(
                 &reply_sink,
@@ -990,40 +1072,44 @@ fn dispatch_stream_chunk(
     };
     let model = cs.entry.model().clone();
     let reply_sink = sink.clone();
+    let guard = sink.job_guard();
     let job = StreamJob {
         request_id: id,
         kind: StreamWork::Chunk(chunk),
-        respond: Box::new(move |reply| match reply {
-            StreamReply::Chunk(out) => {
-                let estimate: Vec<f64> = out.estimate.iter().collect();
-                respond(
+        respond: Box::new(move |reply| {
+            let _guard = guard;
+            match reply {
+                StreamReply::Chunk(out) => {
+                    let estimate: Vec<f64> = out.estimate.iter().collect();
+                    respond(
+                        &reply_sink,
+                        v,
+                        Status::Ok,
+                        id,
+                        protocol::estimate_bin_reply(
+                            &model.name,
+                            model.version,
+                            &estimate,
+                            out.wrong_state_predictions as u64,
+                            out.unknown_instants as u64,
+                        ),
+                    );
+                }
+                StreamReply::Failed(msg) => respond(
                     &reply_sink,
                     v,
-                    Status::Ok,
+                    Status::Error,
                     id,
-                    protocol::estimate_bin_reply(
-                        &model.name,
-                        model.version,
-                        &estimate,
-                        out.wrong_state_predictions as u64,
-                        out.unknown_instants as u64,
-                    ),
-                );
+                    protocol::error_payload(&msg),
+                ),
+                StreamReply::Closed(_) => respond(
+                    &reply_sink,
+                    v,
+                    Status::Error,
+                    id,
+                    protocol::error_payload("stream closed before the chunk ran"),
+                ),
             }
-            StreamReply::Failed(msg) => respond(
-                &reply_sink,
-                v,
-                Status::Error,
-                id,
-                protocol::error_payload(&msg),
-            ),
-            StreamReply::Closed(_) => respond(
-                &reply_sink,
-                v,
-                Status::Error,
-                id,
-                protocol::error_payload("stream closed before the chunk ran"),
-            ),
         }),
     };
     match ctx.pool.submit_stream(&cs.entry, job) {
@@ -1073,31 +1159,35 @@ fn dispatch_stream_close(
     };
     let model = cs.entry.model().clone();
     let reply_sink = sink.clone();
+    let guard = sink.job_guard();
     let job = StreamJob {
         request_id: id,
         kind: StreamWork::Close,
-        respond: Box::new(move |reply| match reply {
-            StreamReply::Closed(totals) => respond(
-                &reply_sink,
-                v,
-                Status::Ok,
-                id,
-                protocol::stream_close_reply(
-                    stream,
-                    &model.name,
-                    model.version,
-                    totals.instants as u64,
-                    totals.wrong_state_predictions as u64,
-                    totals.unknown_instants as u64,
+        respond: Box::new(move |reply| {
+            let _guard = guard;
+            match reply {
+                StreamReply::Closed(totals) => respond(
+                    &reply_sink,
+                    v,
+                    Status::Ok,
+                    id,
+                    protocol::stream_close_reply(
+                        stream,
+                        &model.name,
+                        model.version,
+                        totals.instants as u64,
+                        totals.wrong_state_predictions as u64,
+                        totals.unknown_instants as u64,
+                    ),
                 ),
-            ),
-            StreamReply::Chunk(_) | StreamReply::Failed(_) => respond(
-                &reply_sink,
-                v,
-                Status::Error,
-                id,
-                protocol::error_payload("close answered with a non-close reply"),
-            ),
+                StreamReply::Chunk(_) | StreamReply::Failed(_) => respond(
+                    &reply_sink,
+                    v,
+                    Status::Error,
+                    id,
+                    protocol::error_payload("close answered with a non-close reply"),
+                ),
+            }
         }),
     };
     match ctx.pool.submit_stream(&cs.entry, job) {

@@ -77,6 +77,24 @@ mod imp {
         fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
         fn write(fd: i32, buf: *const u8, count: usize) -> isize;
         fn close(fd: i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    }
+
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: i32 = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: i32 = 0x0004;
+
+    /// Puts `fd` into non-blocking mode (best effort).
+    fn set_nonblocking(fd: i32) {
+        unsafe {
+            let flags = fcntl(fd, F_GETFL, 0);
+            if flags >= 0 {
+                let _ = fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+            }
+        }
     }
 
     pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
@@ -106,6 +124,11 @@ mod imp {
             if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
                 return Err(io::Error::last_os_error());
             }
+            // Non-blocking on both ends: drain must never block the
+            // event loop, and a wake against a full pipe (already
+            // plenty of pending bytes) may simply drop its byte.
+            set_nonblocking(fds[0]);
+            set_nonblocking(fds[1]);
             Ok(WakePipe {
                 read_fd: fds[0],
                 write_fd: fds[1],
@@ -123,11 +146,22 @@ mod imp {
         }
 
         /// Drains every pending wake byte (non-destructive if none).
+        ///
+        /// Never blocks: the read end is non-blocking, and each read is
+        /// additionally gated on a zero-timeout poll reporting data, so
+        /// pending bytes landing on an exact multiple of the buffer
+        /// size cannot wedge the event loop on a blocking `read(2)`.
         pub fn drain(&self) {
             let mut buf = [0u8; 64];
             loop {
+                let mut fds = [PollFd::new(self.read_fd, super::POLLIN)];
+                let readable =
+                    matches!(poll_fds(&mut fds, 0), Ok(n) if n > 0) && fds[0].ready(super::POLLIN);
+                if !readable {
+                    return;
+                }
                 let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
-                if n < buf.len() as isize {
+                if n <= 0 || n < buf.len() as isize {
                     return;
                 }
             }
@@ -297,6 +331,22 @@ mod tests {
         let n = poll_fds(&mut fds, 10).unwrap();
         assert_eq!(n, 0);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn drain_returns_on_exact_buffer_multiples_without_blocking() {
+        // 128 pending bytes = exactly two 64-byte drain reads; the
+        // second read fills the buffer exactly and a naive drain would
+        // then block forever on an empty pipe.
+        let pipe = WakePipe::new().unwrap();
+        let waker = pipe.waker();
+        for _ in 0..128 {
+            waker.wake();
+        }
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0, "drain must leave the pipe empty");
     }
 
     #[test]

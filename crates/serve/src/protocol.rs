@@ -542,10 +542,41 @@ pub fn estimate_reply(model: &str, version: u64, outcome: &HmmOutcome) -> Vec<u8
 /// Magic bytes opening a binary estimate *reply* payload.
 pub const BIN_REPLY_MAGIC: [u8; 4] = *b"PSTE";
 
+/// Greatest model-name length in bytes the binary payloads can carry
+/// (they length-prefix the name with a `u16`).
+pub const MAX_MODEL_NAME_BYTES: usize = u16::MAX as usize;
+
+/// Checks that `model` fits the binary payloads' `u16` length prefix.
+///
+/// Request builders call [`put_name`] infallibly, so every path that
+/// accepts an arbitrary model name must validate it first — truncating
+/// would silently ask the daemon about a *different* (shortened) name.
+///
+/// # Errors
+///
+/// [`ProtocolError::Payload`] for names over [`MAX_MODEL_NAME_BYTES`].
+pub fn validate_model_name(model: &str) -> Result<(), ProtocolError> {
+    if model.len() > MAX_MODEL_NAME_BYTES {
+        return Err(ProtocolError::Payload(PersistError::schema(format!(
+            "model name of {} bytes exceeds the wire limit of {MAX_MODEL_NAME_BYTES}",
+            model.len()
+        ))));
+    }
+    Ok(())
+}
+
 /// Appends `u16 len + bytes` of a model name.
+///
+/// Callers with externally supplied names go through
+/// [`validate_model_name`] first; names decoded off the wire and
+/// registry names (bounded by the filesystem) always fit.
 fn put_name(out: &mut Vec<u8>, model: &str) {
     let name = model.as_bytes();
-    let len = name.len().min(u16::MAX as usize);
+    debug_assert!(
+        name.len() <= MAX_MODEL_NAME_BYTES,
+        "model name exceeds the u16 length prefix; call validate_model_name first"
+    );
+    let len = name.len().min(MAX_MODEL_NAME_BYTES);
     out.extend_from_slice(&(len as u16).to_le_bytes());
     out.extend_from_slice(&name[..len]);
 }
@@ -1078,6 +1109,14 @@ mod tests {
         );
         let (_, version, _) = parse_estimate_bin_request(&frame).unwrap();
         assert_eq!(version, None);
+    }
+
+    #[test]
+    fn oversized_model_names_are_rejected_not_truncated() {
+        assert!(validate_model_name("aes").is_ok());
+        assert!(validate_model_name(&"x".repeat(MAX_MODEL_NAME_BYTES)).is_ok());
+        let err = validate_model_name(&"x".repeat(MAX_MODEL_NAME_BYTES + 1)).unwrap_err();
+        assert!(err.to_string().contains("wire limit"), "{err}");
     }
 
     #[test]

@@ -348,6 +348,18 @@ pub fn read_cycles_into(
     }
     let count = r.u32()? as usize;
     let wpc = words_per_cycle(trace.signals());
+    // A zero-signal dictionary makes every cycle free on the wire, so
+    // the byte-budget check below would accept any count; a hostile
+    // frame could then demand billions of (empty, but heap-allocated)
+    // cycles. Cycles against an empty dictionary carry no information —
+    // reject them outright.
+    if wpc == 0 && count > 0 {
+        return Err(BinCodecError::Limit {
+            what: "cycle count for an empty signal dictionary",
+            value: count as u64,
+            max: 0,
+        });
+    }
     let need = (count as u64).saturating_mul(wpc as u64).saturating_mul(8);
     if need > r.remaining() as u64 {
         return Err(BinCodecError::Truncated {
@@ -546,6 +558,30 @@ mod tests {
             decode_trace(&bytes).unwrap_err(),
             BinCodecError::Truncated { .. }
         ));
+
+        // A zero-signal dictionary must not let a cycles frame smuggle
+        // an arbitrary count past the byte-budget check (each cycle
+        // would be free on the wire but allocated on the heap).
+        let mut bytes = Vec::new();
+        write_header(&mut bytes);
+        write_dict(&SignalSet::new(), &mut bytes);
+        bytes.push(TAG_CYCLES);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_trace(&bytes).unwrap_err(),
+            BinCodecError::Limit {
+                what: "cycle count for an empty signal dictionary",
+                ..
+            }
+        ));
+
+        // A zero-count frame against the empty dictionary stays legal.
+        let mut bytes = Vec::new();
+        write_header(&mut bytes);
+        write_dict(&SignalSet::new(), &mut bytes);
+        bytes.push(TAG_CYCLES);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_trace(&bytes).unwrap().is_empty());
     }
 
     #[test]

@@ -169,6 +169,7 @@ fn slow_estimate(
     workload: &FunctionalTrace,
     pause: Duration,
 ) -> Result<EstimateReply, ClientError> {
+    protocol::validate_model_name(model)?;
     let mut sock = TcpStream::connect(addr)?;
     let _ = sock.set_nodelay(true);
     let payload = protocol::estimate_bin_request(model, version, workload);
@@ -282,6 +283,7 @@ fn bench_connection(
     streams: usize,
     rounds: usize,
 ) -> Result<Vec<u64>, ClientError> {
+    protocol::validate_model_name(model)?;
     let mut client = Client::connect(addr)?;
     // Open every stream up front (ids 1..=streams), pipelined.
     for s in 0..streams {

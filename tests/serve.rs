@@ -332,6 +332,20 @@ fn malformed_binary_frames_are_structured_errors() {
         assert_eq!(reply.request_id, id);
         assert_eq!(reply.status(), Some(Status::Error), "cut 1/{cut}");
     }
+    // A zero-signal dictionary must not smuggle a huge cycle count past
+    // the size check (each cycle would be wire-free but heap-allocated):
+    // structured error, not an OOM.
+    let empty = FunctionalTrace::new(psmgen::trace::SignalSet::new());
+    let mut payload = protocol::estimate_bin_request("multsum", None, &empty);
+    payload.push(0x02); // a second, hostile cycles frame…
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // …claiming 2^32-1 cycles
+    let id = client
+        .pipeline_request(Opcode::EstimateBin, payload)
+        .unwrap();
+    let reply = client.pipeline_response().unwrap();
+    assert_eq!(reply.request_id, id);
+    assert_eq!(reply.status(), Some(Status::Error));
+
     // The same connection still serves good requests afterwards.
     client.estimate_binary("multsum", None, &trace).unwrap();
 
@@ -499,6 +513,49 @@ fn slow_partial_writer_does_not_stall_other_clients() {
     );
 
     fast.shutdown().unwrap();
+    running.join().expect("clean exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn half_closing_client_still_gets_its_responses() {
+    let dir = temp_registry("halfclose");
+    train_into(&dir, "multsum@1.json", &[1]);
+    let running = Server::bind(ServerConfig::new(&dir)).unwrap().spawn();
+    let addr = running.addr();
+    let trace = workload(5, 120);
+
+    // Pipeline two binary estimates, then shutdown(SHUT_WR) immediately:
+    // the daemon sees EOF alongside the requests but must keep the
+    // connection until both pool responses have been delivered.
+    let mut bytes = Vec::new();
+    for id in [11u64, 12] {
+        protocol::write_frame(
+            &mut bytes,
+            &Frame::request_v(
+                2,
+                Opcode::EstimateBin,
+                id,
+                protocol::estimate_bin_request("multsum", None, &trace),
+            ),
+        )
+        .unwrap();
+    }
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.write_all(&bytes).unwrap();
+    sock.shutdown(std::net::Shutdown::Write).unwrap();
+    for expected in [11u64, 12] {
+        let reply = protocol::read_frame(&mut sock)
+            .unwrap()
+            .unwrap_or_else(|| panic!("response {expected} must arrive after SHUT_WR"));
+        assert_eq!(reply.request_id, expected);
+        assert_eq!(reply.status(), Some(Status::Ok));
+        protocol::parse_estimate_bin_reply(&reply).unwrap();
+    }
+    // EOF after the owed responses, not before.
+    assert!(matches!(protocol::read_frame(&mut sock), Ok(None)));
+
+    Client::connect(addr).unwrap().shutdown().unwrap();
     running.join().expect("clean exit");
     std::fs::remove_dir_all(&dir).ok();
 }
