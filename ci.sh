@@ -34,6 +34,31 @@ echo "==> psmlint: SARIF over the demo defect set, gated on new findings"
     --baseline examples/artifacts/psmlint-baseline.json \
     examples/artifacts/defective.v multsum_netlist.v > target/psmlint.sarif
 
+echo "==> psmlint --verify: bounded model checking of the mined assertions"
+# The checked-in defect pair must keep its MC001/MC002 findings — all of
+# them are baselined, so a gated run passes only if the verdicts are
+# byte-for-byte reproducible. The fresh multsum model must verify with
+# no errors in abstract mode.
+./target/release/psmlint --quiet --verify \
+    --baseline examples/artifacts/psmlint-baseline.json \
+    examples/artifacts/defective.v \
+    examples/artifacts/verify_defect.v examples/artifacts/verify_defect.json
+./target/release/psmlint --quiet --verify \
+    multsum_netlist.v target/psmlint-demo-model.json
+# Witness round trip: --verify saves counterexample stimuli as CSV, and
+# --replay must re-simulate the first one to a confirmed violation
+# (exit 1 is the expected "real finding" outcome of both runs).
+rm -rf target/psm-witness && mkdir -p target/psm-witness
+if ./target/release/psmlint --quiet --verify --witness-dir target/psm-witness \
+    examples/artifacts/verify_defect.v examples/artifacts/verify_defect.json \
+    > /dev/null
+then echo "expected the defect pair to fail --verify"; exit 1; fi
+if ./target/release/psmlint --quiet --replay target/psm-witness/witness_001.csv \
+    examples/artifacts/verify_defect.v examples/artifacts/verify_defect.json \
+    | grep -q "replay confirms the violation"
+then echo "    witness replays to a violation"
+else echo "expected the witness to replay"; exit 1; fi
+
 echo "==> psmd: loopback smoke test (serve, estimate, stream, stats, clean exit)"
 rm -rf target/psmd-smoke && mkdir -p target/psmd-smoke
 ./target/release/psmlint --quiet --json --demo target/psmd-smoke/demo@1.json > /dev/null

@@ -6,6 +6,7 @@
 //! suppresses the findings a previous `psmlint --json` run already
 //! recorded, leaving only *new* findings to gate on.
 
+use crate::verify::VerifyConfig;
 use crate::{AnalysisReport, Diagnostic, Severity};
 use psm_persist::JsonValue;
 use std::collections::BTreeMap;
@@ -34,22 +35,32 @@ impl LintLevel {
     }
 }
 
-/// Per-code lint levels, parsed from a `psmlint.toml` file.
+/// Per-code lint levels and verification knobs, parsed from a
+/// `psmlint.toml` file.
 ///
 /// The accepted grammar is the TOML subset the tool needs — `#` comments,
-/// an optional `[levels]` section header, and `CODE = "allow" | "warn" |
+/// an optional `[levels]` section header with `CODE = "allow" | "warn" |
 /// "deny"` entries (bare entries before any section header are treated as
-/// levels too):
+/// levels too), and an optional `[verify]` section tuning the bounded
+/// model checker:
 ///
 /// ```toml
 /// # Quieten the dead-cone heuristic, make stuck outputs fatal.
 /// [levels]
 /// NL004 = "allow"
 /// NL009 = "deny"
+///
+/// [verify]
+/// depth = 12       # unroll bound (0 disables the pass)
+/// enum_bits = 8    # exhaustive-mode input-width budget
+/// max_states = 1024
+/// samples = 0      # optional concrete random runs
+/// seed = 7
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintConfig {
     levels: BTreeMap<String, LintLevel>,
+    verify: Option<VerifyConfig>,
 }
 
 impl LintConfig {
@@ -69,9 +80,20 @@ impl LintConfig {
         self.levels.get(code).copied()
     }
 
+    /// The `[verify]` overrides, if the file carried that section.
+    pub fn verify(&self) -> Option<&VerifyConfig> {
+        self.verify.as_ref()
+    }
+
+    /// Sets the `[verify]` overrides, returning the updated configuration.
+    pub fn with_verify(mut self, verify: VerifyConfig) -> Self {
+        self.verify = Some(verify);
+        self
+    }
+
     /// `true` when no override is configured.
     pub fn is_empty(&self) -> bool {
-        self.levels.is_empty()
+        self.levels.is_empty() && self.verify.is_none()
     }
 
     /// Parses the `psmlint.toml` grammar.
@@ -82,6 +104,7 @@ impl LintConfig {
     /// entries and unknown level names.
     pub fn parse(text: &str) -> Result<LintConfig, String> {
         let mut config = LintConfig::default();
+        let mut in_verify = false;
         for (i, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -92,19 +115,42 @@ impl LintConfig {
                     .strip_suffix(']')
                     .ok_or_else(|| format!("line {}: unterminated section `{raw}`", i + 1))?
                     .trim();
-                if name != "levels" {
-                    return Err(format!("line {}: unknown section `[{name}]`", i + 1));
+                match name {
+                    "levels" => in_verify = false,
+                    "verify" => {
+                        in_verify = true;
+                        config.verify.get_or_insert_with(VerifyConfig::default);
+                    }
+                    _ => return Err(format!("line {}: unknown section `[{name}]`", i + 1)),
                 }
                 continue;
             }
             let (key, value) = line.split_once('=').ok_or_else(|| {
                 format!("line {}: expected `CODE = \"level\"`, got `{raw}`", i + 1)
             })?;
-            let code = key.trim();
+            let key = key.trim();
             let value = value.trim().trim_matches('"');
-            let level = LintLevel::parse(value)
-                .ok_or_else(|| format!("line {}: unknown lint level `{value}`", i + 1))?;
-            config.levels.insert(code.to_owned(), level);
+            if in_verify {
+                let verify = config.verify.as_mut().expect("section opened above");
+                let number: u64 = value.parse().map_err(|_| {
+                    format!(
+                        "line {}: `[verify]` values are integers, got `{value}`",
+                        i + 1
+                    )
+                })?;
+                match key {
+                    "depth" => verify.depth = number as usize,
+                    "enum_bits" => verify.enum_bits = number as usize,
+                    "max_states" => verify.max_states = number as usize,
+                    "samples" => verify.samples = number as usize,
+                    "seed" => verify.seed = number,
+                    _ => return Err(format!("line {}: unknown `[verify]` key `{key}`", i + 1)),
+                }
+            } else {
+                let level = LintLevel::parse(value)
+                    .ok_or_else(|| format!("line {}: unknown lint level `{value}`", i + 1))?;
+                config.levels.insert(key.to_owned(), level);
+            }
         }
         Ok(config)
     }
@@ -249,6 +295,26 @@ mod tests {
         assert!(LintConfig::parse("[output]\n").is_err());
         assert!(LintConfig::parse("NL004 = \"fatal\"\n").is_err());
         assert!(LintConfig::parse("NL004\n").is_err());
+    }
+
+    #[test]
+    fn parses_verify_section() {
+        let config = LintConfig::parse(
+            "[levels]\nNL004 = \"allow\"\n[verify]\ndepth = 12\nenum_bits = 4\nsamples = 3\n",
+        )
+        .unwrap();
+        let verify = config.verify().expect("section parsed");
+        assert_eq!(verify.depth, 12);
+        assert_eq!(verify.enum_bits, 4);
+        assert_eq!(verify.samples, 3);
+        // Unset keys keep their defaults.
+        assert_eq!(verify.max_states, VerifyConfig::default().max_states);
+        // Levels before and after still apply.
+        assert_eq!(config.level("NL004"), Some(LintLevel::Allow));
+        assert!(LintConfig::parse("[verify]\ndepth = \"lots\"\n").is_err());
+        assert!(LintConfig::parse("[verify]\nbananas = 3\n").is_err());
+        assert!(LintConfig::parse("x\n").is_err());
+        assert!(LintConfig::parse("").unwrap().verify().is_none());
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod netlist;
 mod psm;
 mod sarif;
 mod trace;
+mod verify;
 
 pub use config::{Baseline, LintConfig, LintLevel};
 pub use cross::{
@@ -79,6 +80,10 @@ pub use psm::lint_psm;
 pub use sarif::{sarif_level, to_sarif};
 pub use trace::{
     lint_functional_trace, lint_power_trace, lint_proposition_coverage, lint_trace_pair,
+};
+pub use verify::{
+    replay_witness, unroll_ternary, verify_model, AssertionCheck, Counterexample, Verdict,
+    VerifyConfig, VerifyMode, VerifyOutcome,
 };
 
 use psm_persist::JsonValue;
@@ -347,11 +352,79 @@ pub mod codes {
         help: "regenerate the PSM against the dictionary it was mined with",
     };
 
+    /// `MC001` — a mined temporal assertion is refuted on the netlist: a
+    /// concrete, re-simulated input stimulus drives the design through a
+    /// proposition transition the assertion forbids.
+    pub const MC001: CodeInfo = CodeInfo {
+        code: "MC001",
+        severity: Severity::Error,
+        summary: "mined temporal assertion refuted on the netlist (concrete counterexample)",
+        help: "replay the attached witness stimulus with `psmlint --replay`; either the \
+               netlist diverged from the behaviour the model was trained on, or the \
+               training traces missed this behaviour — retrain with richer stimuli",
+    };
+    /// `MC002` — a mined temporal assertion is vacuous: its antecedent
+    /// proposition is unreachable on the netlist within the unroll depth.
+    pub const MC002: CodeInfo = CodeInfo {
+        code: "MC002",
+        severity: Severity::Warn,
+        summary: "mined temporal assertion vacuous: antecedent unreachable within the bound",
+        help: "the assertion can never fire on this implementation up to the checked \
+               depth; the training trace exercised behaviour the netlist cannot reach \
+               — check for a stale model or raise `--depth`",
+    };
+    /// `MC003` — one informational summary per bounded-verification run:
+    /// engine mode, depth and the proved/refuted/vacuous/unknown tallies.
+    pub const MC003: CodeInfo = CodeInfo {
+        code: "MC003",
+        severity: Severity::Info,
+        summary: "bounded verification summary (mode, depth, per-verdict tallies)",
+        help: "informational only; `proved` holds to the stated depth, `unknown` means \
+               the abstract engine could neither prove nor refute within the bound",
+    };
+    /// `MC004` — a PSM state is dead on the implementation: no entry
+    /// proposition of any of its chains is reachable within the bound.
+    pub const MC004: CodeInfo = CodeInfo {
+        code: "MC004",
+        severity: Severity::Warn,
+        summary: "PSM state dead on the implementation: entry unreachable within the bound",
+        help: "the estimator can never enter this state on traces of this netlist; \
+               drop the state or retrain against the current implementation",
+    };
+    /// `MC005` — two transitions leave one state under the same guard
+    /// towards different targets, breaking the paper's "exactly one
+    /// successor per proposition" reading of the PSM.
+    pub const MC005: CodeInfo = CodeInfo {
+        code: "MC005",
+        severity: Severity::Warn,
+        summary: "overlapping transition guards: one guard, two different successors",
+        help: "the PSM is nondeterministic here and estimation falls back on HMM \
+               likelihoods; tighten the merge policy if determinism is required",
+    };
+    /// `MC006` — a reachable PSM state has no outgoing transitions: once
+    /// entered, the estimator can only leave it through a resync.
+    pub const MC006: CodeInfo = CodeInfo {
+        code: "MC006",
+        severity: Severity::Warn,
+        summary: "resync-unrecoverable sink: reachable state with no outgoing transitions",
+        help: "behaviour after this state was never observed during training; extend \
+               the training stimuli past the sink or accept resync-based recovery",
+    };
+    /// `MC007` — the netlist reaches a port valuation that matches no
+    /// mined proposition, so the model has no symbol for the behaviour.
+    pub const MC007: CodeInfo = CodeInfo {
+        code: "MC007",
+        severity: Severity::Warn,
+        summary: "netlist reaches behaviour outside the mined proposition dictionary",
+        help: "the estimator will resync when this behaviour occurs; retrain with \
+               stimuli that cover it so the model gains a proposition for it",
+    };
     /// Every code, in catalogue order.
-    pub const ALL: [&CodeInfo; 30] = [
+    pub const ALL: [&CodeInfo; 37] = [
         &NL001, &NL002, &NL003, &NL004, &NL005, &NL006, &NL007, &NL008, &NL009, &NL010, &NL011,
         &TR001, &TR002, &TR003, &TR004, &TR005, &PS001, &PS002, &PS003, &PS004, &PS005, &PS006,
-        &HM001, &HM002, &HM003, &HM004, &XA001, &XA002, &XA003, &XA004,
+        &HM001, &HM002, &HM003, &HM004, &XA001, &XA002, &XA003, &XA004, &MC001, &MC002, &MC003,
+        &MC004, &MC005, &MC006, &MC007,
     ];
 }
 
@@ -369,6 +442,10 @@ pub struct Diagnostic {
     pub message: String,
     /// The typical fix.
     pub help: &'static str,
+    /// Optional execution trace behind the finding — one human-readable
+    /// step per cycle of a counterexample (empty for ordinary findings).
+    /// Rendered as SARIF `codeFlows` by [`to_sarif`].
+    pub steps: Vec<String>,
 }
 
 impl Diagnostic {
@@ -381,18 +458,33 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             help: info.help,
+            steps: Vec::new(),
         }
+    }
+
+    /// Attaches a per-cycle execution trace (builder style).
+    #[must_use]
+    pub fn with_steps(mut self, steps: Vec<String>) -> Self {
+        self.steps = steps;
+        self
     }
 
     /// The diagnostic as a JSON object.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut fields = vec![
             ("code", JsonValue::from(self.code)),
             ("severity", JsonValue::from(self.severity.name())),
             ("location", JsonValue::from(self.location.as_str())),
             ("message", JsonValue::from(self.message.as_str())),
             ("help", JsonValue::from(self.help)),
-        ])
+        ];
+        if !self.steps.is_empty() {
+            fields.push((
+                "steps",
+                JsonValue::arr(self.steps.iter().map(|s| JsonValue::from(s.as_str()))),
+            ));
+        }
+        JsonValue::obj(fields)
     }
 }
 

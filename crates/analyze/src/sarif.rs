@@ -62,7 +62,23 @@ pub fn to_sarif(reports: &[(String, AnalysisReport)]) -> JsonValue {
 
     let results = JsonValue::arr(reports.iter().flat_map(|(file, report)| {
         report.diagnostics().iter().map(move |d| {
-            JsonValue::obj([
+            let location = JsonValue::obj([
+                (
+                    "physicalLocation",
+                    JsonValue::obj([(
+                        "artifactLocation",
+                        JsonValue::obj([("uri", JsonValue::from(file.as_str()))]),
+                    )]),
+                ),
+                (
+                    "logicalLocations",
+                    JsonValue::arr([JsonValue::obj([
+                        ("name", JsonValue::from(d.location.as_str())),
+                        ("kind", JsonValue::from("element")),
+                    ])]),
+                ),
+            ]);
+            let mut fields = vec![
                 ("ruleId", JsonValue::from(d.code)),
                 ("ruleIndex", JsonValue::from(rule_index(d.code))),
                 ("level", JsonValue::from(sarif_level(d.severity))),
@@ -76,26 +92,39 @@ pub fn to_sarif(reports: &[(String, AnalysisReport)]) -> JsonValue {
                         )),
                     )]),
                 ),
-                (
-                    "locations",
-                    JsonValue::arr([JsonValue::obj([
-                        (
-                            "physicalLocation",
-                            JsonValue::obj([(
-                                "artifactLocation",
-                                JsonValue::obj([("uri", JsonValue::from(file.as_str()))]),
-                            )]),
-                        ),
-                        (
-                            "logicalLocations",
-                            JsonValue::arr([JsonValue::obj([
-                                ("name", JsonValue::from(d.location.as_str())),
-                                ("kind", JsonValue::from("element")),
-                            ])]),
-                        ),
-                    ])]),
-                ),
-            ])
+                ("locations", JsonValue::arr([location.clone()])),
+            ];
+            // Counterexample traces ride along as a codeFlow: one thread
+            // flow location per cycle, so SARIF viewers can step through
+            // the stimulus that led to the violation.
+            if !d.steps.is_empty() {
+                let flow_locations = JsonValue::arr(d.steps.iter().map(|step| {
+                    JsonValue::obj([(
+                        "location",
+                        JsonValue::obj([
+                            (
+                                "physicalLocation",
+                                JsonValue::obj([(
+                                    "artifactLocation",
+                                    JsonValue::obj([("uri", JsonValue::from(file.as_str()))]),
+                                )]),
+                            ),
+                            (
+                                "message",
+                                JsonValue::obj([("text", JsonValue::from(step.as_str()))]),
+                            ),
+                        ]),
+                    )])
+                }));
+                fields.push((
+                    "codeFlows",
+                    JsonValue::arr([JsonValue::obj([(
+                        "threadFlows",
+                        JsonValue::arr([JsonValue::obj([("locations", flow_locations)])]),
+                    )])]),
+                ));
+            }
+            JsonValue::obj(fields)
         })
     }));
 
@@ -163,5 +192,35 @@ mod tests {
             codes::ALL.len(),
             "every catalogued code is a rule"
         );
+    }
+
+    #[test]
+    fn counterexample_steps_render_as_code_flows() {
+        let mut r = AnalysisReport::new("verify `defect`");
+        r.push(
+            Diagnostic::new(&codes::MC001, "assertion `p0 X p1`", "refuted").with_steps(vec![
+                "cycle 0: inputs en=1'h1 -> p0".to_owned(),
+                "cycle 1: inputs en=1'h0 -> p2".to_owned(),
+            ]),
+        );
+        let sarif = to_sarif(&[("defect.json".to_owned(), r)]);
+        let back = JsonValue::parse(&sarif.render()).unwrap();
+        let results = back.arr_field("runs").unwrap()[0]
+            .arr_field("results")
+            .unwrap();
+        let flows = results[0].arr_field("codeFlows").unwrap();
+        assert_eq!(flows.len(), 1);
+        let locations = flows[0].arr_field("threadFlows").unwrap()[0]
+            .arr_field("locations")
+            .unwrap();
+        assert_eq!(locations.len(), 2, "one thread flow location per cycle");
+        let first = locations[0]
+            .field("location")
+            .unwrap()
+            .field("message")
+            .unwrap()
+            .str_field("text")
+            .unwrap();
+        assert!(first.starts_with("cycle 0"));
     }
 }

@@ -9,6 +9,7 @@
 //! The benches use the in-tree [`timing`] harness (mean/min over a fixed
 //! iteration budget) instead of an external benchmarking crate, so the
 //! whole workspace builds offline.
+#![deny(missing_docs)]
 
 use psm_ips::{ip_by_name, testbench, Ip};
 use psm_rtl::Stimulus;

@@ -53,6 +53,7 @@
 //! assert_eq!(outs[0].to_u64()?, 0xDEAD);
 //! # Ok::<(), psm_trace::TraceError>(())
 //! ```
+#![deny(missing_docs)]
 
 mod aes;
 mod camellia;

@@ -28,6 +28,7 @@
 //! let back = JsonValue::parse(&text).unwrap();
 //! assert_eq!(back.field("states").unwrap().as_u64().unwrap(), 4);
 //! ```
+#![deny(missing_docs)]
 
 use std::error::Error;
 use std::fmt;

@@ -24,6 +24,7 @@
 //! let x = a.next_f64();
 //! assert!((0.0..1.0).contains(&x));
 //! ```
+#![deny(missing_docs)]
 
 use std::ops::Range;
 

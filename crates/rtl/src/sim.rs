@@ -31,6 +31,11 @@ pub struct PortHandle(usize);
 /// # Examples
 ///
 /// See the [crate-level example](crate).
+///
+/// The simulator is [`Clone`], so a bounded state-space search can fork an
+/// in-flight simulation per input assignment instead of replaying the
+/// stimulus prefix from reset.
+#[derive(Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     order: Vec<usize>,
@@ -351,6 +356,36 @@ impl<'a> Simulator<'a> {
     /// [`CycleActivity::switched_capacitance_ff`].
     pub fn domain_activity(&self) -> &[f64] {
         &self.domain_caps
+    }
+
+    /// A packed key of the functional (clock-to-clock) state: pending
+    /// flip-flop values, pending memory read registers and memory
+    /// contents. Two simulators with equal keys produce identical port
+    /// samples for any identical future stimulus that stages every input
+    /// each cycle, so bounded reachability searches can use the key to
+    /// de-duplicate states. Settled combinational values and level-held
+    /// inputs are deliberately excluded — they are recomputed from the
+    /// next cycle's staged inputs.
+    pub fn functional_state(&self) -> Vec<u64> {
+        let mut key = Vec::new();
+        let mut word = 0u64;
+        for (i, &q) in self.pending_q.iter().enumerate() {
+            if q {
+                word |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                key.push(word);
+                word = 0;
+            }
+        }
+        if !self.pending_q.len().is_multiple_of(64) || self.pending_q.is_empty() {
+            key.push(word);
+        }
+        key.extend_from_slice(&self.mem_pending);
+        for contents in &self.mem_contents {
+            key.extend_from_slice(contents);
+        }
+        key
     }
 
     /// Iterates over input port handles in declaration order.

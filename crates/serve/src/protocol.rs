@@ -548,7 +548,7 @@ pub const MAX_MODEL_NAME_BYTES: usize = u16::MAX as usize;
 
 /// Checks that `model` fits the binary payloads' `u16` length prefix.
 ///
-/// Request builders call [`put_name`] infallibly, so every path that
+/// Request builders call `put_name` infallibly, so every path that
 /// accepts an arbitrary model name must validate it first — truncating
 /// would silently ask the daemon about a *different* (shortened) name.
 ///

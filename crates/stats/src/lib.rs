@@ -24,6 +24,7 @@
 //! let test = welch_t_test(&a, &b).expect("both samples have n >= 2");
 //! assert!(test.p_value < 0.01, "clearly different populations");
 //! ```
+#![deny(missing_docs)]
 
 mod descriptive;
 mod metrics;

@@ -39,6 +39,7 @@
 //! # let _ = (v1, v2, v4);
 //! # Ok::<(), psm_trace::TraceError>(())
 //! ```
+#![deny(missing_docs)]
 
 mod activity;
 pub mod binary;

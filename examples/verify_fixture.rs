@@ -1,0 +1,91 @@
+//! Regenerates the bounded-model-checking regression fixture under
+//! `examples/artifacts/`:
+//!
+//! * `verify_defect.json` — a model trained from the *intended* behaviour
+//!   of a one-register IP (the output `y` follows the input `en` one
+//!   cycle late), mined into `X`/`U` assertions;
+//! * `verify_defect.v` — a defective implementation whose register is
+//!   gated by its own (reset-zero) output, so `y` is stuck at 0.
+//!
+//! Against that netlist, `psmlint --verify` must refute the assertions
+//! leaving the `en=1, y=0` row (the design never answers with `y=1`) and
+//! find the `y=1` rows vacuous (unreachable) — the pinned MC001/MC002
+//! regression target of `tests/verify.rs` and `ci.sh`.
+//!
+//! Run with `cargo run --example verify_fixture`. Both outputs are
+//! deterministic, so a fresh run reproduces the checked-in bytes.
+
+use psmgen::flow::{TrainedModel, TrainingStats};
+use psmgen::hmm::build_hmm;
+use psmgen::mining::{Miner, MiningConfig};
+use psmgen::psm::{generate_psm, simplify, MergePolicy};
+use psmgen::rtl::{write_verilog, NetlistBuilder, Word};
+use psmgen::trace::{Bits, Direction, FunctionalTrace, PowerTrace, SignalSet};
+
+/// The training stimulus: revisits every `(en, y)` row often enough for
+/// the miner to emit both an `X` and a `U` assertion per antecedent.
+const EN: [bool; 16] = [
+    true, true, true, false, false, true, false, true, true, false, false, true, true, true, false,
+    false,
+];
+
+fn interface() -> SignalSet {
+    let mut signals = SignalSet::new();
+    signals.push("en", 1, Direction::Input).expect("fresh set");
+    signals.push("y", 1, Direction::Output).expect("fresh set");
+    signals
+}
+
+/// The intended behaviour: `y` follows `en` one cycle late.
+fn training_trace() -> FunctionalTrace {
+    let mut trace = FunctionalTrace::new(interface());
+    let mut y = false;
+    for en in EN {
+        trace
+            .push_cycle(vec![Bits::from_bool(en), Bits::from_bool(y)])
+            .expect("interface-shaped cycle");
+        y = en;
+    }
+    trace
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Model of the intended behaviour.
+    let functional = training_trace();
+    let mined = Miner::new(MiningConfig::default()).mine(&[&functional])?;
+    let power: PowerTrace = (0..functional.len())
+        .map(|i| 1.0 + (i % 3) as f64)
+        .collect();
+    let mut psm = generate_psm(&mined.traces[0], &power, 0)?;
+    simplify(&mut psm, &MergePolicy::default());
+    let hmm = build_hmm(&psm, mined.table.len());
+    let stats = TrainingStats {
+        training_instants: functional.len(),
+        states: psm.state_count(),
+        transitions: psm.transition_count(),
+        ..TrainingStats::default()
+    };
+    let model = TrainedModel {
+        table: mined.table,
+        psm,
+        hmm,
+        stats,
+    };
+    model.save("examples/artifacts/verify_defect.json")?;
+    println!("wrote examples/artifacts/verify_defect.json");
+
+    // Defective implementation: the register's next value is `en & y`,
+    // which with a reset-zero register keeps `y` stuck at 0 forever.
+    let mut builder = NetlistBuilder::new("verify_defect");
+    let en = builder.input("en", 1);
+    let reg = builder.register("y_r", 1);
+    let gated = builder.and(en.bit(0), reg.q().bit(0));
+    builder.connect_register(&reg, &Word::from_nets(vec![gated]));
+    builder.output("y", &reg.q());
+    let netlist = builder.finish()?;
+    let mut verilog = Vec::new();
+    write_verilog(&netlist, &mut verilog)?;
+    std::fs::write("examples/artifacts/verify_defect.v", &verilog)?;
+    println!("wrote examples/artifacts/verify_defect.v");
+    Ok(())
+}

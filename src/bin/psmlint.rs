@@ -23,6 +23,14 @@
 //! Findings can be policed per code (`--config psmlint.toml`) and gated
 //! against a previous run (`--baseline old.json`); see DIAGNOSTICS.md.
 //!
+//! With `--verify`, every netlist × flat-model pair on the command line
+//! is additionally run through the bounded model checker
+//! ([`psmgen::analyze::verify_model`]): each mined assertion comes back
+//! proved (to the depth), refuted with a replayable counterexample, or
+//! vacuous, as the `MC` diagnostic family. `--witness-dir` saves each
+//! counterexample stimulus as a functional CSV, and `--replay <csv>`
+//! re-executes such a witness against the same netlist × model pair.
+//!
 //! Stdout carries only the report in the selected format — progress and
 //! log lines go to stderr (suppressed entirely by `--quiet`), so
 //! `--format json|sarif` output pipes straight into `jq` or a SARIF
@@ -31,18 +39,24 @@
 //! Exit status: `0` when clean, `1` when any *new* error-severity
 //! diagnostic survives the configuration and baseline (warnings too under
 //! `--deny-warnings`), `2` when an artifact could not be loaded or the
-//! command line is malformed.
+//! command line is malformed, `3` when `--baseline` points at a missing
+//! or unparsable file.
 
 use psm_persist::JsonValue;
 use psmgen::analyze::{
     lint_model, lint_netlist, lint_netlist_dataflow, lint_power_trace, lint_psm_against_table,
-    lint_psm_against_training, to_sarif, AnalysisReport, Baseline, LintConfig, Severity,
+    lint_psm_against_training, replay_witness, to_sarif, verify_model, AnalysisReport, Baseline,
+    LintConfig, Severity,
 };
 use psmgen::flow::{HierarchicalModel, IpPreset, PsmFlow, TrainedModel};
 use psmgen::ips::{testbench, MultSum};
+use psmgen::mining::PropositionTable;
 use psmgen::psm::Psm;
-use psmgen::rtl::parse_verilog;
-use psmgen::trace::{read_power_csv, PowerTrace};
+use psmgen::rtl::{parse_verilog, Netlist};
+use psmgen::trace::{
+    read_functional_csv, read_power_csv, write_functional_csv, Bits, Direction, FunctionalTrace,
+    PowerTrace, SignalSet,
+};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -62,9 +76,19 @@ Options:
   --format <text|json|sarif>  output format (default text)
   --json            alias of --format json
   --config <path>   psmlint.toml with per-code allow/warn/deny levels
+                    and an optional [verify] section
   --baseline <path> suppress findings recorded by a previous --format
                     json run; exit status reflects new findings only
+                    (exit 3 when the file is missing or unparsable)
   --deny-warnings   exit non-zero on warnings, not just errors
+  --verify          bounded-model-check every mined assertion of each
+                    flat model against each netlist given alongside it
+                    (MC codes; see DIAGNOSTICS.md)
+  --depth <n>       unroll depth of --verify/--replay (default 8)
+  --witness-dir <dir>  save each counterexample stimulus as a
+                    functional CSV witness under <dir>
+  --replay <csv>    re-execute a witness stimulus against the netlist
+                    and model given alongside it, instead of --verify
   --demo <path>     train a quick MultSum model, save it at <path>,
                     then lint the saved file
   -q, --quiet       suppress progress lines (stderr); stdout carries
@@ -92,6 +116,10 @@ struct Options {
     config: Option<String>,
     baseline: Option<String>,
     demo: Option<String>,
+    verify: bool,
+    depth: Option<usize>,
+    witness_dir: Option<String>,
+    replay: Option<String>,
     paths: Vec<String>,
 }
 
@@ -113,6 +141,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         config: None,
         baseline: None,
         demo: None,
+        verify: false,
+        depth: None,
+        witness_dir: None,
+        replay: None,
         paths: Vec::new(),
     };
     let mut it = args.iter();
@@ -142,6 +174,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let path = it.next().ok_or("--demo needs a file path")?;
                 opts.demo = Some(path.clone());
             }
+            "--verify" => opts.verify = true,
+            "--depth" => {
+                let value = it.next().ok_or("--depth needs a cycle count")?;
+                let depth = value
+                    .parse()
+                    .map_err(|_| format!("--depth needs an integer, got `{value}`"))?;
+                opts.depth = Some(depth);
+            }
+            "--witness-dir" => {
+                let dir = it.next().ok_or("--witness-dir needs a directory path")?;
+                opts.witness_dir = Some(dir.clone());
+            }
+            "--replay" => {
+                let path = it.next().ok_or("--replay needs a witness CSV path")?;
+                opts.replay = Some(path.clone());
+            }
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -158,10 +206,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 /// Artifacts remembered across files for the cross-artifact checks.
 #[derive(Default)]
 struct Loaded {
-    /// Flat models, by path, for the XA002 attribute re-derivation.
-    models: Vec<(String, Psm)>,
+    /// Flat models, by path, for the XA002 attribute re-derivation and
+    /// the `--verify`/`--replay` modes.
+    models: Vec<(String, PropositionTable, Psm)>,
     /// Power traces in command-line order.
     power: Vec<PowerTrace>,
+    /// Parsed netlists, by path, for the `--verify`/`--replay` modes.
+    netlists: Vec<(String, Netlist)>,
 }
 
 /// One linted artifact with its wall-clock cost and baseline bookkeeping.
@@ -180,6 +231,7 @@ fn lint_path(path: &str, loaded: &mut Loaded) -> Result<Vec<AnalysisReport>, Str
         let netlist = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
         let mut report = lint_netlist(&netlist);
         report.merge(lint_netlist_dataflow(&netlist));
+        loaded.netlists.push((path.to_owned(), netlist));
         return Ok(vec![report]);
     }
     if path.ends_with(".csv") {
@@ -195,7 +247,9 @@ fn lint_path(path: &str, loaded: &mut Loaded) -> Result<Vec<AnalysisReport>, Str
         Ok(model) => {
             let mut report = lint_model(&model.psm, &model.hmm, model.table.len());
             report.merge(lint_psm_against_table(&model.psm, model.table.len()));
-            loaded.models.push((path.to_owned(), model.psm));
+            loaded
+                .models
+                .push((path.to_owned(), model.table, model.psm));
             Ok(vec![report])
         }
         Err(flat_err) => match HierarchicalModel::load(path) {
@@ -238,6 +292,46 @@ fn load_baseline(path: &str) -> Result<Baseline, String> {
     Baseline::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The input-only port interface of a netlist — the witness CSV schema.
+fn input_signals(netlist: &Netlist) -> Result<SignalSet, String> {
+    let mut set = SignalSet::new();
+    for (_, decl) in netlist.signal_set().iter() {
+        if decl.direction() == Direction::Input {
+            set.push(decl.name(), decl.width(), Direction::Input)
+                .map_err(|e| format!("netlist `{}`: {e}", netlist.name()))?;
+        }
+    }
+    Ok(set)
+}
+
+/// Saves one counterexample stimulus as a functional CSV under `dir`.
+fn save_witness(
+    dir: &str,
+    index: usize,
+    netlist: &Netlist,
+    stimulus: &[Vec<Bits>],
+) -> Result<String, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut trace = FunctionalTrace::new(input_signals(netlist)?);
+    for cycle in stimulus {
+        trace
+            .push_cycle(cycle.clone())
+            .map_err(|e| format!("witness stimulus is malformed: {e}"))?;
+    }
+    let path = format!("{dir}/witness_{index:03}.csv");
+    let mut file = std::fs::File::create(&path).map_err(|e| format!("cannot write {path}: {e}"))?;
+    write_functional_csv(&trace, &mut file).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(path)
+}
+
+/// Reads a witness CSV back into a per-cycle input stimulus.
+fn load_witness(path: &str, netlist: &Netlist) -> Result<Vec<Vec<Bits>>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = read_functional_csv(input_signals(netlist)?, std::io::BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok(trace.iter().map(<[Bits]>::to_vec).collect())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = match parse_args(&args) {
@@ -261,8 +355,13 @@ fn main() -> ExitCode {
     let baseline = match opts.baseline.as_deref().map(load_baseline).transpose() {
         Ok(baseline) => baseline.unwrap_or_default(),
         Err(message) => {
-            eprintln!("psmlint: {message}");
-            return ExitCode::from(2);
+            // A distinct status: the gate itself is broken (stale path in
+            // CI, corrupted record), not the artifacts under analysis.
+            eprintln!(
+                "psmlint: --baseline is unusable: {message}\n\
+                 psmlint: regenerate it with `psmlint --format json ... > baseline.json`"
+            );
+            return ExitCode::from(3);
         }
     };
     if let Some(demo) = &opts.demo.clone() {
@@ -298,7 +397,7 @@ fn main() -> ExitCode {
     // Cross-check every flat model against the power traces given
     // alongside it (XA002: are the stored attributes re-derivable?).
     if !loaded.power.is_empty() {
-        for (path, psm) in &loaded.models {
+        for (path, _, psm) in &loaded.models {
             opts.progress(format_args!(
                 "cross-checking {path} against {} power trace(s)",
                 loaded.power.len()
@@ -311,6 +410,71 @@ fn main() -> ExitCode {
                 elapsed_ns: start.elapsed().as_nanos() as u64,
                 suppressed: 0,
             });
+        }
+    }
+    // Bounded model checking: every mined assertion of every flat model
+    // against every netlist given alongside it.
+    if opts.verify || opts.replay.is_some() {
+        if loaded.netlists.is_empty() || loaded.models.is_empty() {
+            eprintln!(
+                "psmlint: --verify/--replay need at least one netlist (*.v) and one flat \
+                 model (*.json) on the command line"
+            );
+            return ExitCode::from(2);
+        }
+        let mut verify_cfg = config.verify().cloned().unwrap_or_default();
+        if let Some(depth) = opts.depth {
+            verify_cfg.depth = depth;
+        }
+        let mut witness_index = 0usize;
+        for (netlist_path, netlist) in &loaded.netlists {
+            for (model_path, table, psm) in &loaded.models {
+                let start = Instant::now();
+                let report = if let Some(witness) = &opts.replay {
+                    opts.progress(format_args!(
+                        "replaying {witness} against {netlist_path} x {model_path}"
+                    ));
+                    let stimulus = match load_witness(witness, netlist) {
+                        Ok(stimulus) => stimulus,
+                        Err(message) => {
+                            eprintln!("psmlint: {message}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    replay_witness(netlist, table, psm, &stimulus)
+                } else {
+                    opts.progress(format_args!(
+                        "verifying {model_path} against {netlist_path} (depth {})",
+                        verify_cfg.depth
+                    ));
+                    let outcome = verify_model(netlist, table, psm, &verify_cfg);
+                    if let Some(dir) = &opts.witness_dir {
+                        for check in &outcome.checks {
+                            let Some(cex) = &check.counterexample else {
+                                continue;
+                            };
+                            witness_index += 1;
+                            match save_witness(dir, witness_index, netlist, &cex.stimulus) {
+                                Ok(path) => opts.progress(format_args!(
+                                    "witness for `{}` saved at {path}",
+                                    check.text
+                                )),
+                                Err(message) => {
+                                    eprintln!("psmlint: {message}");
+                                    return ExitCode::from(2);
+                                }
+                            }
+                        }
+                    }
+                    outcome.report
+                };
+                files.push(LintedFile {
+                    file: model_path.clone(),
+                    report,
+                    elapsed_ns: start.elapsed().as_nanos() as u64,
+                    suppressed: 0,
+                });
+            }
         }
     }
     // Policy first (re-level / drop), then the baseline (suppress what a

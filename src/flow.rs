@@ -35,9 +35,9 @@ use crate::telemetry::{Stage, Telemetry, TelemetryReport};
 use psm_analyze::{
     lint_hmm_against_observations, lint_interface, lint_model, lint_netlist, lint_netlist_dataflow,
     lint_proposition_coverage, lint_psm_against_table, lint_psm_against_training, lint_trace_pair,
-    AnalysisReport, Severity,
+    verify_model, AnalysisReport, Severity,
 };
-pub use psm_analyze::{LintConfig, LintLevel, Strictness};
+pub use psm_analyze::{LintConfig, LintLevel, Strictness, VerifyConfig};
 use psm_core::{
     calibrate, classify_trace, generate_psm, join, simplify, CalibrationConfig, CoreError,
     MergePolicy, Psm,
@@ -465,6 +465,13 @@ impl PsmFlowBuilder {
         self
     }
 
+    /// Tunes the bounded model checker run at the end of the validate
+    /// stage (`depth: 0` disables it entirely).
+    pub fn verify(mut self, verify: VerifyConfig) -> Self {
+        self.flow.verify = verify;
+        self
+    }
+
     /// Finishes the flow.
     pub fn build(self) -> PsmFlow {
         self.flow
@@ -503,6 +510,9 @@ pub struct PsmFlow {
     /// Per-code lint-level overrides, applied to every validation report
     /// before the [`Strictness`] decision (empty by default).
     pub lint_config: LintConfig,
+    /// Bounded-model-checking knobs for the mined-assertion verification
+    /// pass at the end of the validate stage; `depth: 0` disables it.
+    pub verify: VerifyConfig,
 }
 
 impl Default for PsmFlow {
@@ -516,6 +526,7 @@ impl Default for PsmFlow {
             parallelism: Parallelism::Auto,
             strictness: Strictness::default(),
             lint_config: LintConfig::default(),
+            verify: VerifyConfig::default(),
         }
     }
 }
@@ -723,6 +734,14 @@ impl PsmFlow {
             lint_psm_against_table(&combined, mined.table.len())
         });
         self.check(telemetry, guards_report)?;
+        // Bounded model checking: every mined assertion against the
+        // netlist's reachable behaviours, not just the training traces.
+        if self.verify.depth > 0 {
+            let verify_report = telemetry.time(Stage::Validate, "assertion verify", || {
+                verify_model(&netlist, &mined.table, &combined, &self.verify).report
+            });
+            self.check(telemetry, verify_report)?;
+        }
         let generation_time = gen_start.elapsed();
 
         let stats = TrainingStats {
