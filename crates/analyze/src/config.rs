@@ -140,7 +140,18 @@ impl LintConfig {
                 })?;
                 match key {
                     "depth" => verify.depth = number as usize,
-                    "enum_bits" => verify.enum_bits = number as usize,
+                    "enum_bits" => {
+                        // Exhaustive mode packs one input assignment into
+                        // a u64; 64+ bits would overflow the enumeration
+                        // (and 2^64 branches per cycle is no budget).
+                        if number >= 64 {
+                            return Err(format!(
+                                "line {}: `enum_bits` must be below 64, got {number}",
+                                i + 1
+                            ));
+                        }
+                        verify.enum_bits = number as usize;
+                    }
                     "max_states" => verify.max_states = number as usize,
                     "samples" => verify.samples = number as usize,
                     "seed" => verify.seed = number,
@@ -313,6 +324,9 @@ mod tests {
         assert_eq!(config.level("NL004"), Some(LintLevel::Allow));
         assert!(LintConfig::parse("[verify]\ndepth = \"lots\"\n").is_err());
         assert!(LintConfig::parse("[verify]\nbananas = 3\n").is_err());
+        // 64+ would overflow the packed-u64 input enumeration.
+        assert!(LintConfig::parse("[verify]\nenum_bits = 64\n").is_err());
+        assert!(LintConfig::parse("[verify]\nenum_bits = 63\n").is_ok());
         assert!(LintConfig::parse("x\n").is_err());
         assert!(LintConfig::parse("").unwrap().verify().is_none());
     }

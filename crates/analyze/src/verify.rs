@@ -55,7 +55,7 @@ use psm_mining::{
 use psm_prng::Prng;
 use psm_rtl::{levelize, Netlist, PortHandle, Simulator};
 use psm_trace::{Bits, Direction};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Knobs of the bounded verification pass (the `[verify]` section of
 /// `psmlint.toml`).
@@ -65,6 +65,9 @@ pub struct VerifyConfig {
     pub depth: usize,
     /// Exhaustive-mode budget: total primary-input bits up to which every
     /// input assignment is enumerated per cycle (`2^enum_bits` branches).
+    /// Assignments are packed into a `u64`, so widths of 64 bits or more
+    /// never enumerate regardless of this value — they use the abstract
+    /// engine (config parsing rejects such settings up front).
     pub enum_bits: usize,
     /// Exhaustive-mode cap on distinct `(state, proposition)` nodes; past
     /// it the search falls back to the abstract unroller.
@@ -479,15 +482,25 @@ fn render_steps(
 /// Re-simulates a candidate stimulus and keeps it only when it truly
 /// violates the allowed-successor relation. Returns the confirmed
 /// counterexample and the violated antecedent.
+///
+/// With a `target` antecedent the replay looks specifically for a
+/// violation of *that* antecedent — the replayed path may well violate a
+/// different antecedent at an earlier cycle (which has its own candidate
+/// in the exhaustive search), and returning that one instead would
+/// silently drop the target's refutation.
 fn confirm_witness(
     netlist: &Netlist,
     table: &PropositionTable,
     checker: &Checker<'_>,
     stimulus: Vec<Vec<Bits>>,
+    target: Option<usize>,
 ) -> Option<(usize, Counterexample)> {
     let (props, rows) = simulate_props(netlist, table, &stimulus)?;
     let violation = (0..props.len().saturating_sub(1)).find_map(|t| {
         let a = props[t]?;
+        if target.is_some_and(|want| want != a.index()) {
+            return None;
+        }
         checker
             .violates(a, &rows[t + 1], props[t + 1])
             .then_some((t + 1, a.index()))
@@ -548,7 +561,9 @@ fn exhaustive_search(
 ) -> Option<Exploration> {
     let inputs = input_ports(netlist);
     let total_bits: usize = inputs.iter().map(|(_, w)| w).sum();
-    if total_bits > cfg.enum_bits || cfg.depth == 0 {
+    // `total_bits >= 64` would overflow the packed-`u64` combination
+    // representation below, whatever `enum_bits` the config asked for.
+    if total_bits > cfg.enum_bits || total_bits >= 64 || cfg.depth == 0 {
         return None;
     }
     let base = Simulator::new(netlist).ok()?;
@@ -571,7 +586,12 @@ fn exhaustive_search(
     }];
     let mut seen: HashMap<(Vec<u64>, Option<usize>), ()> = HashMap::new();
     seen.insert((base.functional_state(), None), ());
-    let mut frontier: Vec<(usize, Simulator)> = vec![(0, base)];
+    // FIFO order makes the search breadth-first, so the *first* discovery
+    // of every `(state, prop)` key is at its minimal depth — the depthless
+    // `seen` dedup below would otherwise hide shallower rediscoveries of a
+    // state first met deep in an earlier subtree, silently truncating the
+    // explored horizon while `complete` stays true.
+    let mut frontier: VecDeque<(usize, Simulator)> = VecDeque::from([(0, base)]);
 
     let mut reachable = BTreeSet::new();
     // First candidate per violated antecedent / for an unmined row, as
@@ -579,7 +599,7 @@ fn exhaustive_search(
     let mut candidates: BTreeMap<usize, usize> = BTreeMap::new();
     let mut unknown_candidate: Option<usize> = None;
 
-    while let Some((ni, sim)) = frontier.pop() {
+    while let Some((ni, sim)) = frontier.pop_front() {
         if nodes[ni].depth >= cfg.depth {
             continue;
         }
@@ -621,7 +641,7 @@ fn exhaustive_search(
                 if nodes.len() > cfg.max_states {
                     return None; // state blow-up: fall back to abstract
                 }
-                frontier.push((m, child));
+                frontier.push_back((m, child));
             }
         }
     }
@@ -638,13 +658,16 @@ fn exhaustive_search(
 
     let mut complete = true;
     let mut violations = BTreeMap::new();
-    for &node in candidates.values() {
+    for (&left, &node) in &candidates {
         // Replay through the untouched simulator before reporting; a
-        // candidate that does not confirm leaves the search inconclusive
-        // rather than risking a false refutation.
-        match confirm_witness(netlist, table, checker, rebuild(node)) {
-            Some((confirmed_left, cex)) => {
-                violations.entry(confirmed_left).or_insert(cex);
+        // candidate that does not confirm for *its own* antecedent leaves
+        // the search inconclusive rather than risking a false refutation
+        // (or a false `Proved` for `left`, were the replay allowed to
+        // attribute the path to an earlier violation of another
+        // antecedent — that one has its own candidate here).
+        match confirm_witness(netlist, table, checker, rebuild(node), Some(left)) {
+            Some((_, cex)) => {
+                violations.insert(left, cex);
             }
             None => complete = false,
         }
@@ -732,10 +755,10 @@ fn abstract_search(
             {
                 let zeros: Vec<Bits> = inputs.iter().map(|(_, w)| Bits::zero(*w)).collect();
                 let stimulus = vec![zeros; t + 2];
-                if let Some((confirmed_left, cex)) =
-                    confirm_witness(netlist, table, checker, stimulus)
+                if let Some((_, cex)) =
+                    confirm_witness(netlist, table, checker, stimulus, Some(left))
                 {
-                    out.violations.entry(confirmed_left).or_insert(cex);
+                    out.violations.entry(left).or_insert(cex);
                 }
             }
         }
@@ -764,7 +787,8 @@ fn abstract_search(
         for p in props.iter().flatten() {
             out.reachable.insert(p.index());
         }
-        if let Some((left, cex)) = confirm_witness(netlist, table, checker, stimulus.clone()) {
+        if let Some((left, cex)) = confirm_witness(netlist, table, checker, stimulus.clone(), None)
+        {
             out.violations.entry(left).or_insert(cex);
         }
         if out.unknown_row.is_none() {
@@ -1053,7 +1077,7 @@ pub fn replay_witness(
     }
     let assertions = collect_assertions(psm);
     let checker = Checker::new(table, &assertions);
-    match confirm_witness(netlist, table, &checker, stimulus.to_vec()) {
+    match confirm_witness(netlist, table, &checker, stimulus.to_vec(), None) {
         Some((left, cex)) => {
             let refuted: Vec<String> = assertions
                 .iter()
@@ -1226,6 +1250,100 @@ mod tests {
             }
         }
         assert!(confirmed > 0, "expected at least one counterexample");
+    }
+
+    /// A six-state machine (3-bit register `c`, 1-bit input `en`,
+    /// `y = (c == 5)`) built so that state 3 has both a short path
+    /// (`0 -en=0-> 4 -en=1-> 3`, 2 steps) and a long one
+    /// (`0 -en=1-> 1 -> 2 -> 3`, 3 steps), and state 5 — the only state
+    /// with `y = 1` — is reachable solely through state 3:
+    ///
+    /// ```text
+    /// en=1:  0 -> 1 -> 2 -> 3 -> 5 -> 5      4 -> 3
+    /// en=0:  0 -> 4, everything else holds
+    /// ```
+    ///
+    /// Sampled rows lag the register by one step (`y` at row `t` shows
+    /// the state after `t - 1` steps), so the `(en=1, y=1)` row first
+    /// appears at row 4 — and only via the short path at bound 4. A
+    /// depth-first exploration that dedups `(state, prop)` without depth
+    /// first meets state 3 at depth 3 via the long chain, drops the
+    /// shallower short-path rediscovery, generates state 5 only at the
+    /// bound where it is never expanded — and falsely reports assertions
+    /// whose antecedent only holds there as vacuous. Breadth-first
+    /// discovery keeps every state at its minimal depth.
+    fn two_path_netlist() -> Netlist {
+        let mut b = psm_rtl::NetlistBuilder::new("two_path");
+        let en = b.input("en", 1);
+        let r = b.register("c", 3);
+        let q = r.q();
+        let f1: Vec<psm_rtl::Word> = [1u64, 2, 3, 5, 3, 5, 6, 7]
+            .iter()
+            .map(|&v| b.const_word(v, 3))
+            .collect();
+        let f0: Vec<psm_rtl::Word> = [4u64, 1, 2, 3, 4, 5, 6, 7]
+            .iter()
+            .map(|&v| b.const_word(v, 3))
+            .collect();
+        let t1 = b.mux_tree(&q, &f1);
+        let t0 = b.mux_tree(&q, &f0);
+        let next = b.mux_word(en.bit(0), &t0, &t1);
+        b.connect_register(&r, &next);
+        let y = b.eq_const(&q, 5);
+        b.output("y", &psm_rtl::Word::from_nets(vec![y]));
+        b.finish().expect("fixture netlist builds")
+    }
+
+    #[test]
+    fn deep_first_discovery_does_not_hide_shallow_paths() {
+        // Train on the en=1 walk that reaches state 5 and parks there:
+        // rows (en, y) = (1,0) ×4, (1,1), (0,1) — y lags the state by
+        // one row, exactly what the netlist produces for this stimulus.
+        let mut phi = FunctionalTrace::new(interface());
+        let en = [true, true, true, true, true, false];
+        let y = [false, false, false, false, true, true];
+        for (&e, &o) in en.iter().zip(&y) {
+            phi.push_cycle(vec![Bits::from_bool(e), Bits::from_bool(o)])
+                .unwrap();
+        }
+        let mined = Miner::new(MiningConfig::default())
+            .mine(&[&phi])
+            .expect("mining succeeds");
+        let delta: PowerTrace = (0..phi.len()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let psm = generate_psm(&mined.traces[0], &delta, 0).expect("psm generates");
+        let cfg = VerifyConfig {
+            depth: 4,
+            ..VerifyConfig::default()
+        };
+        let outcome = verify_model(&two_path_netlist(), &mined.table, &psm, &cfg);
+        assert_eq!(outcome.mode, VerifyMode::Exhaustive);
+        // The p(en=1, y=1) row only follows a step out of state 5, whose
+        // minimal entry depth is 3 — but only via the short path through
+        // the doubly-reachable state 3, making the row's minimal depth
+        // exactly the bound.
+        let pv = mined
+            .table
+            .classify(&[Bits::from_bool(true), Bits::from_bool(true)])
+            .expect("the (en=1, y=1) row is in the mined dictionary");
+        let at_v: Vec<&AssertionCheck> = outcome
+            .checks
+            .iter()
+            .filter(|c| c.assertion.left() == pv)
+            .collect();
+        assert!(
+            !at_v.is_empty(),
+            "expected an assertion with antecedent p(en=1, y=1)"
+        );
+        for check in at_v {
+            assert_eq!(
+                check.verdict,
+                Verdict::Proved,
+                "`{}` should be proved, not {:?}:\n{}",
+                check.text,
+                check.verdict,
+                outcome.report.text()
+            );
+        }
     }
 
     #[test]

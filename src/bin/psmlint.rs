@@ -84,7 +84,8 @@ Options:
   --verify          bounded-model-check every mined assertion of each
                     flat model against each netlist given alongside it
                     (MC codes; see DIAGNOSTICS.md)
-  --depth <n>       unroll depth of --verify/--replay (default 8)
+  --depth <n>       unroll depth of --verify (default 8); --replay
+                    always re-executes the full witness stimulus
   --witness-dir <dir>  save each counterexample stimulus as a
                     functional CSV witness under <dir>
   --replay <csv>    re-execute a witness stimulus against the netlist
