@@ -98,7 +98,20 @@ wait "$PSMD_PID"   # psmd must drain and exit 0
 
 echo "==> psmbench: quick regression gate vs checked-in baseline"
 cargo build --offline --release -p psm-bench --bin psmbench
+# Thread scaling is only a meaningful assertion when the host actually
+# has more than one core; a 1-core runner caps every t2 speedup at ~1.0
+# no matter how good the engine is, so the gate would only measure the
+# scheduler. Skip it loudly there instead of asserting noise.
+NPROC="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$NPROC" -ge 2 ]; then
+    echo "    host has $NPROC cores: enforcing flow_train t2 speedup >= 1.2x"
+    SPEEDUP_FLAGS="--min-flow-speedup 1.2"
+else
+    echo "    SKIPPING thread-scaling gate: 1-core host cannot scale (nproc=$NPROC)"
+    SPEEDUP_FLAGS=""
+fi
+# shellcheck disable=SC2086  # SPEEDUP_FLAGS is intentionally word-split
 ./target/release/psmbench --quick --out target/BENCH_ci.json \
-    --baseline BENCH_psmgen.json --max-regress 25
+    --baseline BENCH_psmgen.json --max-regress 25 $SPEEDUP_FLAGS
 
 echo "CI gate passed"

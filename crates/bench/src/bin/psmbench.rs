@@ -47,6 +47,10 @@ Options:
   --retries <n>        when the baseline check fails, re-measure up to <n>
                        times and keep each scenario's best run, so transient
                        host load cannot fail the gate (default 1)
+  --min-flow-speedup <x>
+                       fail (exit 1) when any multi-threaded flow_train
+                       scenario's speedup_vs_1_thread is below <x>; only
+                       meaningful on hosts with 2+ cores
   --list               print the scenario names and exit
   -h, --help           show this help";
 
@@ -58,6 +62,7 @@ struct Options {
     baseline: Option<String>,
     max_regress: f64,
     retries: u32,
+    min_flow_speedup: Option<f64>,
     list: bool,
 }
 
@@ -70,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         max_regress: 25.0,
         retries: 1,
+        min_flow_speedup: None,
         list: false,
     };
     let mut it = args.iter();
@@ -103,6 +109,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--retries" => {
                 let v = it.next().ok_or("--retries needs a number")?;
                 opts.retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+            }
+            "--min-flow-speedup" => {
+                let v = it.next().ok_or("--min-flow-speedup needs a number")?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --min-flow-speedup `{v}`"))?;
+                if !x.is_finite() || x <= 0.0 {
+                    return Err(format!("bad --min-flow-speedup `{v}`"));
+                }
+                opts.min_flow_speedup = Some(x);
             }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -150,10 +166,11 @@ fn scenario_json(name: &str, r: &ScenarioResult) -> JsonValue {
         fields.push(("speedup_vs_1_thread".into(), JsonValue::from_f64(s)));
     }
     if !r.stages.is_empty() {
-        let stages = r.stages.iter().map(|(stage, ns)| {
+        let stages = r.stages.iter().map(|(stage, total_ns, wall_ns)| {
             JsonValue::obj([
                 ("stage", JsonValue::from(stage.as_str())),
-                ("total_ns", JsonValue::from(*ns)),
+                ("total_ns", JsonValue::from(*total_ns)),
+                ("wall_ns", JsonValue::from(*wall_ns)),
             ])
         });
         fields.push(("stages".into(), JsonValue::arr(stages)));
@@ -237,6 +254,19 @@ fn regressions(
         }
     }
     bad
+}
+
+/// Multi-threaded `flow_train` scenarios whose `speedup_vs_1_thread`
+/// falls below the floor, as `(name, speedup)`.
+fn slow_flows(results: &[(String, ScenarioResult)], floor: f64) -> Vec<(String, f64)> {
+    results
+        .iter()
+        .filter(|(name, r)| name.starts_with("flow_train_t") && r.threads.is_some_and(|t| t > 1))
+        .filter_map(|(name, r)| {
+            let s = r.speedup_vs_1_thread?;
+            (s < floor).then(|| (name.clone(), s))
+        })
+        .collect()
 }
 
 /// Per-scenario best of two suite runs (smaller median wins). A genuine
@@ -363,6 +393,21 @@ fn main() -> ExitCode {
                 eprintln!(
                     "psmbench: REGRESSION {name}: median {change:+.1}% vs baseline (limit +{:.1}%)",
                     opts.max_regress
+                );
+            }
+            failed = true;
+        }
+    }
+
+    if let Some(floor) = opts.min_flow_speedup {
+        let slow = slow_flows(&results, floor);
+        if slow.is_empty() {
+            println!("psmbench: every multi-threaded flow_train scenario scales >= {floor:.2}x");
+        } else {
+            for (name, s) in &slow {
+                eprintln!(
+                    "psmbench: SCALING FAILURE {name}: speedup_vs_1_thread {s:.2}x \
+                     below the required {floor:.2}x"
                 );
             }
             failed = true;

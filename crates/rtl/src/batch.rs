@@ -1,0 +1,1111 @@
+//! Bit-parallel (64-lane) gate-level simulation and capture.
+//!
+//! The scalar [`Simulator`](crate::Simulator) settles one stimulus per run,
+//! one `bool` per net per cycle. Training, however, captures *many
+//! independent stimuli over the same netlist* — a workload that is
+//! embarrassingly parallel at the bit level. [`BatchSimulator`] packs up to
+//! 64 independent stimuli into one `u64` **lane word** per net
+//! (struct-of-arrays: `values[net]` holds lane `l`'s value in bit `l`) and
+//! evaluates the levelized netlist with whole-word bitwise operations, so
+//! one AND instruction advances a gate for all lanes at once.
+//!
+//! Switching-activity accounting stays *per lane* and **bit-identical** to
+//! the scalar engine: every capacitance contribution is scattered to the
+//! toggling lanes in exactly the order the scalar simulator would have
+//! accumulated it, so the resulting [`CycleActivity`] values — and every
+//! model trained from them — are byte-for-byte the same. The equivalence is
+//! pinned by `tests/batch_equivalence.rs`.
+//!
+//! The scalar engine remains the independent reference implementation (and
+//! the substrate of the exhaustive bounded-model-checking search in
+//! `psm-analyze`, which forks simulators per input assignment); the batch
+//! engine is the capture hot path. See `DESIGN.md` §3 for the lane layout.
+
+use crate::gate::{GateKind, NetId};
+use crate::harness::{CaptureResult, HierarchicalCapture, Stimulus};
+use crate::levelize::levelize;
+use crate::netlist::{MemoryMacro, Netlist};
+use crate::power::{CycleActivity, PowerEstimator, PowerModel};
+use crate::sim::{PortHandle, Simulator};
+use crate::RtlError;
+use psm_trace::{Bits, Direction, FunctionalTrace, PowerTrace};
+use std::collections::HashMap;
+
+/// One compiled combinational cell, packed into a fixed 32 bytes so the
+/// levelized tape stays cache-dense: opcode, power domain, output net,
+/// three operand slots and the output capacitance. Two-input cells use
+/// `a`/`b` as net indices; a mux adds `c`; a LUT reads its input list and
+/// table from the shared pools (`a` = input-pool offset, `b` = input
+/// count, `c` = table-pool offset), keeping the tape free of pointers.
+struct Op {
+    cap: f64,
+    out: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    kind: u8,
+    dom: u16,
+}
+
+/// Opcodes below 16 ARE the cell's 4-bit truth table over `(a, b)` —
+/// bit index `a | b << 1` — so every one/two-input cell evaluates through
+/// one branchless mask-expansion path and the only data-dependent branch
+/// in the hot loop is the rare "is this a mux or LUT" test.
+const OP_TT_BUF: u8 = 0b1010;
+const OP_TT_NOT: u8 = 0b0101;
+const OP_TT_AND2: u8 = 0b1000;
+const OP_TT_OR2: u8 = 0b1110;
+const OP_TT_XOR2: u8 = 0b0110;
+const OP_TT_NAND2: u8 = 0b0111;
+const OP_TT_NOR2: u8 = 0b0001;
+/// `out = sel ? b : a`, lane-wise; `a`=sel, `b`=low input, `c`=high input.
+const OP_MUX2: u8 = 16;
+/// Per-lane table lookup (ROMs, S-boxes) out of the LUT pools.
+const OP_LUT: u8 = 17;
+
+/// A primary-input net staged for the next step: the new value and the
+/// lanes that staged it, in the scalar engine's staging order.
+struct StagedNet {
+    net: u32,
+    value: u64,
+    care: u64,
+}
+
+/// Cycle-based gate-level simulator over up to 64 independent stimulus
+/// lanes.
+///
+/// Each lane is a fully independent simulation of the same netlist: lane
+/// `l` of every net word carries that lane's value, flip-flop state,
+/// memory contents and activity accounting. [`step`](BatchSimulator::step)
+/// advances all lanes by one clock cycle using whole-word bitwise
+/// evaluation of the levelized logic; the per-lane [`CycleActivity`]
+/// results are bit-identical to what the scalar
+/// [`Simulator`](crate::Simulator) produces for each stimulus on its own.
+///
+/// # Examples
+///
+/// Two lanes of a 4-bit accumulator, stepped together:
+///
+/// ```
+/// use psm_rtl::{BatchSimulator, NetlistBuilder};
+/// use psm_trace::Bits;
+///
+/// let mut b = NetlistBuilder::new("acc4");
+/// let d = b.input("d", 4);
+/// let acc = b.register("acc", 4);
+/// let sum = b.add(&acc.q(), &d);
+/// b.connect_register(&acc, &sum.sum);
+/// b.output("q", &acc.q());
+/// let netlist = b.finish()?;
+///
+/// let mut sim = BatchSimulator::new(&netlist, 2)?;
+/// let d = sim.port_handle("d")?;
+/// for _ in 0..3 {
+///     sim.set_input(0, d, &Bits::from_u64(1, 4))?; // lane 0 adds 1
+///     sim.set_input(1, d, &Bits::from_u64(2, 4))?; // lane 1 adds 2
+///     sim.step();
+/// }
+/// let q = sim.port_handle("q")?;
+/// assert_eq!(sim.output_by_handle(0, q).to_u64()?, 2);
+/// assert_eq!(sim.output_by_handle(1, q).to_u64()?, 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BatchSimulator<'a> {
+    netlist: &'a Netlist,
+    ops: Vec<Op>,
+    /// Flattened LUT input lists, referenced by [`Op::a`]/[`Op::b`].
+    lut_inputs: Vec<u32>,
+    /// Flattened LUT truth tables, referenced by [`Op::c`].
+    lut_tables: Vec<u64>,
+    lanes: usize,
+    /// Mask with one bit set per active lane.
+    active: u64,
+    /// Lane word per net (struct-of-arrays layout).
+    values: Vec<u64>,
+    /// Lane word per flip-flop: next `q`, sampled at the previous edge.
+    pending_q: Vec<u64>,
+    /// Per-macro, lane-major storage: `mem_base[mi] + lane * words + addr`.
+    mem_contents: Vec<u64>,
+    mem_base: Vec<usize>,
+    /// Next read-register value, `[mi * 64 + lane]`.
+    mem_pending: Vec<u64>,
+    /// Previous-cycle bus values, `[mi * 64 + lane]`.
+    mem_prev_addr: Vec<usize>,
+    mem_prev_wdata: Vec<u64>,
+    staged: Vec<StagedNet>,
+    /// Per net: 1 + index into `staged`, or 0 when not staged this cycle.
+    staged_slot: Vec<u32>,
+    /// Per-lane switched capacitance of the last step.
+    caps: Vec<f64>,
+    /// Per-lane toggle count of the last step.
+    toggles: Vec<u32>,
+    /// Per-domain, per-lane switched capacitance: `[dom * 64 + lane]`.
+    /// Empty when domain tracking is disabled (total-only captures skip
+    /// the extra accumulate per toggling lane).
+    dom_caps: Vec<f64>,
+    /// Step-scoped toggle compaction buffer, one slot per op. The eval
+    /// loop appends `(cap, toggle mask, domain)` branch-free; the scatter
+    /// pass then walks only the compacted prefix, in op order.
+    toggled: Vec<(f64, u64, u16)>,
+    /// Clock-tree capacitance added to every lane every cycle, computed
+    /// with the scalar engine's exact expression.
+    clock_cap_total: f64,
+    /// Per-domain clock-tree base, accumulated in the scalar engine's
+    /// exact per-cell order.
+    clock_dom_base: Vec<f64>,
+    activities: Vec<CycleActivity>,
+    port_index: HashMap<String, usize>,
+    cycle: u64,
+}
+
+impl<'a> BatchSimulator<'a> {
+    /// The lane capacity of one batch: the width of the `u64` lane word.
+    pub const MAX_LANES: usize = 64;
+
+    /// Prepares a batch simulator for `lanes` independent stimuli
+    /// (levelizing and compiling the netlist's logic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::CombinationalLoop`] on cyclic combinational
+    /// logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes` is zero or exceeds
+    /// [`MAX_LANES`](Self::MAX_LANES).
+    pub fn new(netlist: &'a Netlist, lanes: usize) -> Result<Self, RtlError> {
+        Self::with_domain_tracking(netlist, lanes, true)
+    }
+
+    /// Like [`new`](Self::new), but optionally without per-domain
+    /// accounting: total-only capture paths skip one accumulate per
+    /// toggling lane per cell. With tracking off,
+    /// [`domain_activity`](Self::domain_activity) panics.
+    pub(crate) fn with_domain_tracking(
+        netlist: &'a Netlist,
+        lanes: usize,
+        track_domains: bool,
+    ) -> Result<Self, RtlError> {
+        assert!(
+            (1..=Self::MAX_LANES).contains(&lanes),
+            "lanes must be in 1..={}, got {lanes}",
+            Self::MAX_LANES
+        );
+        let order = levelize(netlist)?;
+        let gates = netlist.gates();
+        let gate_domains = netlist.gate_domains();
+        let mut lut_inputs: Vec<u32> = Vec::new();
+        let mut lut_tables: Vec<u64> = Vec::new();
+        let ops: Vec<Op> = order
+            .iter()
+            .map(|&gi| {
+                let g = &gates[gi];
+                let pin = |k: usize| g.inputs[k].index() as u32;
+                let (kind, a, b, c) = match &g.kind {
+                    // One-input cells repeat `a` in the `b` slot so the
+                    // uniform two-load path stays in bounds; their tables
+                    // ignore the second operand.
+                    GateKind::Buf => (OP_TT_BUF, pin(0), pin(0), 0),
+                    GateKind::Not => (OP_TT_NOT, pin(0), pin(0), 0),
+                    GateKind::And2 => (OP_TT_AND2, pin(0), pin(1), 0),
+                    GateKind::Or2 => (OP_TT_OR2, pin(0), pin(1), 0),
+                    GateKind::Xor2 => (OP_TT_XOR2, pin(0), pin(1), 0),
+                    GateKind::Nand2 => (OP_TT_NAND2, pin(0), pin(1), 0),
+                    GateKind::Nor2 => (OP_TT_NOR2, pin(0), pin(1), 0),
+                    GateKind::Mux2 => (OP_MUX2, pin(0), pin(1), pin(2)),
+                    GateKind::Lut { table } => {
+                        let in_off = lut_inputs.len() as u32;
+                        lut_inputs.extend(g.inputs.iter().map(|n| n.index() as u32));
+                        let tab_off = lut_tables.len() as u32;
+                        lut_tables.extend_from_slice(table);
+                        (OP_LUT, in_off, g.inputs.len() as u32, tab_off)
+                    }
+                };
+                Op {
+                    cap: g.kind.capacitance_ff(),
+                    out: g.output.index() as u32,
+                    a,
+                    b,
+                    c,
+                    kind,
+                    dom: gate_domains[gi] as u16,
+                }
+            })
+            .collect();
+
+        // The scalar engine's per-step clock constants, reproduced with the
+        // same expressions so per-lane accounting starts from identical
+        // floating-point values.
+        let clock_cap_total = netlist.dffs().len() as f64 * Simulator::CLOCK_PIN_CAP_FF
+            + netlist.memories().len() as f64 * MemoryMacro::CLOCK_CAP_FF;
+        let mut clock_dom_base = vec![0.0f64; netlist.domains().len()];
+        for &dom in netlist.dff_domains() {
+            clock_dom_base[dom] += Simulator::CLOCK_PIN_CAP_FF;
+        }
+        for &dom in netlist.mem_domains() {
+            clock_dom_base[dom] += MemoryMacro::CLOCK_CAP_FF;
+        }
+
+        let mut mem_base = Vec::with_capacity(netlist.memories().len());
+        let mut mem_words = 0usize;
+        for m in netlist.memories() {
+            mem_base.push(mem_words);
+            mem_words += m.words() * lanes;
+        }
+
+        let toggled: Vec<(f64, u64, u16)> = vec![(0.0, 0, 0); ops.len()];
+        let mut sim = BatchSimulator {
+            netlist,
+            ops,
+            toggled,
+            lut_inputs,
+            lut_tables,
+            lanes,
+            active: if lanes == Self::MAX_LANES {
+                !0
+            } else {
+                (1u64 << lanes) - 1
+            },
+            values: vec![0; netlist.net_count()],
+            pending_q: vec![0; netlist.dffs().len()],
+            mem_contents: vec![0; mem_words],
+            mem_base,
+            mem_pending: vec![0; netlist.memories().len() * 64],
+            mem_prev_addr: vec![0; netlist.memories().len() * 64],
+            mem_prev_wdata: vec![0; netlist.memories().len() * 64],
+            staged: Vec::new(),
+            staged_slot: vec![0; netlist.net_count()],
+            caps: vec![0.0; 64],
+            toggles: vec![0; 64],
+            dom_caps: if track_domains {
+                vec![0.0; netlist.domains().len() * 64]
+            } else {
+                Vec::new()
+            },
+            clock_cap_total,
+            clock_dom_base,
+            activities: vec![CycleActivity::default(); lanes],
+            port_index: netlist
+                .ports()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name().to_owned(), i))
+                .collect(),
+            cycle: 0,
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// Number of active lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of completed cycles since reset.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Returns every lane to the post-reset state: all nets low, registers
+    /// at their initial values, memories zeroed, no staged inputs.
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+        self.values[Netlist::CONST1.index()] = !0;
+        for (d, pending) in self.netlist.dffs().iter().zip(&mut self.pending_q) {
+            let word = if d.init { !0 } else { 0 };
+            *pending = word;
+            self.values[d.q.index()] = word;
+        }
+        self.mem_contents.iter_mut().for_each(|v| *v = 0);
+        self.mem_pending.iter_mut().for_each(|v| *v = 0);
+        self.mem_prev_addr.iter_mut().for_each(|v| *v = 0);
+        self.mem_prev_wdata.iter_mut().for_each(|v| *v = 0);
+        for s in self.staged.drain(..) {
+            self.staged_slot[s.net as usize] = 0;
+        }
+        self.cycle = 0;
+    }
+
+    /// Resolves a port name once, for hot-loop stimulus application.
+    /// Handles are interchangeable with the scalar
+    /// [`Simulator`](crate::Simulator)'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownPort`] for undeclared names.
+    pub fn port_handle(&self, name: &str) -> Result<PortHandle, RtlError> {
+        self.port_index
+            .get(name)
+            .copied()
+            .map(PortHandle::from_index)
+            .ok_or_else(|| RtlError::UnknownPort(name.to_owned()))
+    }
+
+    /// Iterates over input port handles in declaration order.
+    pub fn input_handles(&self) -> Vec<(String, PortHandle)> {
+        self.netlist
+            .ports()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.direction() == Direction::Input)
+            .map(|(i, p)| (p.name().to_owned(), PortHandle::from_index(i)))
+            .collect()
+    }
+
+    /// Stages a value on an input port of one lane; it takes effect at the
+    /// next [`step`](BatchSimulator::step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::PortWidthMismatch`] when the value's width
+    /// differs from the port's.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn set_input(&mut self, lane: usize, h: PortHandle, value: &Bits) -> Result<(), RtlError> {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        let port = &self.netlist.ports()[h.index()];
+        if port.width() != value.width() {
+            return Err(RtlError::PortWidthMismatch {
+                port: port.name().to_owned(),
+                expected: port.width(),
+                actual: value.width(),
+            });
+        }
+        let lane_bit = 1u64 << lane;
+        for (i, &net) in port.nets().iter().enumerate() {
+            let idx = net.index();
+            let slot = self.staged_slot[idx];
+            let entry = if slot == 0 {
+                self.staged.push(StagedNet {
+                    net: idx as u32,
+                    value: 0,
+                    care: 0,
+                });
+                self.staged_slot[idx] = self.staged.len() as u32;
+                self.staged.last_mut().expect("just pushed")
+            } else {
+                &mut self.staged[slot as usize - 1]
+            };
+            entry.care |= lane_bit;
+            if value.bit(i) {
+                entry.value |= lane_bit;
+            } else {
+                entry.value &= !lane_bit;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatters one capacitance contribution to every toggling lane, in
+    /// lane order — the per-lane equivalent of the scalar engine's single
+    /// `+=`, so each lane sees the same f64 addition sequence.
+    ///
+    /// Only lanes whose mask bit is set are touched (a `trailing_zeros`
+    /// walk), so the cost scales with how many lanes actually toggled,
+    /// not with the batch width. `dom_caps` is empty when domain tracking
+    /// is off, which removes one accumulate per toggling lane.
+    #[inline]
+    fn scatter(
+        caps: &mut [f64],
+        dom_caps: &mut [f64],
+        toggles: &mut [u32],
+        dom: usize,
+        mut mask: u64,
+        cap: f64,
+    ) {
+        if dom_caps.is_empty() {
+            while mask != 0 {
+                let l = mask.trailing_zeros() as usize;
+                caps[l] += cap;
+                toggles[l] += 1;
+                mask &= mask - 1;
+            }
+        } else {
+            while mask != 0 {
+                let l = mask.trailing_zeros() as usize;
+                caps[l] += cap;
+                dom_caps[dom * 64 + l] += cap;
+                toggles[l] += 1;
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    /// Runs one clock cycle on every lane.
+    ///
+    /// The phase order matches the scalar engine exactly: clock tree,
+    /// flip-flop/macro edge, staged inputs, levelized combinational
+    /// settle, memory-access accounting, flip-flop sampling. Per-lane
+    /// activity is then available from
+    /// [`activities`](BatchSimulator::activities) and
+    /// [`domain_activity`](BatchSimulator::domain_activity).
+    pub fn step(&mut self) {
+        let active = self.active;
+        let lanes = self.lanes;
+        let dff_cap = Netlist::dff_capacitance_ff();
+
+        // Clock tree: identical constants for every lane, accumulated with
+        // the scalar engine's expressions.
+        for l in 0..lanes {
+            self.caps[l] = self.clock_cap_total;
+            self.toggles[l] = 0;
+        }
+        if !self.dom_caps.is_empty() {
+            for (d, &base) in self.clock_dom_base.iter().enumerate() {
+                for l in 0..lanes {
+                    self.dom_caps[d * 64 + l] = base;
+                }
+            }
+        }
+
+        // 1. Clock edge: apply pending flip-flop and macro outputs.
+        for ((dff, &q), &dom) in self
+            .netlist
+            .dffs()
+            .iter()
+            .zip(&self.pending_q)
+            .zip(self.netlist.dff_domains())
+        {
+            let idx = dff.q.index();
+            let old = self.values[idx];
+            let mask = (old ^ q) & active;
+            if mask != 0 {
+                self.values[idx] = (old & !active) | (q & active);
+                Self::scatter(
+                    &mut self.caps,
+                    &mut self.dom_caps,
+                    &mut self.toggles,
+                    dom,
+                    mask,
+                    dff_cap,
+                );
+            }
+        }
+        for (mi, mem) in self.netlist.memories().iter().enumerate() {
+            let dom = self.netlist.mem_domains()[mi];
+            for (bit, net) in mem.rdata.iter().enumerate() {
+                let mut word = 0u64;
+                for l in 0..self.lanes {
+                    word |= (self.mem_pending[mi * 64 + l] >> bit & 1) << l;
+                }
+                let idx = net.index();
+                let old = self.values[idx];
+                let mask = (old ^ word) & active;
+                if mask != 0 {
+                    self.values[idx] = (old & !active) | (word & active);
+                    Self::scatter(
+                        &mut self.caps,
+                        &mut self.dom_caps,
+                        &mut self.toggles,
+                        dom,
+                        mask,
+                        MemoryMacro::RDATA_CAP_FF,
+                    );
+                }
+            }
+        }
+
+        // 2. Apply staged inputs in staging order (port-major, LSB-first —
+        //    the order every lane's scalar run would use).
+        const INPUT_WIRE_CAP_FF: f64 = 0.5;
+        for s in &self.staged {
+            let idx = s.net as usize;
+            let old = self.values[idx];
+            let new = (old & !s.care) | (s.value & s.care);
+            let mask = old ^ new;
+            if mask != 0 {
+                self.values[idx] = new;
+                Self::scatter(
+                    &mut self.caps,
+                    &mut self.dom_caps,
+                    &mut self.toggles,
+                    0,
+                    mask,
+                    INPUT_WIRE_CAP_FF,
+                );
+            }
+            self.staged_slot[idx] = 0;
+        }
+        self.staged.clear();
+
+        // 3. Settle combinational logic in levelized order, whole words at
+        //    a time — one dispatch per packed op, straight-line bitwise
+        //    evaluation over the lane words. Whether a cell toggled is
+        //    data-dependent and unpredictable, so instead of branching
+        //    into the accounting per op, every op unconditionally writes
+        //    its `(cap, mask, domain)` record to the compaction buffer and
+        //    a flag-add advances the cursor only when the mask is nonzero;
+        //    the scatter pass below then walks just the toggled prefix.
+        //    Stable compaction keeps per-lane cap sums in exact op order,
+        //    preserving bit-identity with the scalar engine.
+        let mut n_toggled = 0usize;
+        for op in &self.ops {
+            let a = op.a as usize;
+            let b = op.b as usize;
+            let v = &self.values;
+            let new = if op.kind < 16 {
+                // Truth-table cell: expand each table bit to a full lane
+                // mask and select — no data-dependent branch on the kind.
+                let va = v[a];
+                let vb = v[b];
+                let t = op.kind as u64;
+                ((t & 1).wrapping_neg() & !va & !vb)
+                    | ((t >> 1 & 1).wrapping_neg() & va & !vb)
+                    | ((t >> 2 & 1).wrapping_neg() & !va & vb)
+                    | ((t >> 3 & 1).wrapping_neg() & va & vb)
+            } else {
+                match op.kind {
+                    OP_MUX2 => {
+                        let s = v[a];
+                        (s & v[op.c as usize]) | (!s & v[b])
+                    }
+                    _ => {
+                        let inputs = &self.lut_inputs[a..a + op.b as usize];
+                        let table = &self.lut_tables[op.c as usize..];
+                        let mut word = 0u64;
+                        for l in 0..self.lanes {
+                            let mut idx = 0usize;
+                            for (k, &input) in inputs.iter().enumerate() {
+                                idx |= ((v[input as usize] >> l & 1) as usize) << k;
+                            }
+                            word |= (table[idx / 64] >> (idx % 64) & 1) << l;
+                        }
+                        word
+                    }
+                }
+            };
+            let out = op.out as usize;
+            let old = self.values[out];
+            let mask = (old ^ new) & active;
+            self.toggled[n_toggled] = (op.cap, mask, op.dom);
+            n_toggled += usize::from(mask != 0);
+            self.values[out] = (old & !active) | (new & active);
+        }
+        for i in 0..n_toggled {
+            let (cap, mask, dom) = self.toggled[i];
+            Self::scatter(
+                &mut self.caps,
+                &mut self.dom_caps,
+                &mut self.toggles,
+                dom as usize,
+                mask,
+                cap,
+            );
+        }
+
+        // 3b. Memory-macro accesses, per macro then per lane so each
+        //     lane's additions arrive in the scalar engine's order.
+        for (mi, mem) in self.netlist.memories().iter().enumerate() {
+            let dom = self.netlist.mem_domains()[mi];
+            let words = mem.words();
+            for l in 0..self.lanes {
+                let lane_bit = |net: NetId| self.values[net.index()] >> l & 1;
+                let mut addr = 0usize;
+                for (bit, net) in mem.addr.iter().enumerate() {
+                    addr |= (lane_bit(*net) as usize) << bit;
+                }
+                let we = lane_bit(mem.we) == 1;
+                let re = lane_bit(mem.re) == 1;
+                let clear = lane_bit(mem.clear) == 1;
+                let cell = self.mem_base[mi] + l * words + addr;
+                let stored = self.mem_contents[cell];
+                let mut wdata_now = 0u64;
+                for (bit, net) in mem.wdata.iter().enumerate() {
+                    wdata_now |= lane_bit(*net) << bit;
+                }
+                let prev_addr = self.mem_prev_addr[mi * 64 + l];
+                let prev_wdata = self.mem_prev_wdata[mi * 64 + l];
+                let mut mem_cap = 0.0;
+                mem_cap += MemoryMacro::ADDR_BUS_CAP_FF * ((prev_addr ^ addr).count_ones()) as f64;
+                mem_cap +=
+                    MemoryMacro::WDATA_BUS_CAP_FF * ((prev_wdata ^ wdata_now).count_ones()) as f64;
+                self.mem_prev_addr[mi * 64 + l] = addr;
+                self.mem_prev_wdata[mi * 64 + l] = wdata_now;
+                if re || we {
+                    mem_cap += MemoryMacro::WORDLINE_CAP_FF
+                        + MemoryMacro::ACCESS_CAP_PER_BIT_FF * mem.width() as f64;
+                }
+                if we {
+                    let flipped = (stored ^ wdata_now).count_ones();
+                    mem_cap += MemoryMacro::WRITE_CELL_CAP_FF * flipped as f64;
+                    self.mem_contents[cell] = wdata_now;
+                }
+                self.caps[l] += mem_cap;
+                if !self.dom_caps.is_empty() {
+                    self.dom_caps[dom * 64 + l] += mem_cap;
+                }
+                if clear {
+                    self.mem_pending[mi * 64 + l] = 0;
+                } else if re {
+                    self.mem_pending[mi * 64 + l] = stored;
+                }
+            }
+        }
+
+        // 4. Sample flip-flop inputs for the next edge.
+        for (dff, pending) in self.netlist.dffs().iter().zip(&mut self.pending_q) {
+            *pending = self.values[dff.d.index()];
+        }
+
+        self.cycle += 1;
+        for l in 0..self.lanes {
+            self.activities[l] = CycleActivity {
+                switched_capacitance_ff: self.caps[l],
+                toggled_nets: self.toggles[l],
+            };
+        }
+    }
+
+    /// Per-lane switching activity of the most recent
+    /// [`step`](BatchSimulator::step), indexed by lane.
+    pub fn activities(&self) -> &[CycleActivity] {
+        &self.activities
+    }
+
+    /// Switched capacitance per power domain of one lane during the most
+    /// recent [`step`](BatchSimulator::step) (fF), indexed like
+    /// [`Netlist::domains`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn domain_activity(&self, lane: usize) -> Vec<f64> {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        assert!(
+            self.dom_caps.len() >= self.netlist.domains().len() * 64,
+            "domain tracking is disabled for this batch"
+        );
+        (0..self.netlist.domains().len())
+            .map(|d| self.dom_caps[d * 64 + lane])
+            .collect()
+    }
+
+    /// Reads the settled value of a port on one lane for the current
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn output_by_handle(&self, lane: usize, h: PortHandle) -> Bits {
+        assert!(lane < self.lanes, "lane {lane} of {}", self.lanes);
+        let port = &self.netlist.ports()[h.index()];
+        let nets = port.nets();
+        let mut words = [0u64; 4];
+        let mut spill: Vec<u64>;
+        let words: &mut [u64] = if nets.len() <= 256 {
+            &mut words[..nets.len().div_ceil(64)]
+        } else {
+            spill = vec![0; nets.len().div_ceil(64)];
+            &mut spill
+        };
+        for (i, net) in nets.iter().enumerate() {
+            words[i / 64] |= (self.values[net.index()] >> lane & 1) << (i % 64);
+        }
+        Bits::from_words(words, nets.len())
+    }
+
+    /// Reads every port of one lane in declaration order — one
+    /// functional-trace cycle, identical to the scalar engine's
+    /// [`sample_ports`](crate::Simulator::sample_ports).
+    pub fn sample_ports(&self, lane: usize) -> Vec<Bits> {
+        (0..self.netlist.ports().len())
+            .map(|i| self.output_by_handle(lane, PortHandle::from_index(i)))
+            .collect()
+    }
+}
+
+/// Captures paired functional + power traces for many stimuli in one
+/// bit-parallel run — the batch twin of
+/// [`capture_traces`](crate::capture_traces).
+///
+/// Stimuli are packed 64 to a lane word; result `i` is byte-identical to
+/// `capture_traces(netlist, model, &stimuli[i], seeds[i])`. Stimuli of
+/// different lengths may share a batch: each lane stops recording at its
+/// own length.
+///
+/// # Errors
+///
+/// Same conditions as [`capture_traces`](crate::capture_traces). A
+/// malformed stimulus fails the whole call (the lowest lane's error wins),
+/// not just its own lane.
+///
+/// # Panics
+///
+/// Panics when `seeds.len() != stimuli.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use psm_rtl::{capture_traces, capture_traces_batch, NetlistBuilder, PowerModel, Stimulus};
+/// use psm_trace::Bits;
+///
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a", 1);
+/// let y = b.not_word(&a);
+/// b.output("y", &y);
+/// let n = b.finish()?;
+///
+/// let stimuli: Vec<Stimulus> = (0..3)
+///     .map(|k| (0..4).map(|i| vec![Bits::from_u64((i + k) % 2, 1)]).collect())
+///     .collect();
+/// let batch = capture_traces_batch(&n, &PowerModel::default(), &stimuli, &[7, 8, 9])?;
+/// for (k, result) in batch.iter().enumerate() {
+///     let scalar = capture_traces(&n, &PowerModel::default(), &stimuli[k], 7 + k as u64)?;
+///     assert_eq!(result.power, scalar.power);
+///     assert_eq!(result.functional, scalar.functional);
+/// }
+/// # Ok::<(), psm_rtl::RtlError>(())
+/// ```
+pub fn capture_traces_batch(
+    netlist: &Netlist,
+    model: &PowerModel,
+    stimuli: &[Stimulus],
+    seeds: &[u64],
+) -> Result<Vec<CaptureResult>, RtlError> {
+    assert_eq!(
+        stimuli.len(),
+        seeds.len(),
+        "one noise seed per stimulus is required"
+    );
+    let mut out = Vec::with_capacity(stimuli.len());
+    for (chunk, chunk_seeds) in stimuli
+        .chunks(BatchSimulator::MAX_LANES)
+        .zip(seeds.chunks(BatchSimulator::MAX_LANES))
+    {
+        // Total-only capture: skip the per-domain accounting entirely —
+        // the per-lane total is unaffected (see `scatter`).
+        capture_group(netlist, model, chunk, chunk_seeds, false, &mut out)?;
+    }
+    Ok(out
+        .into_iter()
+        .map(|h| CaptureResult {
+            functional: h.functional,
+            power: h.total,
+        })
+        .collect())
+}
+
+/// Like [`capture_traces_batch`], additionally recording one golden power
+/// trace per power domain — the batch twin of
+/// [`capture_traces_by_domain`](crate::capture_traces_by_domain), with the
+/// same per-domain estimator seeding (`seed ^ (0xD00D + domain)`).
+///
+/// # Errors
+///
+/// Same conditions as [`capture_traces_batch`].
+///
+/// # Panics
+///
+/// Panics when `seeds.len() != stimuli.len()`.
+pub fn capture_traces_by_domain_batch(
+    netlist: &Netlist,
+    model: &PowerModel,
+    stimuli: &[Stimulus],
+    seeds: &[u64],
+) -> Result<Vec<HierarchicalCapture>, RtlError> {
+    assert_eq!(
+        stimuli.len(),
+        seeds.len(),
+        "one noise seed per stimulus is required"
+    );
+    let mut out = Vec::with_capacity(stimuli.len());
+    for (chunk, chunk_seeds) in stimuli
+        .chunks(BatchSimulator::MAX_LANES)
+        .zip(seeds.chunks(BatchSimulator::MAX_LANES))
+    {
+        capture_group(netlist, model, chunk, chunk_seeds, true, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Captures one lane group (≤ 64 stimuli) in a single batch run. With
+/// `track_domains` off, the per-domain traces are left empty and the
+/// engine skips domain accounting altogether.
+fn capture_group(
+    netlist: &Netlist,
+    model: &PowerModel,
+    stimuli: &[Stimulus],
+    seeds: &[u64],
+    track_domains: bool,
+    out: &mut Vec<HierarchicalCapture>,
+) -> Result<(), RtlError> {
+    let lanes = stimuli.len();
+    if lanes == 0 {
+        return Ok(());
+    }
+    let mut sim = BatchSimulator::with_domain_tracking(netlist, lanes, track_domains)?;
+    let n_domains = if track_domains {
+        netlist.domains().len()
+    } else {
+        0
+    };
+    // Per-lane estimators, seeded exactly as the scalar capture seeds its
+    // per-stimulus estimators: the baseline lives in domain 0 only.
+    let zero_base = PowerModel::new(
+        model.vdd(),
+        model.freq_mhz(),
+        f64::MIN_POSITIVE,
+        model.noise_fraction(),
+    );
+    let mut estimators: Vec<PowerEstimator> = seeds
+        .iter()
+        .map(|&seed| PowerEstimator::new(*model, seed))
+        .collect();
+    let mut domain_estimators: Vec<Vec<PowerEstimator>> = seeds
+        .iter()
+        .map(|&seed| {
+            (0..n_domains)
+                .map(|d| {
+                    let m = if d == 0 { *model } else { zero_base };
+                    PowerEstimator::new(m, seed ^ (0xD0_0D + d as u64))
+                })
+                .collect()
+        })
+        .collect();
+
+    let input_handles = sim.input_handles();
+    let rows: Vec<Vec<&[Bits]>> = stimuli.iter().map(|s| s.iter().collect()).collect();
+    let mut functional: Vec<FunctionalTrace> = stimuli
+        .iter()
+        .map(|s| FunctionalTrace::with_capacity(netlist.signal_set(), s.len()))
+        .collect();
+    let mut total: Vec<PowerTrace> = stimuli
+        .iter()
+        .map(|s| PowerTrace::with_capacity(s.len()))
+        .collect();
+    let mut by_domain: Vec<Vec<PowerTrace>> = stimuli
+        .iter()
+        .map(|s| {
+            (0..n_domains)
+                .map(|_| PowerTrace::with_capacity(s.len()))
+                .collect()
+        })
+        .collect();
+
+    let max_len = stimuli.iter().map(Stimulus::len).max().unwrap_or(0);
+    for t in 0..max_len {
+        for lane_rows in &rows {
+            let Some(cycle_inputs) = lane_rows.get(t) else {
+                continue;
+            };
+            if cycle_inputs.len() != input_handles.len() {
+                return Err(RtlError::Trace(psm_trace::TraceError::CycleShapeMismatch {
+                    expected: input_handles.len(),
+                    actual: cycle_inputs.len(),
+                }));
+            }
+        }
+        // Port-major, lane-minor staging keeps each lane's staged-net
+        // order identical to its scalar run.
+        for (p, (_, handle)) in input_handles.iter().enumerate() {
+            for (l, lane_rows) in rows.iter().enumerate() {
+                if let Some(cycle_inputs) = lane_rows.get(t) {
+                    sim.set_input(l, *handle, &cycle_inputs[p])?;
+                }
+            }
+        }
+        sim.step();
+        for (l, stim) in stimuli.iter().enumerate() {
+            if t >= stim.len() {
+                continue;
+            }
+            let activity = sim.activities()[l];
+            functional[l].push_cycle(sim.sample_ports(l))?;
+            total[l].push(estimators[l].next_sample(&activity));
+            if track_domains {
+                let lane_domains = sim.domain_activity(l);
+                for (d, trace) in by_domain[l].iter_mut().enumerate() {
+                    let a = CycleActivity {
+                        switched_capacitance_ff: lane_domains[d],
+                        toggled_nets: 0,
+                    };
+                    trace.push(domain_estimators[l][d].next_sample(&a));
+                }
+            }
+        }
+    }
+
+    let domains = if track_domains {
+        netlist.domains().to_vec()
+    } else {
+        Vec::new()
+    };
+    for ((functional, total), by_domain) in functional.into_iter().zip(total).zip(by_domain) {
+        out.push(HierarchicalCapture {
+            functional,
+            total,
+            domains: domains.clone(),
+            by_domain,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{capture_traces, capture_traces_by_domain};
+    use crate::NetlistBuilder;
+
+    fn counter(width: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("counter");
+        let en = b.input("en", 1);
+        let r = b.register("count", width);
+        let q = r.q();
+        let next = b.inc(&q);
+        b.connect_register_en(&r, en.bit(0), &next.sum);
+        b.output("q", &r.q());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lanes_run_independently() {
+        let n = counter(8);
+        let mut sim = BatchSimulator::new(&n, 3).unwrap();
+        let en = sim.port_handle("en").unwrap();
+        let q = sim.port_handle("q").unwrap();
+        for t in 0..10u64 {
+            sim.set_input(0, en, &Bits::from_u64(1, 1)).unwrap();
+            sim.set_input(1, en, &Bits::from_u64(t % 2, 1)).unwrap();
+            sim.set_input(2, en, &Bits::from_u64(0, 1)).unwrap();
+            sim.step();
+        }
+        assert_eq!(sim.output_by_handle(0, q).to_u64().unwrap(), 9);
+        assert_eq!(sim.output_by_handle(1, q).to_u64().unwrap(), 4);
+        assert_eq!(sim.output_by_handle(2, q).to_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn per_lane_activity_matches_scalar() {
+        let n = counter(6);
+        let mut batch = BatchSimulator::new(&n, 2).unwrap();
+        let ben = batch.port_handle("en").unwrap();
+        let mut scalars = [Simulator::new(&n).unwrap(), Simulator::new(&n).unwrap()];
+        for t in 0..32u64 {
+            let drive = [t % 3 != 0, t % 2 == 0];
+            for (l, sim) in scalars.iter_mut().enumerate() {
+                sim.set_input("en", &Bits::from_bool(drive[l])).unwrap();
+            }
+            batch.set_input(0, ben, &Bits::from_bool(drive[0])).unwrap();
+            batch.set_input(1, ben, &Bits::from_bool(drive[1])).unwrap();
+            let expected = [scalars[0].step(), scalars[1].step()];
+            batch.step();
+            for l in 0..2 {
+                assert_eq!(batch.activities()[l], expected[l], "lane {l} cycle {t}");
+                assert_eq!(
+                    batch.domain_activity(l),
+                    scalars[l].domain_activity(),
+                    "lane {l} cycle {t}"
+                );
+                assert_eq!(batch.sample_ports(l), scalars[l].sample_ports());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_capture_matches_scalar_capture() {
+        let n = counter(5);
+        let stimuli: Vec<Stimulus> = (0..5)
+            .map(|k| {
+                (0..40)
+                    .map(|t| vec![Bits::from_u64((t + k) % 2, 1)])
+                    .collect()
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..5).map(|k| 11 + k).collect();
+        let batch =
+            capture_traces_by_domain_batch(&n, &PowerModel::default(), &stimuli, &seeds).unwrap();
+        for (k, got) in batch.iter().enumerate() {
+            let want = capture_traces_by_domain(&n, &PowerModel::default(), &stimuli[k], seeds[k])
+                .unwrap();
+            assert_eq!(got.functional, want.functional, "stimulus {k}");
+            assert_eq!(got.total, want.total, "stimulus {k}");
+            assert_eq!(got.by_domain, want.by_domain, "stimulus {k}");
+        }
+    }
+
+    #[test]
+    fn ragged_lengths_share_a_batch() {
+        let n = counter(4);
+        let stimuli: Vec<Stimulus> = [13usize, 4, 29]
+            .iter()
+            .map(|&len| {
+                (0..len)
+                    .map(|t| vec![Bits::from_u64((t % 2) as u64, 1)])
+                    .collect()
+            })
+            .collect();
+        let batch = capture_traces_batch(&n, &PowerModel::default(), &stimuli, &[1, 2, 3]).unwrap();
+        for (k, got) in batch.iter().enumerate() {
+            assert_eq!(got.functional.len(), stimuli[k].len());
+            let want =
+                capture_traces(&n, &PowerModel::default(), &stimuli[k], 1 + k as u64).unwrap();
+            assert_eq!(got.power, want.power, "stimulus {k}");
+            assert_eq!(got.functional, want.functional, "stimulus {k}");
+        }
+    }
+
+    #[test]
+    fn more_than_64_stimuli_chunk_transparently() {
+        let n = counter(3);
+        let stimuli: Vec<Stimulus> = (0..67u64)
+            .map(|k| {
+                (0..6)
+                    .map(|t| vec![Bits::from_u64((t + k) % 2, 1)])
+                    .collect()
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..67).collect();
+        let batch = capture_traces_batch(&n, &PowerModel::default(), &stimuli, &seeds).unwrap();
+        assert_eq!(batch.len(), 67);
+        for (k, got) in batch.iter().enumerate() {
+            let want = capture_traces(&n, &PowerModel::default(), &stimuli[k], k as u64).unwrap();
+            assert_eq!(got.power, want.power, "stimulus {k}");
+        }
+    }
+
+    #[test]
+    fn malformed_cycle_fails_the_group() {
+        let n = counter(4);
+        let good: Stimulus = (0..4).map(|_| vec![Bits::from_u64(1, 1)]).collect();
+        let mut bad = Stimulus::new();
+        bad.push_cycle(vec![]);
+        let err = capture_traces_batch(&n, &PowerModel::default(), &[good, bad], &[0, 1]);
+        assert!(matches!(
+            err,
+            Err(RtlError::Trace(
+                psm_trace::TraceError::CycleShapeMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be in 1..=64")]
+    fn rejects_zero_lanes() {
+        let n = counter(2);
+        let _ = BatchSimulator::new(&n, 0);
+    }
+
+    #[test]
+    fn reset_restores_every_lane() {
+        let n = counter(4);
+        let mut sim = BatchSimulator::new(&n, 2).unwrap();
+        let en = sim.port_handle("en").unwrap();
+        let q = sim.port_handle("q").unwrap();
+        for _ in 0..5 {
+            sim.set_input(0, en, &Bits::from_u64(1, 1)).unwrap();
+            sim.set_input(1, en, &Bits::from_u64(1, 1)).unwrap();
+            sim.step();
+        }
+        assert_ne!(sim.output_by_handle(0, q).to_u64().unwrap(), 0);
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        sim.step();
+        assert_eq!(sim.output_by_handle(0, q).to_u64().unwrap(), 0);
+        assert_eq!(sim.output_by_handle(1, q).to_u64().unwrap(), 0);
+    }
+}

@@ -12,7 +12,9 @@
 //!   to gates — the role DesignCompiler plays in the paper's Table I;
 //! * a **levelized two-value simulator** ([`Simulator`]) that settles the
 //!   combinational cone each clock cycle and counts capacitance-weighted
-//!   toggles;
+//!   toggles, plus a 64-lane **bit-parallel batch engine**
+//!   ([`BatchSimulator`], [`capture_traces_batch`]) that packs independent
+//!   stimuli into `u64` lane words for bulk trace capture;
 //! * a **dynamic power model** ([`PowerModel`], [`PowerEstimator`])
 //!   implementing the paper's Def. 2 formula
 //!   `δ(t) = ½ · V²dd · f · C · α(t)` over the counted switching activity —
@@ -53,6 +55,7 @@
 
 #![deny(missing_docs)]
 
+mod batch;
 mod builder;
 mod gate;
 mod harness;
@@ -63,6 +66,7 @@ mod power;
 mod sim;
 mod verilog;
 
+pub use batch::{capture_traces_batch, capture_traces_by_domain_batch, BatchSimulator};
 pub use builder::{AddResult, NetlistBuilder, Register, Word};
 pub use gate::{Gate, GateKind, NetId};
 pub use harness::{

@@ -12,6 +12,20 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortHandle(usize);
 
+impl PortHandle {
+    /// Builds a handle from a dense port index (shared with
+    /// [`BatchSimulator`](crate::BatchSimulator), whose handles are
+    /// interchangeable with the scalar simulator's).
+    pub(crate) fn from_index(index: usize) -> Self {
+        PortHandle(index)
+    }
+
+    /// Dense index of this port in the netlist's declaration order.
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Cycle-based gate-level simulator.
 ///
 /// Each [`step`](Simulator::step) models one clock cycle:

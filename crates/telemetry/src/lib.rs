@@ -313,9 +313,38 @@ impl TelemetryReport {
     }
 
     /// Summed duration of one stage across all its spans. In a parallel
-    /// run this is aggregate worker time, which may exceed wall-clock.
+    /// run this is aggregate worker time, which may exceed wall-clock —
+    /// use [`stage_wall`](Self::stage_wall) for elapsed time.
     pub fn stage_total(&self, stage: Stage) -> Duration {
         self.stage_spans(stage).map(|s| s.duration).sum()
+    }
+
+    /// Wall-clock time one stage occupied: the union of its span
+    /// intervals, so concurrent workers count once. `stage_wall ==
+    /// stage_total` in a sequential run; in a parallel run the ratio of
+    /// the two is the stage's effective worker occupancy. This is the
+    /// number speedups must be judged against (a t2 run whose capture
+    /// *total* doubles while its capture *wall* halves is scaling
+    /// perfectly).
+    pub fn stage_wall(&self, stage: Stage) -> Duration {
+        // Spans are already sorted by start offset.
+        let mut wall = Duration::ZERO;
+        let mut cur: Option<(Duration, Duration)> = None;
+        for s in self.stage_spans(stage) {
+            let end = s.start + s.duration;
+            match &mut cur {
+                Some((_, cur_end)) if s.start <= *cur_end => *cur_end = (*cur_end).max(end),
+                Some((cur_start, cur_end)) => {
+                    wall += *cur_end - *cur_start;
+                    cur = Some((s.start, end));
+                }
+                None => cur = Some((s.start, end)),
+            }
+        }
+        if let Some((start, end)) = cur {
+            wall += end - start;
+        }
+        wall
     }
 
     /// `true` when every stage in `stages` has at least one span.
@@ -341,14 +370,21 @@ impl TelemetryReport {
     /// The aligned text report: one row per stage that ran, then counters,
     /// named counters and gauges.
     pub fn text(&self) -> String {
-        let mut out = String::from("stage       spans  total\n");
+        let mut out = String::from("stage       spans  total      wall\n");
         for stage in Stage::ALL {
             let n = self.stage_spans(stage).count();
             if n == 0 {
                 continue;
             }
             let total = self.stage_total(stage);
-            out.push_str(&format!("{:<11} {:>5}  {:.3?}\n", stage.name(), n, total));
+            let wall = self.stage_wall(stage);
+            out.push_str(&format!(
+                "{:<11} {:>5}  {:<9}  {:<9}\n",
+                stage.name(),
+                n,
+                format!("{total:.3?}"),
+                format!("{wall:.3?}"),
+            ));
         }
         out.push_str(&format!(
             "counters    states_merged={} calibrated_states={} \
@@ -387,6 +423,10 @@ impl TelemetryReport {
                 (
                     "total_ns",
                     JsonValue::from(self.stage_total(stage).as_nanos() as u64),
+                ),
+                (
+                    "wall_ns",
+                    JsonValue::from(self.stage_wall(stage).as_nanos() as u64),
                 ),
             ]))
         }));
@@ -544,6 +584,63 @@ mod tests {
         assert_eq!(
             reparsed.arr_field("stages").unwrap().len(),
             Stage::ALL.len()
+        );
+    }
+
+    #[test]
+    fn stage_wall_unions_overlapping_spans() {
+        let span = |start_ms: u64, dur_ms: u64| Span {
+            stage: Stage::Capture,
+            label: String::new(),
+            start: Duration::from_millis(start_ms),
+            duration: Duration::from_millis(dur_ms),
+        };
+        let report = TelemetryReport {
+            // Two overlapping spans (0..80 and 10..90: two workers), a
+            // touching one (90..100) and a disjoint one (200..250).
+            spans: vec![span(0, 80), span(10, 80), span(90, 10), span(200, 50)],
+            diagnostics: Vec::new(),
+            counters: Counters::default(),
+            named_counters: Vec::new(),
+            gauges: Vec::new(),
+            total: Duration::from_millis(250),
+        };
+        assert_eq!(
+            report.stage_total(Stage::Capture),
+            Duration::from_millis(220)
+        );
+        assert_eq!(
+            report.stage_wall(Stage::Capture),
+            Duration::from_millis(150)
+        );
+        assert_eq!(report.stage_wall(Stage::Mining), Duration::ZERO);
+    }
+
+    #[test]
+    fn sequential_wall_equals_total() {
+        let t = Telemetry::new();
+        t.time(Stage::Capture, "a", || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        t.time(Stage::Capture, "b", || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        let report = t.report();
+        assert_eq!(
+            report.stage_wall(Stage::Capture),
+            report.stage_total(Stage::Capture),
+            "non-overlapping spans union to their sum"
+        );
+        // Both aggregates surface in the reports.
+        assert!(report
+            .text()
+            .starts_with("stage       spans  total      wall\n"));
+        let json = report.to_json();
+        let stages = json.arr_field("stages").unwrap();
+        assert!(stages[0].u64_field("wall_ns").unwrap() > 0);
+        assert_eq!(
+            stages[0].u64_field("wall_ns").unwrap(),
+            stages[0].u64_field("total_ns").unwrap()
         );
     }
 

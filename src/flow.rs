@@ -30,7 +30,7 @@
 //! [`FlowError::Validation`].
 
 pub use crate::parallel::Parallelism;
-use crate::parallel::{collect_ordered, run_indexed};
+use crate::parallel::{collect_ordered, lane_partition, run_indexed};
 use crate::telemetry::{Stage, Telemetry, TelemetryReport};
 use psm_analyze::{
     lint_hmm_against_observations, lint_interface, lint_model, lint_netlist, lint_netlist_dataflow,
@@ -45,7 +45,9 @@ use psm_core::{
 use psm_hmm::{build_hmm, Hmm, HmmOutcome, HmmSimulator};
 use psm_ips::{behavioural_trace, Ip};
 use psm_mining::{Miner, MiningConfig, MiningError, PropositionTable};
-use psm_rtl::{capture_traces, PowerModel, RtlError, Stimulus};
+use psm_rtl::{
+    capture_traces_batch, capture_traces_by_domain_batch, PowerModel, RtlError, Stimulus,
+};
 use psm_stats::{mean_relative_error, StatsError};
 use psm_trace::{FunctionalTrace, PowerTrace, TraceError};
 use std::error::Error;
@@ -639,25 +641,25 @@ impl PsmFlow {
         });
         self.check(telemetry, interface_report)?;
 
-        // Golden capture: functional + reference power, one gate-level run
-        // per stimulus, fanned across the worker pool. The noise seed is a
-        // function of the stimulus *index*, so worker scheduling cannot
-        // change any trace.
+        // Golden capture: functional + reference power over the bit-parallel
+        // engine. Stimuli pack 64-to-a-lane-word into contiguous groups (one
+        // work unit per effective worker, see `lane_partition`), and the
+        // noise seed stays a function of the stimulus *index*, so neither
+        // grouping nor worker scheduling can change any trace.
         let px_start = Instant::now();
-        let workers = self.parallelism.worker_count(stimuli.len());
-        let captures = collect_ordered(run_indexed(stimuli.len(), workers, |i| {
-            telemetry.time(Stage::Capture, format!("stimulus {i}"), || {
-                capture_traces(
-                    &netlist,
-                    &self.power_model,
-                    &stimuli[i],
-                    self.noise_seed + i as u64,
-                )
-                .map_err(FlowError::from)
+        let groups = lane_partition(stimuli.len(), self.parallelism);
+        let workers = self.parallelism.worker_count(groups.len());
+        let captures = collect_ordered(run_indexed(groups.len(), workers, |g| {
+            let (start, end) = groups[g];
+            telemetry.time(Stage::Capture, format!("stimuli {start}..{end}"), || {
+                let seeds: Vec<u64> = (start..end).map(|i| self.noise_seed + i as u64).collect();
+                capture_traces_batch(&netlist, &self.power_model, &stimuli[start..end], &seeds)
+                    .map_err(FlowError::from)
             })
         }))?;
         let (functional, power): (Vec<FunctionalTrace>, Vec<PowerTrace>) = captures
             .into_iter()
+            .flatten()
             .map(|c| (c.functional, c.power))
             .unzip();
         let reference_power_time = px_start.elapsed();
@@ -912,16 +914,22 @@ impl PsmFlow {
             return Err(FlowError::NoTrainingData);
         }
         let netlist = ip.netlist()?;
-        let workers = self.parallelism.worker_count(stimuli.len());
-        let captures = collect_ordered(run_indexed(stimuli.len(), workers, |i| {
-            psm_rtl::capture_traces_by_domain(
+        let groups = lane_partition(stimuli.len(), self.parallelism);
+        let workers = self.parallelism.worker_count(groups.len());
+        let captures: Vec<_> = collect_ordered(run_indexed(groups.len(), workers, |g| {
+            let (start, end) = groups[g];
+            let seeds: Vec<u64> = (start..end).map(|i| self.noise_seed + i as u64).collect();
+            capture_traces_by_domain_batch(
                 &netlist,
                 &self.power_model,
-                &stimuli[i],
-                self.noise_seed + i as u64,
+                &stimuli[start..end],
+                &seeds,
             )
             .map_err(FlowError::from)
-        }))?;
+        }))?
+        .into_iter()
+        .flatten()
+        .collect();
         let domains = captures
             .first()
             .map(|c| c.domains.clone())
@@ -1014,13 +1022,15 @@ impl PsmFlow {
         workload: &Stimulus,
     ) -> Result<PowerTrace, FlowError> {
         let netlist = ip.netlist()?;
-        let cap = capture_traces(
+        // A one-lane batch run: the compiled op program makes even single
+        // workloads faster than the scalar engine, with identical bytes.
+        let mut cap = capture_traces_batch(
             &netlist,
             &self.power_model,
-            workload,
-            self.noise_seed ^ 0x5A5A,
+            std::slice::from_ref(workload),
+            &[self.noise_seed ^ 0x5A5A],
         )?;
-        Ok(cap.power)
+        Ok(cap.remove(0).power)
     }
 }
 

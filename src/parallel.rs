@@ -38,6 +38,59 @@ impl Parallelism {
     }
 }
 
+/// Splits `items` stimuli into contiguous lane groups for the bit-parallel
+/// capture engine (`psm_rtl::BatchSimulator` packs up to 64 stimuli into
+/// one run), returning `(start, end)` index ranges.
+///
+/// The group count balances two pressures:
+///
+/// * never split below full 64-lane words — fewer, fuller batches amortise
+///   the levelized sweep best (`ceil(items / 64)` is the floor);
+/// * hand every *effective* worker its own group so the scoped-thread
+///   fan-out has work to steal — but never more workers than the host has
+///   cores, because splitting one core's worth of lanes across threads
+///   only adds merge and scheduling overhead (the pre-batch engine's t2
+///   `speedup_vs_1_thread` of 0.83 in BENCH_psmgen.json).
+///
+/// Grouping never affects results: lanes are fully independent, so the
+/// per-stimulus outputs are byte-identical for every partition (pinned by
+/// `tests/parallel.rs`).
+pub(crate) fn lane_partition(items: usize, parallelism: Parallelism) -> Vec<(usize, usize)> {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    lane_partition_for(items, parallelism, cores)
+}
+
+/// Testable core of [`lane_partition`] with an explicit core count.
+pub(crate) fn lane_partition_for(
+    items: usize,
+    parallelism: Parallelism,
+    cores: usize,
+) -> Vec<(usize, usize)> {
+    if items == 0 {
+        return Vec::new();
+    }
+    let want = match parallelism {
+        Parallelism::Sequential => 1,
+        Parallelism::Auto => cores.max(1),
+        Parallelism::Workers(n) => n.clamp(1, cores.max(1)),
+    };
+    let packed = items.div_ceil(64);
+    let groups = packed.max(want.min(items));
+    // Contiguous near-equal ranges: the first `rem` groups get one extra.
+    let base = items / groups;
+    let rem = items % groups;
+    let mut out = Vec::with_capacity(groups);
+    let mut start = 0;
+    for g in 0..groups {
+        let len = base + usize::from(g < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
 /// Runs `f(0..jobs)` across `workers` scoped threads, returning results in
 /// index order. With one worker the jobs run inline, in order, with no
 /// thread spawned.
@@ -122,6 +175,44 @@ mod tests {
     fn zero_jobs_is_empty() {
         let results = run_indexed(0, 4, Ok::<usize, ()>);
         assert!(collect_ordered(results).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lane_partition_covers_contiguously() {
+        for (items, par, cores) in [
+            (4, Parallelism::Sequential, 8),
+            (4, Parallelism::Auto, 1),
+            (4, Parallelism::Auto, 8),
+            (67, Parallelism::Workers(2), 2),
+            (130, Parallelism::Auto, 4),
+            (1, Parallelism::Workers(8), 8),
+        ] {
+            let groups = lane_partition_for(items, par, cores);
+            let mut expect = 0;
+            for &(start, end) in &groups {
+                assert_eq!(start, expect, "{items} items, {par:?}, {cores} cores");
+                assert!(end > start, "no empty groups");
+                assert!(end - start <= 64, "a group never exceeds one lane word");
+                expect = end;
+            }
+            assert_eq!(expect, items, "every stimulus is covered once");
+        }
+    }
+
+    #[test]
+    fn lane_partition_matches_effective_workers() {
+        // One core: everything packs into the fewest possible batches,
+        // regardless of the requested worker count.
+        assert_eq!(lane_partition_for(4, Parallelism::Workers(8), 1).len(), 1);
+        assert_eq!(lane_partition_for(70, Parallelism::Workers(8), 1).len(), 2);
+        // Multi-core: one group per effective worker.
+        assert_eq!(lane_partition_for(4, Parallelism::Workers(2), 4).len(), 2);
+        assert_eq!(lane_partition_for(4, Parallelism::Auto, 4).len(), 4);
+        // Never more groups than items.
+        assert_eq!(lane_partition_for(2, Parallelism::Auto, 16).len(), 2);
+        // Sequential always packs maximally.
+        assert_eq!(lane_partition_for(64, Parallelism::Sequential, 16).len(), 1);
+        assert!(lane_partition_for(0, Parallelism::Auto, 4).is_empty());
     }
 
     #[test]
