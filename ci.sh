@@ -26,13 +26,26 @@ cargo run --offline --release --example netlist_tools > /dev/null
 ./target/release/psmlint --deny-warnings multsum_netlist.v
 ./target/release/psmlint --json --demo target/psmlint-demo-model.json
 
+echo "==> psmlint --list-codes: catalogue matches DIAGNOSTICS.md"
+# Every code psmlint can emit must be documented, and no documented code
+# may vanish from the binary: diff the machine-readable catalogue against
+# the codes named in the DIAGNOSTICS.md tables, both directions.
+./target/release/psmlint --list-codes | awk '{print $1}' | sort \
+    > target/psmlint-codes.txt
+grep -oE '^\| (NL|TR|PS|HM|XA|MC|PD)[0-9]{3} ' DIAGNOSTICS.md \
+    | tr -d '| ' | sort > target/psmlint-doc-codes.txt
+diff -u target/psmlint-doc-codes.txt target/psmlint-codes.txt \
+    || { echo "DIAGNOSTICS.md and psmlint --list-codes disagree"; exit 1; }
+
 echo "==> psmlint: SARIF over the demo defect set, gated on new findings"
-# defective.v carries known, baselined findings; the run fails only when
-# a finding appears that examples/artifacts/psmlint-baseline.json does
-# not record. The SARIF document itself lands in target/ for inspection.
+# defective.v and powerintent_defect.v carry known, baselined findings;
+# the run fails only when a finding appears that
+# examples/artifacts/psmlint-baseline.json does not record. The SARIF
+# document itself lands in target/ for inspection.
 ./target/release/psmlint --format sarif \
     --baseline examples/artifacts/psmlint-baseline.json \
-    examples/artifacts/defective.v multsum_netlist.v > target/psmlint.sarif
+    examples/artifacts/defective.v examples/artifacts/powerintent_defect.v \
+    multsum_netlist.v > target/psmlint.sarif
 
 echo "==> psmlint --verify: bounded model checking of the mined assertions"
 # The checked-in defect pair must keep its MC001/MC002 findings — all of

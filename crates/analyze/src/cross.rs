@@ -13,8 +13,12 @@
 //! * [`lint_hmm_against_observations`] — HMM emission symbols that never
 //!   occur in the classified proposition traces;
 //! * [`lint_psm_against_table`] — PSM transition guards referencing
-//!   propositions absent from the mined dictionary.
+//!   propositions absent from the mined dictionary;
+//! * [`lint_psm_power_intent`] — mined states whose near-zero power
+//!   implies a domain is gated off, checked against the netlist's ternary
+//!   isolation proof ([`crate::prove_domain_off`]).
 
+use crate::powerintent::{prove_domain_off, ALWAYS_ON};
 use crate::{codes, AnalysisReport, Diagnostic};
 use psm_core::Psm;
 use psm_hmm::Hmm;
@@ -248,6 +252,101 @@ pub fn lint_psm_against_table(psm: &Psm, table_len: usize) -> AnalysisReport {
     report
 }
 
+/// Fraction of the maximum state mean power below which a mined PSM state
+/// counts as *off-implying*: the design it models is (at least mostly)
+/// power-gated while the state holds.
+pub const OFF_STATE_POWER_FRACTION: f64 = 0.05;
+
+/// Cross-checks the mined PSM's off-implying states against the netlist's
+/// power intent.
+///
+/// A state whose mean power `μ` is at most [`OFF_STATE_POWER_FRACTION`] of
+/// the largest state mean implies that some gateable domain is powered
+/// down while the state holds. For a flat model pass `domain = None` and
+/// every populated gateable domain of the netlist is a candidate; for a
+/// per-domain model (hierarchical capture) pass the domain's name to check
+/// just that one. Emits `XA005` for every (off-implying state, candidate
+/// domain) pair where [`crate::prove_domain_off`] refutes isolation — the
+/// mined model promises a power-down the netlist cannot survive.
+///
+/// Silent when the netlist declares no power intent
+/// ([`psm_rtl::Netlist::has_power_intent`]), when the PSM has no
+/// off-implying state, or when `domain` names an unknown or always-on
+/// domain.
+pub fn lint_psm_power_intent(psm: &Psm, domain: Option<&str>, netlist: &Netlist) -> AnalysisReport {
+    let mut report = AnalysisReport::new(format!(
+        "psm power states vs netlist `{}` power intent",
+        netlist.name()
+    ));
+    if !netlist.has_power_intent() {
+        return report;
+    }
+    let max_mu = psm
+        .states()
+        .map(|(_, s)| s.attrs().mu())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max_mu.is_finite() || max_mu <= 0.0 {
+        return report;
+    }
+    let off_states: Vec<_> = psm
+        .states()
+        .filter(|(_, s)| s.attrs().mu() <= OFF_STATE_POWER_FRACTION * max_mu)
+        .collect();
+    if off_states.is_empty() {
+        return report;
+    }
+    let populated = {
+        let mut p = vec![false; netlist.domains().len()];
+        for &d in netlist.gate_domains() {
+            p[d] = true;
+        }
+        for &d in netlist.dff_domains() {
+            p[d] = true;
+        }
+        for &d in netlist.mem_domains() {
+            p[d] = true;
+        }
+        p
+    };
+    let candidates: Vec<usize> = match domain {
+        Some(name) => netlist
+            .domains()
+            .iter()
+            .position(|d| d == name)
+            .into_iter()
+            .filter(|&d| d != ALWAYS_ON && populated[d])
+            .collect(),
+        None => (0..netlist.domains().len())
+            .filter(|&d| d != ALWAYS_ON && populated[d])
+            .collect(),
+    };
+    for d in candidates {
+        let Some(proof) = prove_domain_off(netlist, d) else {
+            continue; // uninterpretable netlists are the structural lints' finding
+        };
+        if proof.is_isolated() {
+            continue;
+        }
+        let name = &netlist.domains()[d];
+        for (id, state) in &off_states {
+            report.push(Diagnostic::new(
+                &codes::XA005,
+                format!("state {id} / domain `{name}`"),
+                format!(
+                    "state {id} implies domain `{name}` is powered off (μ = {:.6} ≤ {:.0}% \
+                     of the maximum state power {max_mu:.6}), but the netlist leaks that \
+                     domain's X at {} point(s) (first: {})",
+                    state.attrs().mu(),
+                    OFF_STATE_POWER_FRACTION * 100.0,
+                    proof.leaks.len(),
+                    proof.leaks[0].sink
+                ),
+            ));
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +463,81 @@ mod tests {
             PropositionId::from_index(1),
         ]);
         assert!(lint_hmm_against_observations(&hmm, &[seen]).is_clean());
+    }
+
+    fn two_state_psm() -> Psm {
+        // One busy state (μ = 10) and one off-implying state (μ = 0.1).
+        let delta: PowerTrace = [10.0, 10.0, 0.1, 0.1].into_iter().collect();
+        let mut psm = Psm::new();
+        let s0 = psm.add_state(state(0, 0, 1, &delta));
+        psm.add_state(state(0, 2, 3, &delta));
+        psm.add_initial(s0);
+        psm
+    }
+
+    fn intent_netlist(isolated: bool) -> Netlist {
+        use psm_rtl::IsolationKind;
+        let mut b = NetlistBuilder::new("pi");
+        let a = b.input("a", 2);
+        let en_n = b.input("en_n", 1);
+        b.domain("unit");
+        let inv0 = b.not(a.bit(0));
+        let inv1 = b.not(a.bit(1));
+        b.domain("core");
+        let clamped = b.isolation_cell(IsolationKind::Clamp0, inv0, en_n.bit(0));
+        let second = if isolated {
+            b.isolation_cell(IsolationKind::Clamp0, inv1, en_n.bit(0))
+        } else {
+            inv1
+        };
+        let merged = b.or(second, clamped);
+        b.output("x", &Word::from_nets(vec![merged]));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn off_state_over_leaky_domain_is_xa005() {
+        let psm = two_state_psm();
+        let leaky = intent_netlist(false);
+        let report = lint_psm_power_intent(&psm, None, &leaky);
+        assert_eq!(codes_of(&report), vec!["XA005"]);
+        assert!(report.diagnostics()[0].message.contains("unit"));
+        // Naming a different (or always-on) domain clears it.
+        assert!(lint_psm_power_intent(&psm, Some("core"), &leaky).is_clean());
+        assert!(lint_psm_power_intent(&psm, Some("nope"), &leaky).is_clean());
+        // Naming the leaking domain reproduces it.
+        let scoped = lint_psm_power_intent(&psm, Some("unit"), &leaky);
+        assert_eq!(codes_of(&scoped), vec!["XA005"]);
+    }
+
+    #[test]
+    fn isolated_or_intentless_netlists_are_xa005_clean() {
+        let psm = two_state_psm();
+        let iso = intent_netlist(true);
+        assert!(lint_psm_power_intent(&psm, None, &iso).is_clean());
+        // No isolation marks → no declared intent → silent, even though
+        // the netlist has several domains.
+        let mut b = NetlistBuilder::new("flat");
+        let a = b.input("a", 1);
+        b.domain("unit");
+        let inv = b.not(a.bit(0));
+        b.domain("core");
+        let out = b.not(inv);
+        b.output("x", &Word::from_nets(vec![out]));
+        let flat = b.finish().unwrap();
+        assert!(lint_psm_power_intent(&psm, None, &flat).is_clean());
+    }
+
+    #[test]
+    fn busy_only_psm_is_xa005_clean() {
+        // Every state is busy: nothing implies a power-down.
+        let delta: PowerTrace = [10.0, 10.0, 9.5, 9.5].into_iter().collect();
+        let mut psm = Psm::new();
+        let s0 = psm.add_state(state(0, 0, 1, &delta));
+        psm.add_state(state(0, 2, 3, &delta));
+        psm.add_initial(s0);
+        let leaky = intent_netlist(false);
+        assert!(lint_psm_power_intent(&psm, None, &leaky).is_clean());
     }
 
     #[test]

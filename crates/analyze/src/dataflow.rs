@@ -230,49 +230,7 @@ impl DataflowResult {
 /// defects are the structural lints' to report.
 pub fn analyze_dataflow(netlist: &Netlist) -> Option<DataflowResult> {
     let nets = netlist.net_count();
-    let order = levelize(netlist).ok()?;
-    for g in netlist.gates() {
-        match g.kind.arity() {
-            Some(arity) if g.inputs.len() != arity => return None,
-            None => {
-                let table_words = match &g.kind {
-                    GateKind::Lut { table } => table.len(),
-                    _ => 0,
-                };
-                if table_words < (1usize << g.inputs.len()).div_ceil(64) {
-                    return None;
-                }
-            }
-            Some(_) => {}
-        }
-        if g.inputs
-            .iter()
-            .chain([&g.output])
-            .any(|n| n.index() >= nets)
-        {
-            return None;
-        }
-    }
-    let in_range = |n: &NetId| n.index() < nets;
-    if !netlist
-        .dffs()
-        .iter()
-        .all(|d| in_range(&d.d) && in_range(&d.q))
-        || !netlist.memories().iter().all(|m| {
-            m.addr
-                .iter()
-                .chain(&m.wdata)
-                .chain(&m.rdata)
-                .chain([&m.we, &m.re, &m.clear])
-                .all(in_range)
-        })
-        || !netlist
-            .ports()
-            .iter()
-            .all(|p| p.nets().iter().all(in_range))
-    {
-        return None;
-    }
+    let order = interpretable(netlist)?;
 
     // Which nets have a driver at all; undriven reads seed the taint.
     let mut driven = vec![false; nets];
@@ -344,6 +302,58 @@ pub fn analyze_dataflow(netlist: &Netlist) -> Option<DataflowResult> {
         tainted,
         sweeps,
     })
+}
+
+/// Checks that the netlist can be abstractly interpreted — levelizable,
+/// sane arities, every net reference in range — and returns the levelized
+/// gate order when it can. Shared guard of [`analyze_dataflow`] and the
+/// power-intent off-domain proof.
+pub(crate) fn interpretable(netlist: &Netlist) -> Option<Vec<usize>> {
+    let nets = netlist.net_count();
+    let order = levelize(netlist).ok()?;
+    for g in netlist.gates() {
+        match g.kind.arity() {
+            Some(arity) if g.inputs.len() != arity => return None,
+            None => {
+                let table_words = match &g.kind {
+                    GateKind::Lut { table } => table.len(),
+                    _ => 0,
+                };
+                if table_words < (1usize << g.inputs.len()).div_ceil(64) {
+                    return None;
+                }
+            }
+            Some(_) => {}
+        }
+        if g.inputs
+            .iter()
+            .chain([&g.output])
+            .any(|n| n.index() >= nets)
+        {
+            return None;
+        }
+    }
+    let in_range = |n: &NetId| n.index() < nets;
+    if !netlist
+        .dffs()
+        .iter()
+        .all(|d| in_range(&d.d) && in_range(&d.q))
+        || !netlist.memories().iter().all(|m| {
+            m.addr
+                .iter()
+                .chain(&m.wdata)
+                .chain(&m.rdata)
+                .chain([&m.we, &m.re, &m.clear])
+                .all(in_range)
+        })
+        || !netlist
+            .ports()
+            .iter()
+            .all(|p| p.nets().iter().all(in_range))
+    {
+        return None;
+    }
+    Some(order)
 }
 
 /// Semantic netlist lints on top of the ternary fixpoint.

@@ -61,6 +61,7 @@ mod cross;
 mod dataflow;
 mod hmm;
 mod netlist;
+mod powerintent;
 mod psm;
 mod sarif;
 mod trace;
@@ -69,13 +70,14 @@ mod verify;
 pub use config::{Baseline, LintConfig, LintLevel};
 pub use cross::{
     lint_hmm_against_observations, lint_interface, lint_psm_against_table,
-    lint_psm_against_training,
+    lint_psm_against_training, lint_psm_power_intent, OFF_STATE_POWER_FRACTION,
 };
 pub use dataflow::{
     analyze_dataflow, eval_ternary, lint_netlist_dataflow, DataflowResult, Ternary,
 };
 pub use hmm::{lint_hmm, lint_hmm_against_psm, lint_model, ROW_SUM_TOLERANCE};
 pub use netlist::lint_netlist;
+pub use powerintent::{lint_power_intent, prove_domain_off, DomainOffProof, IsolationLeak};
 pub use psm::lint_psm;
 pub use sarif::{sarif_level, to_sarif};
 pub use trace::{
@@ -351,6 +353,15 @@ pub mod codes {
         summary: "transition guard references a proposition absent from the mined dictionary",
         help: "regenerate the PSM against the dictionary it was mined with",
     };
+    /// A mined low-power state whose implied power-down the netlist cannot
+    /// survive.
+    pub const XA005: CodeInfo = CodeInfo {
+        code: "XA005",
+        severity: Severity::Error,
+        summary: "mined PSM state implies a domain is off, but the netlist leaks that domain's X",
+        help: "add isolation at the leaking crossing before gating the domain this state \
+               implies is powered down, or retrain if the state's near-zero power is spurious",
+    };
 
     /// `MC001` — a mined temporal assertion is refuted on the netlist: a
     /// concrete, re-simulated input stimulus drives the design through a
@@ -419,12 +430,84 @@ pub mod codes {
         help: "the estimator will resync when this behaviour occurs; retrain with \
                stimuli that cover it so the model gains a proposition for it",
     };
+    /// `PD001` — a net leaves a gateable power domain and is consumed
+    /// directly by logic in another domain with no isolation cell at the
+    /// boundary.
+    pub const PD001: CodeInfo = CodeInfo {
+        code: "PD001",
+        severity: Severity::Error,
+        summary: "unisolated domain crossing: gateable-domain net read across the boundary",
+        help: "insert an isolation cell (clamp0/clamp1) on the crossing net, in the \
+               still-on domain, before the first consumer",
+    };
+    /// `PD002` — an isolation cell whose declared clamp polarity its gate
+    /// kind can provably never produce.
+    pub const PD002: CodeInfo = CodeInfo {
+        code: "PD002",
+        severity: Severity::Error,
+        summary: "isolation cell clamp polarity contradicts its gate kind",
+        help: "a clamp0 cell must be able to force 0 (AND/NOR), a clamp1 cell to force 1 \
+               (OR/NAND); fix the polarity attribute or swap the gate",
+    };
+    /// `PD003` — an isolation mark that isolates nothing: the cell kind
+    /// cannot clamp at all, or no gateable-domain net passes through it.
+    pub const PD003: CodeInfo = CodeInfo {
+        code: "PD003",
+        severity: Severity::Warn,
+        summary: "ambiguous isolation cell: kind cannot clamp, or no crossing passes through it",
+        help: "use a two-input AND/OR/NAND/NOR (or mux) as the isolation cell and place it \
+               on a net that actually leaves a gateable domain",
+    };
+    /// `PD004` — a gateable domain none of whose cells are reachable from
+    /// any primary input.
+    pub const PD004: CodeInfo = CodeInfo {
+        code: "PD004",
+        severity: Severity::Warn,
+        summary: "gateable domain with no primary-input controllability of its activity",
+        help: "wire a primary input (enable, clock gate or data) into the domain so its \
+               power state can be driven and observed from outside",
+    };
+    /// `PD005` — always-on logic wedged between gateable domains.
+    pub const PD005: CodeInfo = CodeInfo {
+        code: "PD005",
+        severity: Severity::Warn,
+        summary: "always-on logic sandwiched between gateable domains",
+        help: "the cell reads from and feeds only gateable domains yet can never power \
+               down; move it into one of its neighbour domains",
+    };
+    /// `PD006` — the ternary off-domain proof found an X from a powered-off
+    /// domain reaching logic in a still-on domain.
+    pub const PD006: CodeInfo = CodeInfo {
+        code: "PD006",
+        severity: Severity::Error,
+        summary: "isolation hole: powered-off domain's X reaches a still-on domain",
+        help: "the attached path is a concrete X-propagation route; clamp it with an \
+               isolation cell at the domain boundary",
+    };
+    /// `PD007` — the ternary off-domain proof found an X from a powered-off
+    /// domain reaching a primary output.
+    pub const PD007: CodeInfo = CodeInfo {
+        code: "PD007",
+        severity: Severity::Error,
+        summary: "isolation hole: powered-off domain's X reaches a primary output",
+        help: "outputs must stay defined while a domain is gated; clamp the crossing so \
+               the off domain cannot corrupt the interface",
+    };
+    /// `PD008` — one informational summary per power-intent analysis run.
+    pub const PD008: CodeInfo = CodeInfo {
+        code: "PD008",
+        severity: Severity::Info,
+        summary: "power-intent summary (domains, crossings, isolation cells, proof verdicts)",
+        help: "informational only; emitted whenever a netlist declares power intent",
+    };
+
     /// Every code, in catalogue order.
-    pub const ALL: [&CodeInfo; 37] = [
+    pub const ALL: [&CodeInfo; 46] = [
         &NL001, &NL002, &NL003, &NL004, &NL005, &NL006, &NL007, &NL008, &NL009, &NL010, &NL011,
         &TR001, &TR002, &TR003, &TR004, &TR005, &PS001, &PS002, &PS003, &PS004, &PS005, &PS006,
-        &HM001, &HM002, &HM003, &HM004, &XA001, &XA002, &XA003, &XA004, &MC001, &MC002, &MC003,
-        &MC004, &MC005, &MC006, &MC007,
+        &HM001, &HM002, &HM003, &HM004, &XA001, &XA002, &XA003, &XA004, &XA005, &MC001, &MC002,
+        &MC003, &MC004, &MC005, &MC006, &MC007, &PD001, &PD002, &PD003, &PD004, &PD005, &PD006,
+        &PD007, &PD008,
     ];
 }
 
@@ -446,6 +529,11 @@ pub struct Diagnostic {
     /// step per cycle of a counterexample (empty for ordinary findings).
     /// Rendered as SARIF `codeFlows` by [`to_sarif`].
     pub steps: Vec<String>,
+    /// Artifact paths beyond the primary one that the finding spans —
+    /// non-empty only for cross-artifact diagnostics (XA/PD), where e.g. a
+    /// model and a netlist are both implicated. Rendered as SARIF
+    /// `relatedLocations` by [`to_sarif`].
+    pub related: Vec<String>,
 }
 
 impl Diagnostic {
@@ -459,6 +547,7 @@ impl Diagnostic {
             message: message.into(),
             help: info.help,
             steps: Vec::new(),
+            related: Vec::new(),
         }
     }
 
@@ -466,6 +555,14 @@ impl Diagnostic {
     #[must_use]
     pub fn with_steps(mut self, steps: Vec<String>) -> Self {
         self.steps = steps;
+        self
+    }
+
+    /// Attaches the paths of further artifacts the finding spans
+    /// (builder style).
+    #[must_use]
+    pub fn with_related(mut self, related: Vec<String>) -> Self {
+        self.related = related;
         self
     }
 
@@ -482,6 +579,12 @@ impl Diagnostic {
             fields.push((
                 "steps",
                 JsonValue::arr(self.steps.iter().map(|s| JsonValue::from(s.as_str()))),
+            ));
+        }
+        if !self.related.is_empty() {
+            fields.push((
+                "related",
+                JsonValue::arr(self.related.iter().map(|s| JsonValue::from(s.as_str()))),
             ));
         }
         JsonValue::obj(fields)
@@ -535,6 +638,18 @@ impl AnalysisReport {
     /// All diagnostics, in discovery order.
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
+    }
+
+    /// Tags every diagnostic that does not yet name related artifacts with
+    /// `related` — for callers (like the `psmlint` CLI) that know the
+    /// on-disk paths a cross-artifact check spanned, so SARIF
+    /// `relatedLocations` resolve to real files.
+    pub fn tag_related(&mut self, related: &[String]) {
+        for d in &mut self.diagnostics {
+            if d.related.is_empty() {
+                d.related = related.to_vec();
+            }
+        }
     }
 
     /// Number of diagnostics at `severity`.

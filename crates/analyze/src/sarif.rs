@@ -94,6 +94,32 @@ pub fn to_sarif(reports: &[(String, AnalysisReport)]) -> JsonValue {
                 ),
                 ("locations", JsonValue::arr([location.clone()])),
             ];
+            // Cross-artifact findings name every artifact they span;
+            // viewers surface them as relatedLocations next to the
+            // primary one.
+            if !d.related.is_empty() {
+                fields.push((
+                    "relatedLocations",
+                    JsonValue::arr(d.related.iter().map(|path| {
+                        JsonValue::obj([
+                            (
+                                "physicalLocation",
+                                JsonValue::obj([(
+                                    "artifactLocation",
+                                    JsonValue::obj([("uri", JsonValue::from(path.as_str()))]),
+                                )]),
+                            ),
+                            (
+                                "message",
+                                JsonValue::obj([(
+                                    "text",
+                                    JsonValue::from(format!("artifact implicated by {}", d.code)),
+                                )]),
+                            ),
+                        ])
+                    })),
+                ));
+            }
             // Counterexample traces ride along as a codeFlow: one thread
             // flow location per cycle, so SARIF viewers can step through
             // the stimulus that led to the violation.
@@ -192,6 +218,30 @@ mod tests {
             codes::ALL.len(),
             "every catalogued code is a rule"
         );
+    }
+
+    #[test]
+    fn related_artifacts_render_as_related_locations() {
+        let mut r = AnalysisReport::new("psm vs netlist");
+        r.push(
+            Diagnostic::new(&codes::XA005, "state s1 / domain `unit`", "leaks")
+                .with_related(vec!["model.json".to_owned(), "design.v".to_owned()]),
+        );
+        let sarif = to_sarif(&[("model.json".to_owned(), r)]);
+        let back = JsonValue::parse(&sarif.render()).unwrap();
+        let results = back.arr_field("runs").unwrap()[0]
+            .arr_field("results")
+            .unwrap();
+        let related = results[0].arr_field("relatedLocations").unwrap();
+        assert_eq!(related.len(), 2, "both implicated artifacts resolve");
+        let uri = related[1]
+            .field("physicalLocation")
+            .unwrap()
+            .field("artifactLocation")
+            .unwrap()
+            .str_field("uri")
+            .unwrap();
+        assert_eq!(uri, "design.v");
     }
 
     #[test]

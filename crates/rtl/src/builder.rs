@@ -7,6 +7,7 @@
 //! validated [`Netlist`] ready for levelized simulation and gate-level power
 //! estimation.
 
+use crate::crossing::IsolationKind;
 use crate::gate::{Gate, GateKind, NetId};
 use crate::levelize::levelize;
 use crate::netlist::{Dff, MemoryMacro, Netlist};
@@ -159,6 +160,7 @@ pub struct NetlistBuilder {
     gate_domains: Vec<usize>,
     dff_domains: Vec<usize>,
     mem_domains: Vec<usize>,
+    isolation_marks: Vec<(usize, IsolationKind)>,
 }
 
 impl NetlistBuilder {
@@ -177,6 +179,7 @@ impl NetlistBuilder {
             gate_domains: Vec::new(),
             dff_domains: Vec::new(),
             mem_domains: Vec::new(),
+            isolation_marks: Vec::new(),
         }
     }
 
@@ -372,6 +375,24 @@ impl NetlistBuilder {
     /// `sel ? b : a`
     pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
         self.emit(GateKind::Mux2, vec![sel, a, b])
+    }
+
+    /// Instantiates an isolation cell over the boundary net `data`,
+    /// controlled by `ctrl`, and marks it with the given clamp polarity.
+    ///
+    /// `Clamp0` lowers to `AND2(data, ctrl)` with `ctrl` as an active-low
+    /// isolate (drive `ctrl` low to park the boundary at 0); `Clamp1`
+    /// lowers to `OR2(data, ctrl)` with `ctrl` as an active-high isolate.
+    /// The cell is created in the *current* domain, which should be the
+    /// still-on side of the crossing.
+    pub fn isolation_cell(&mut self, kind: IsolationKind, data: NetId, ctrl: NetId) -> NetId {
+        let gate_kind = match kind {
+            IsolationKind::Clamp0 => GateKind::And2,
+            IsolationKind::Clamp1 => GateKind::Or2,
+        };
+        let out = self.emit(gate_kind, vec![data, ctrl]);
+        self.isolation_marks.push((self.gates.len() - 1, kind));
+        out
     }
 
     // ------------------------------------------------------------------
@@ -789,6 +810,9 @@ impl NetlistBuilder {
             self.dff_domains,
             self.mem_domains,
         );
+        for (gate, kind) in self.isolation_marks {
+            netlist.set_gate_isolation(gate, kind);
+        }
         for (name, dir, nets) in self.ports {
             netlist.add_port(name, dir, nets)?;
         }

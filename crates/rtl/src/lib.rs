@@ -57,6 +57,7 @@
 
 mod batch;
 mod builder;
+mod crossing;
 mod gate;
 mod harness;
 mod levelize;
@@ -68,6 +69,7 @@ mod verilog;
 
 pub use batch::{capture_traces_batch, capture_traces_by_domain_batch, BatchSimulator};
 pub use builder::{AddResult, NetlistBuilder, Register, Word};
+pub use crossing::{CellRef, CrossingEdge, IsolationKind};
 pub use gate::{Gate, GateKind, NetId};
 pub use harness::{
     capture_traces, capture_traces_by_domain, CaptureResult, HierarchicalCapture, Stimulus,

@@ -1,5 +1,6 @@
 //! The netlist container: nets, gates, flip-flops and ports.
 
+use crate::crossing::IsolationKind;
 use crate::gate::{Gate, NetId};
 use crate::RtlError;
 use psm_trace::{Direction, SignalSet};
@@ -168,6 +169,7 @@ pub struct Netlist {
     gate_domains: Vec<usize>,
     dff_domains: Vec<usize>,
     mem_domains: Vec<usize>,
+    gate_isolation: Vec<Option<IsolationKind>>,
 }
 
 impl Netlist {
@@ -192,6 +194,7 @@ impl Netlist {
         debug_assert_eq!(gates.len(), gate_domains.len());
         debug_assert_eq!(dffs.len(), dff_domains.len());
         debug_assert_eq!(memories.len(), mem_domains.len());
+        let gate_isolation = vec![None; gates.len()];
         Netlist {
             name,
             net_count,
@@ -203,7 +206,12 @@ impl Netlist {
             gate_domains,
             dff_domains,
             mem_domains,
+            gate_isolation,
         }
+    }
+
+    pub(crate) fn set_gate_isolation(&mut self, gate: usize, kind: IsolationKind) {
+        self.gate_isolation[gate] = Some(kind);
     }
 
     pub(crate) fn add_port(
@@ -270,6 +278,21 @@ impl Netlist {
     /// Domain of each SRAM macro (parallel to [`Netlist::memories`]).
     pub fn mem_domains(&self) -> &[usize] {
         &self.mem_domains
+    }
+
+    /// Declared isolation role of each combinational cell (parallel to
+    /// [`Netlist::gates`]): `Some(kind)` when the cell was marked with an
+    /// `(* isolation = "..." *)` attribute or built through an isolation
+    /// helper, `None` for ordinary logic.
+    pub fn gate_isolation(&self) -> &[Option<IsolationKind>] {
+        &self.gate_isolation
+    }
+
+    /// True when the netlist declares any power intent, i.e. carries at
+    /// least one isolation-marked cell. Analyses treat domains of a netlist
+    /// without declared intent as always-on (there is nothing to prove).
+    pub fn has_power_intent(&self) -> bool {
+        self.gate_isolation.iter().any(Option::is_some)
     }
 
     /// All ports in declaration order.

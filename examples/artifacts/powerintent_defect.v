@@ -1,0 +1,28 @@
+// Deliberately defective power intent for the CI lint gate. Domain
+// `unit` is gateable and leaves through two nets: n5 is "isolated" by a
+// clamp1-marked AND (which can only force 0 — PD002), n6 crosses with no
+// isolation cell at all (PD001). Powering `unit` down therefore drives
+// both core gates and both output bits to X (PD006 x2, PD007 x2); PD008
+// summarises the run. The findings are recorded in psmlint-baseline.json
+// next to this file, so CI fails only when a *new* finding appears.
+module pdefect (a, en_n, x);
+  input [1:0] a;
+  input en_n;
+  output [1:0] x;
+  wire n2;
+  wire n3;
+  wire n4;
+  wire n5;
+  wire n6;
+  wire n7;
+  wire n8;
+  assign n2 = a[0];
+  assign n3 = a[1];
+  assign n4 = en_n[0];
+  (* power_domain = "unit" *) not g0 (n5, n2);
+  (* power_domain = "unit" *) not g1 (n6, n3);
+  (* isolation = "clamp1" *) and g2 (n7, n5, n4);
+  or g3 (n8, n6, n4);
+  assign x[0] = n7;
+  assign x[1] = n8;
+endmodule

@@ -44,9 +44,9 @@
 
 use psm_persist::JsonValue;
 use psmgen::analyze::{
-    lint_model, lint_netlist, lint_netlist_dataflow, lint_power_trace, lint_psm_against_table,
-    lint_psm_against_training, replay_witness, to_sarif, verify_model, AnalysisReport, Baseline,
-    LintConfig, Severity,
+    codes, lint_model, lint_netlist, lint_netlist_dataflow, lint_power_intent, lint_power_trace,
+    lint_psm_against_table, lint_psm_against_training, lint_psm_power_intent, replay_witness,
+    to_sarif, verify_model, AnalysisReport, Baseline, LintConfig, Severity,
 };
 use psmgen::flow::{HierarchicalModel, IpPreset, PsmFlow, TrainedModel};
 use psmgen::ips::{testbench, MultSum};
@@ -92,6 +92,9 @@ Options:
                     and model given alongside it, instead of --verify
   --demo <path>     train a quick MultSum model, save it at <path>,
                     then lint the saved file
+  --list-codes      print the full diagnostic catalogue (code, severity,
+                    summary) as text, or as JSON with --format json, and
+                    exit; needs no artifacts
   -q, --quiet       suppress progress lines (stderr); stdout carries
                     only the report in the selected format
   -h, --help        show this help";
@@ -117,6 +120,7 @@ struct Options {
     config: Option<String>,
     baseline: Option<String>,
     demo: Option<String>,
+    list_codes: bool,
     verify: bool,
     depth: Option<usize>,
     witness_dir: Option<String>,
@@ -142,6 +146,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         config: None,
         baseline: None,
         demo: None,
+        list_codes: false,
         verify: false,
         depth: None,
         witness_dir: None,
@@ -175,6 +180,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let path = it.next().ok_or("--demo needs a file path")?;
                 opts.demo = Some(path.clone());
             }
+            "--list-codes" => opts.list_codes = true,
             "--verify" => opts.verify = true,
             "--depth" => {
                 let value = it.next().ok_or("--depth needs a cycle count")?;
@@ -198,10 +204,43 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             path => opts.paths.push(path.to_owned()),
         }
     }
-    if opts.paths.is_empty() && opts.demo.is_none() {
+    if opts.paths.is_empty() && opts.demo.is_none() && !opts.list_codes {
         return Err("no artifacts given".to_owned());
     }
     Ok(opts)
+}
+
+/// Prints the diagnostic catalogue (`--list-codes`) in the selected
+/// format. The text form is one `code severity summary` line per code —
+/// the shape CI diffs against the DIAGNOSTICS.md tables.
+fn print_codes(format: Format) {
+    match format {
+        Format::Json | Format::Sarif => {
+            let entries = JsonValue::arr(codes::ALL.iter().map(|info| {
+                JsonValue::obj([
+                    ("code", JsonValue::from(info.code)),
+                    ("severity", JsonValue::from(info.severity.name())),
+                    ("summary", JsonValue::from(info.summary)),
+                    ("help", JsonValue::from(info.help)),
+                ])
+            }));
+            let doc = JsonValue::obj([
+                ("schema", JsonValue::from("psmlint-codes/v1")),
+                ("codes", entries),
+            ]);
+            println!("{}", doc.render());
+        }
+        Format::Text => {
+            for info in codes::ALL {
+                println!(
+                    "{}  {:<7}  {}",
+                    info.code,
+                    info.severity.name(),
+                    info.summary
+                );
+            }
+        }
+    }
 }
 
 /// Artifacts remembered across files for the cross-artifact checks.
@@ -210,9 +249,15 @@ struct Loaded {
     /// Flat models, by path, for the XA002 attribute re-derivation and
     /// the `--verify`/`--replay` modes.
     models: Vec<(String, PropositionTable, Psm)>,
+    /// Per-domain PSMs of hierarchical models, as (path, domain, psm),
+    /// for the domain-scoped XA005 power-intent cross-check.
+    domain_models: Vec<(String, String, Psm)>,
     /// Power traces in command-line order.
     power: Vec<PowerTrace>,
-    /// Parsed netlists, by path, for the `--verify`/`--replay` modes.
+    /// Paths of the power traces, same order (XA002 related artifacts).
+    power_paths: Vec<String>,
+    /// Parsed netlists, by path, for the `--verify`/`--replay` modes and
+    /// the XA005 power-intent cross-check.
     netlists: Vec<(String, Netlist)>,
 }
 
@@ -232,6 +277,7 @@ fn lint_path(path: &str, loaded: &mut Loaded) -> Result<Vec<AnalysisReport>, Str
         let netlist = parse_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
         let mut report = lint_netlist(&netlist);
         report.merge(lint_netlist_dataflow(&netlist));
+        report.merge(lint_power_intent(&netlist));
         loaded.netlists.push((path.to_owned(), netlist));
         return Ok(vec![report]);
     }
@@ -241,6 +287,7 @@ fn lint_path(path: &str, loaded: &mut Loaded) -> Result<Vec<AnalysisReport>, Str
             read_power_csv(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
         let report = lint_power_trace(&trace, path);
         loaded.power.push(trace);
+        loaded.power_paths.push(path.to_owned());
         return Ok(vec![report]);
     }
     // Model files: a flat TrainedModel, else a HierarchicalModel.
@@ -262,6 +309,9 @@ fn lint_path(path: &str, loaded: &mut Loaded) -> Result<Vec<AnalysisReport>, Str
                     let mut report = AnalysisReport::new(format!("domain `{domain}`"));
                     report.merge(lint_model(&m.psm, &m.hmm, m.table.len()));
                     report.merge(lint_psm_against_table(&m.psm, m.table.len()));
+                    loaded
+                        .domain_models
+                        .push((path.to_owned(), domain.clone(), m.psm.clone()));
                     report
                 })
                 .collect()),
@@ -346,6 +396,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.list_codes {
+        print_codes(opts.format);
+        return ExitCode::SUCCESS;
+    }
     let config = match opts.config.as_deref().map(load_config).transpose() {
         Ok(config) => config.unwrap_or_default(),
         Err(message) => {
@@ -404,9 +458,40 @@ fn main() -> ExitCode {
                 loaded.power.len()
             ));
             let start = Instant::now();
-            let report = lint_psm_against_training(psm, &loaded.power, CROSS_CHECK_ALPHA);
+            let mut report = lint_psm_against_training(psm, &loaded.power, CROSS_CHECK_ALPHA);
+            let mut related = vec![path.clone()];
+            related.extend(loaded.power_paths.iter().cloned());
+            report.tag_related(&related);
             files.push(LintedFile {
                 file: path.clone(),
+                report,
+                elapsed_ns: start.elapsed().as_nanos() as u64,
+                suppressed: 0,
+            });
+        }
+    }
+    // Power-intent cross-check (XA005): every model given alongside a
+    // netlist that declares power intent is checked for off-implying
+    // states over domains the netlist cannot actually gate. Hierarchical
+    // models scope the check to their own domain.
+    for (netlist_path, netlist) in &loaded.netlists {
+        if !netlist.has_power_intent() {
+            continue;
+        }
+        let flat = loaded.models.iter().map(|(path, _, psm)| (path, None, psm));
+        let scoped = loaded
+            .domain_models
+            .iter()
+            .map(|(path, domain, psm)| (path, Some(domain.as_str()), psm));
+        for (model_path, domain, psm) in flat.chain(scoped) {
+            opts.progress(format_args!(
+                "cross-checking power intent of {model_path} against {netlist_path}"
+            ));
+            let start = Instant::now();
+            let mut report = lint_psm_power_intent(psm, domain, netlist);
+            report.tag_related(&[model_path.clone(), netlist_path.clone()]);
+            files.push(LintedFile {
+                file: model_path.clone(),
                 report,
                 elapsed_ns: start.elapsed().as_nanos() as u64,
                 suppressed: 0,
@@ -469,6 +554,8 @@ fn main() -> ExitCode {
                     }
                     outcome.report
                 };
+                let mut report = report;
+                report.tag_related(&[model_path.clone(), netlist_path.clone()]);
                 files.push(LintedFile {
                     file: model_path.clone(),
                     report,

@@ -34,8 +34,9 @@ use crate::parallel::{collect_ordered, lane_partition, run_indexed};
 use crate::telemetry::{Stage, Telemetry, TelemetryReport};
 use psm_analyze::{
     lint_hmm_against_observations, lint_interface, lint_model, lint_netlist, lint_netlist_dataflow,
-    lint_proposition_coverage, lint_psm_against_table, lint_psm_against_training, lint_trace_pair,
-    verify_model, AnalysisReport, Severity,
+    lint_power_intent, lint_proposition_coverage, lint_psm_against_table,
+    lint_psm_against_training, lint_psm_power_intent, lint_trace_pair, verify_model,
+    AnalysisReport, Severity,
 };
 pub use psm_analyze::{LintConfig, LintLevel, Strictness, VerifyConfig};
 use psm_core::{
@@ -640,6 +641,13 @@ impl PsmFlow {
             lint_interface(&ip.signals(), &netlist)
         });
         self.check(telemetry, interface_report)?;
+        // Silent unless the netlist declares power intent (isolation-marked
+        // cells); PD001/PD006/PD007 holes fail training under the default
+        // strictness before any power-down is ever mined.
+        let intent_report = telemetry.time(Stage::Validate, "power intent", || {
+            lint_power_intent(&netlist)
+        });
+        self.check(telemetry, intent_report)?;
 
         // Golden capture: functional + reference power over the bit-parallel
         // engine. Stimuli pack 64-to-a-lane-word into contiguous groups (one
@@ -736,6 +744,13 @@ impl PsmFlow {
             lint_psm_against_table(&combined, mined.table.len())
         });
         self.check(telemetry, guards_report)?;
+        // Off-implying mined states versus the netlist's isolation proofs
+        // (XA005): the model must not promise power-downs the netlist
+        // cannot survive.
+        let psm_intent_report = telemetry.time(Stage::Validate, "psm power intent", || {
+            lint_psm_power_intent(&combined, None, &netlist)
+        });
+        self.check(telemetry, psm_intent_report)?;
         // Bounded model checking: every mined assertion against the
         // netlist's reachable behaviours, not just the training traces.
         if self.verify.depth > 0 {

@@ -573,7 +573,7 @@ fn flow_lint_config_overrides_strictness_outcome() {
 
 #[test]
 fn benchmark_netlists_are_clean_under_semantic_lints() {
-    use psmgen::analyze::{lint_interface, lint_netlist_dataflow};
+    use psmgen::analyze::{lint_interface, lint_netlist_dataflow, lint_power_intent};
     use psmgen::ips::{ip_by_name, BENCHMARK_NAMES};
     for name in BENCHMARK_NAMES {
         let ip = ip_by_name(name).expect("known IP");
@@ -582,5 +582,166 @@ fn benchmark_netlists_are_clean_under_semantic_lints() {
         assert!(report.is_clean(), "{name}: {}", report.text());
         let report = lint_interface(&ip.signals(), &netlist);
         assert!(report.is_clean(), "{name}: {}", report.text());
+        let report = lint_power_intent(&netlist);
+        assert!(report.is_clean(), "{name}: {}", report.text());
     }
+}
+
+/// The seeded power-intent defect fixture shipped with the repo, shared
+/// with the CI SARIF gate and the baseline workflow.
+fn powerintent_fixture() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/artifacts/powerintent_defect.v"
+    )
+}
+
+#[test]
+fn psmlint_pins_power_intent_defect_fixture() {
+    use psm_persist::JsonValue;
+    let (code, json) = run_psmlint(&["--format", "json", powerintent_fixture()]);
+    assert_eq!(code, Some(1), "{json}");
+    let doc = JsonValue::parse(&json).expect("valid JSON envelope");
+    let reports = doc.arr_field("reports").unwrap();
+    assert_eq!(reports.len(), 1);
+    let mut counts = std::collections::BTreeMap::new();
+    for d in reports[0]
+        .field("report")
+        .unwrap()
+        .arr_field("diagnostics")
+        .unwrap()
+    {
+        *counts
+            .entry(d.str_field("code").unwrap().to_string())
+            .or_insert(0usize) += 1;
+    }
+    let expect: std::collections::BTreeMap<String, usize> = [
+        ("PD001", 1), // unisolated unit -> core crossing (n6 and n8's sink)
+        ("PD002", 1), // clamp1-marked AND can only force 0
+        ("PD006", 2), // both core gates read X with unit off
+        ("PD007", 2), // both output bits observe the X
+        ("PD008", 1), // intent summary: unit LEAKS
+    ]
+    .into_iter()
+    .map(|(c, n)| (c.to_string(), n))
+    .collect();
+    assert_eq!(counts, expect, "{json}");
+    assert_eq!(doc.u64_field("errors").unwrap(), 6, "{json}");
+    assert_eq!(doc.u64_field("warnings").unwrap(), 0, "{json}");
+}
+
+#[test]
+fn psmlint_list_codes_matches_the_catalogue() {
+    use psm_persist::JsonValue;
+    let (code, text) = run_psmlint(&["--list-codes"]);
+    assert_eq!(code, Some(0), "{text}");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), codes::ALL.len(), "one line per code:\n{text}");
+    for (line, info) in lines.iter().zip(codes::ALL) {
+        assert!(
+            line.starts_with(info.code),
+            "catalogue order must hold: {line}"
+        );
+        assert!(line.contains(info.severity.name()), "{line}");
+    }
+
+    let (code, json) = run_psmlint(&["--list-codes", "--format", "json"]);
+    assert_eq!(code, Some(0), "{json}");
+    let doc = JsonValue::parse(&json).expect("valid JSON");
+    assert_eq!(doc.str_field("schema").unwrap(), "psmlint-codes/v1");
+    let entries = doc.arr_field("codes").unwrap();
+    assert_eq!(entries.len(), codes::ALL.len());
+    for (entry, info) in entries.iter().zip(codes::ALL) {
+        assert_eq!(entry.str_field("code").unwrap(), info.code);
+        assert_eq!(entry.str_field("severity").unwrap(), info.severity.name());
+    }
+}
+
+#[test]
+fn psmlint_cross_checks_power_states_against_intent() {
+    // Graft a reachable low-power state onto the trained machine. The
+    // guard is an exit proposition of the initial state and, by
+    // construction, the entry proposition of the new state's chain, so
+    // the PSM stays structurally valid (no PS001/PS004); rebuilding the
+    // HMM keeps the dimensions consistent (no HM003).
+    let mut model = quick_model();
+    let (root, _) = model.psm.initials()[0];
+    let g = model.psm.state(root).chains()[0].exit_proposition();
+    let max_mu = model
+        .psm
+        .states()
+        .map(|(_, s)| s.attrs().mu())
+        .fold(0.0, f64::max);
+    assert!(max_mu > 0.0, "training yields positive power states");
+    let delta: PowerTrace = [max_mu * 0.01, max_mu * 0.01].into_iter().collect();
+    let off = PowerState::new(
+        ChainAssertion::single(TemporalAssertion::new(TemporalPattern::Until, g, g)),
+        SourceWindow {
+            trace: 0,
+            start: 0,
+            stop: 1,
+        },
+        PowerAttributes::from_window(&delta, 0, 1),
+    );
+    let off_id = model.psm.add_state(off);
+    model.psm.add_transition(root, off_id, g);
+    model.hmm = psmgen::hmm::build_hmm(&model.psm, model.hmm.num_symbols());
+
+    let model_path = scratch_path("xa005.json");
+    model.save(&model_path).unwrap();
+    let (code, json) = run_psmlint(&[
+        "--json",
+        model_path.to_str().unwrap(),
+        powerintent_fixture(),
+    ]);
+    std::fs::remove_file(&model_path).ok();
+    assert_eq!(code, Some(1), "{json}");
+    assert!(json.contains("\"code\":\"XA005\""), "{json}");
+    // The cross-artifact finding names both inputs so SARIF viewers can
+    // resolve the related locations.
+    let related = format!(
+        "\"related\":[\"{}\",\"{}\"]",
+        model_path.display(),
+        powerintent_fixture()
+    );
+    assert!(json.contains(&related), "{json}");
+}
+
+#[test]
+fn off_domain_proof_matches_concrete_simulation() {
+    use psmgen::analyze::prove_domain_off;
+    use psmgen::rtl::Simulator;
+    use psmgen::trace::Bits;
+    let src = std::fs::read_to_string(powerintent_fixture()).unwrap();
+    let netlist = parse_verilog(&src).unwrap();
+    let unit = netlist
+        .domains()
+        .iter()
+        .position(|d| d == "unit")
+        .expect("fixture declares the unit domain");
+    let proof = prove_domain_off(&netlist, unit).expect("fixture is interpretable");
+    assert!(!proof.is_isolated());
+    // The ternary proof says both output bits escape…
+    assert_eq!(proof.leaks.iter().filter(|l| l.at_output).count(), 2);
+
+    // …and the scalar simulator agrees. With isolation asserted
+    // (en_n = 0), toggling the off domain's source still moves x[1]
+    // (the unisolated n6/n8 route, PD006/PD007) while x[0] parks at 0
+    // despite the declared clamp1 polarity (PD002).
+    let mut sim = Simulator::new(&netlist).unwrap();
+    let mut x_at = |a: u64| {
+        sim.set_input("a", &Bits::from_u64(a, 2)).unwrap();
+        sim.set_input("en_n", &Bits::from_u64(0, 1)).unwrap();
+        sim.step();
+        sim.output("x").unwrap().to_u64().unwrap()
+    };
+    let x_lo = x_at(0b00);
+    let x_hi = x_at(0b10);
+    assert_eq!(x_lo & 1, 0, "marked clamp parks at 0, not the declared 1");
+    assert_eq!(x_hi & 1, 0);
+    assert_ne!(
+        x_lo >> 1,
+        x_hi >> 1,
+        "off-domain data must reach x[1] through the unisolated crossing"
+    );
 }
