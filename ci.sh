@@ -109,6 +109,42 @@ cmp target/psmd-smoke/estimate.json target/psmd-smoke/slow.json
 ./target/release/psmctl --addr "$PSMD_ADDR" shutdown
 wait "$PSMD_PID"   # psmd must drain and exit 0
 
+echo "==> psmd: v3 artifact (psmctl compile) serves the v2 answer bit for bit"
+# Rewrite the smoke artifact as a psmgen-artifact/v3 with the flat-table
+# serving form precomputed, serve it from a second registry, and require
+# the same workload to estimate to the same bytes as the v2 run above.
+rm -rf target/psmd-smoke-v3 && mkdir -p target/psmd-smoke-v3
+./target/release/psmctl compile \
+    target/psmd-smoke/demo@1.json target/psmd-smoke-v3/demo@1.json
+./target/release/psmd --registry target/psmd-smoke-v3 \
+    --addr 127.0.0.1:0 --port-file target/psmd-smoke/v3-port &
+PSMD_PID=$!
+for _ in $(seq 1 50); do
+    [ -s target/psmd-smoke/v3-port ] && break
+    sleep 0.1
+done
+PSMD_ADDR="$(cat target/psmd-smoke/v3-port)"
+./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
+    --gen MultSum:7:500 --format json > target/psmd-smoke/v3-estimate.json
+cmp target/psmd-smoke/estimate.json target/psmd-smoke/v3-estimate.json
+./target/release/psmctl --addr "$PSMD_ADDR" shutdown
+wait "$PSMD_PID"
+# The interpreted fallback engine must answer identically from the same
+# v3 registry (engines differ in speed, never in bits).
+./target/release/psmd --registry target/psmd-smoke-v3 --engine interpreted \
+    --addr 127.0.0.1:0 --port-file target/psmd-smoke/v3-port-interp &
+PSMD_PID=$!
+for _ in $(seq 1 50); do
+    [ -s target/psmd-smoke/v3-port-interp ] && break
+    sleep 0.1
+done
+PSMD_ADDR="$(cat target/psmd-smoke/v3-port-interp)"
+./target/release/psmctl --addr "$PSMD_ADDR" estimate demo \
+    --gen MultSum:7:500 --format json > target/psmd-smoke/v3-interp.json
+cmp target/psmd-smoke/estimate.json target/psmd-smoke/v3-interp.json
+./target/release/psmctl --addr "$PSMD_ADDR" shutdown
+wait "$PSMD_PID"
+
 echo "==> psmbench: quick regression gate vs checked-in baseline"
 cargo build --offline --release -p psm-bench --bin psmbench
 # Thread scaling is only a meaningful assertion when the host actually

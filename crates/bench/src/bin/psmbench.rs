@@ -2,10 +2,12 @@
 //!
 //! Runs the fixed scenario suite from [`psm_bench::scenarios`] (assertion
 //! mining, PSM generation, merging, HMM build + forward simulation, the
-//! full [`psmgen::flow::PsmFlow`] train/estimate path at several worker
-//! counts, and the `psmd` daemon end to end: eight concurrent loopback
-//! clients at the same worker counts, a one-shot JSON-vs-binary wire
-//! format comparison, and chunked streaming sessions with per-chunk
+//! compiled flat-table forward pass against the interpreted walker on
+//! all four paper benches, the full [`psmgen::flow::PsmFlow`]
+//! train/estimate path at several worker counts, and the `psmd` daemon
+//! end to end: eight concurrent loopback clients at the same worker
+//! counts on both engines, a one-shot JSON-vs-binary wire format
+//! comparison, and chunked streaming sessions with per-chunk
 //! latency percentiles), prints a human-readable table, and writes a
 //! schema-versioned `BENCH_psmgen.json` with per-scenario ns/op,
 //! throughput in trace-rows/s and speedup-vs-1-thread.
@@ -331,7 +333,13 @@ fn main() -> ExitCode {
             "join_traces",
             "hmm_build",
             "hmm_forward_sim",
+            "compiled_forward_ram",
+            "compiled_forward_multsum",
+            "compiled_forward_aes",
+            "compiled_forward_camellia",
             "lint_suite",
+            "verify_suite",
+            "powerintent_suite",
         ] {
             println!("{name}");
         }
@@ -341,6 +349,7 @@ fn main() -> ExitCode {
         }
         for t in &cfg.threads {
             println!("serve_estimate_t{t}");
+            println!("serve_estimate_compiled_t{t}");
         }
         println!("serve_oneshot_json");
         println!("serve_oneshot_bin");

@@ -1,0 +1,524 @@
+//! JSON persistence of a [`CompiledModel`] — the `"compiled"` section of a
+//! `psmgen-artifact/v3`.
+//!
+//! Only the *linear* tables are serialised. The log tables and the
+//! alternative-buffer capacity are derived state, recomputed on load by the
+//! same transforms compilation applies — a serialised artifact cannot carry
+//! log values that diverge from its linear probabilities.
+//!
+//! Loading performs full structural validation and returns a structured
+//! [`PersistError::Schema`](psm_persist::PersistError) (never a panic, never
+//! a silent fallback) when any table length disagrees with the declared
+//! state/symbol/proposition counts, when an offset table is non-monotonic,
+//! when an index is out of range, or when the entry dictionary does not
+//! match the chain table it accelerates.
+
+use psm_persist::{JsonValue, Persist, PersistError};
+
+use crate::model::{derive_logs, CompiledModel};
+
+fn u32s_to_json(values: &[u32]) -> JsonValue {
+    JsonValue::Arr(
+        values
+            .iter()
+            .map(|&v| JsonValue::UInt(u64::from(v)))
+            .collect(),
+    )
+}
+
+fn bools_to_json(values: &[bool]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Bool(v)).collect())
+}
+
+fn u32s_field(v: &JsonValue, name: &str) -> Result<Vec<u32>, PersistError> {
+    v.arr_field(name)?
+        .iter()
+        .map(|x| {
+            let raw = x.as_u64()?;
+            u32::try_from(raw).map_err(|_| {
+                PersistError::schema(format!("compiled field '{name}' holds {raw}, beyond u32"))
+            })
+        })
+        .collect()
+}
+
+fn bools_field(v: &JsonValue, name: &str) -> Result<Vec<bool>, PersistError> {
+    v.arr_field(name)?.iter().map(|x| x.as_bool()).collect()
+}
+
+fn f64s_field(v: &JsonValue, name: &str) -> Result<Vec<f64>, PersistError> {
+    v.arr_field(name)?.iter().map(|x| x.as_f64()).collect()
+}
+
+fn expect_len(name: &str, len: usize, want: usize) -> Result<(), PersistError> {
+    if len == want {
+        Ok(())
+    } else {
+        Err(PersistError::schema(format!(
+            "compiled table '{name}' has {len} entries, expected {want} from the declared counts"
+        )))
+    }
+}
+
+/// An offset table: `len` entries expected, starts at zero, monotone
+/// non-decreasing (strictly increasing when `strict`), ending at `total`.
+fn expect_offsets(
+    name: &str,
+    off: &[u32],
+    len: usize,
+    strict: bool,
+    total: usize,
+) -> Result<(), PersistError> {
+    expect_len(name, off.len(), len)?;
+    if off.first() != Some(&0) {
+        return Err(PersistError::schema(format!(
+            "compiled offset table '{name}' must start at 0"
+        )));
+    }
+    for w in off.windows(2) {
+        if w[1] < w[0] || (strict && w[1] == w[0]) {
+            return Err(PersistError::schema(format!(
+                "compiled offset table '{name}' is not {} (…{}, {}…)",
+                if strict {
+                    "strictly increasing"
+                } else {
+                    "monotone"
+                },
+                w[0],
+                w[1]
+            )));
+        }
+    }
+    if *off.last().expect("len >= 1 checked") as usize != total {
+        return Err(PersistError::schema(format!(
+            "compiled offset table '{name}' ends at {} but the indexed table has {total} entries",
+            off.last().expect("len >= 1 checked")
+        )));
+    }
+    Ok(())
+}
+
+fn expect_in_range(name: &str, values: &[u32], bound: usize) -> Result<(), PersistError> {
+    if let Some(&v) = values.iter().find(|&&v| v as usize >= bound) {
+        return Err(PersistError::schema(format!(
+            "compiled table '{name}' references index {v}, but only {bound} are declared"
+        )));
+    }
+    Ok(())
+}
+
+/// The stochastic-row predicate `Hmm`'s own persistence enforces.
+fn is_distribution(row: impl Iterator<Item = f64> + Clone) -> bool {
+    let sum: f64 = row.clone().sum();
+    row.clone().all(|p| (0.0..=1.0).contains(&p)) && (sum - 1.0).abs() < 1e-6
+}
+
+impl Persist for CompiledModel {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("states", JsonValue::UInt(self.m as u64)),
+            ("symbols", JsonValue::UInt(self.k as u64)),
+            ("props", JsonValue::UInt(self.props as u64)),
+            ("row_words", JsonValue::UInt(self.row_words as u64)),
+            ("at", self.at.to_json()),
+            ("bt", self.bt.to_json()),
+            ("pi", self.pi.to_json()),
+            ("emission", self.emission.to_json()),
+            ("emission_ok", bools_to_json(&self.emission_ok)),
+            ("chain_off", u32s_to_json(&self.chain_off)),
+            ("part_off", u32s_to_json(&self.part_off)),
+            ("part_left", u32s_to_json(&self.part_left)),
+            ("part_right", u32s_to_json(&self.part_right)),
+            ("part_next", bools_to_json(&self.part_next)),
+            ("entry_off", u32s_to_json(&self.entry_off)),
+            ("entry_state", u32s_to_json(&self.entry_state)),
+            ("entry_chain", u32s_to_json(&self.entry_chain)),
+            ("trans_off", u32s_to_json(&self.trans_off)),
+            ("trans_to", u32s_to_json(&self.trans_to)),
+            ("trans_guard", u32s_to_json(&self.trans_guard)),
+            (
+                "out_kind",
+                JsonValue::Arr(
+                    self.out_kind
+                        .iter()
+                        .map(|&v| JsonValue::UInt(u64::from(v)))
+                        .collect(),
+                ),
+            ),
+            ("out_slope", self.out_slope.to_json()),
+            ("out_offset", self.out_offset.to_json()),
+            ("attr_mu", self.attr_mu.to_json()),
+            ("attr_sigma", self.attr_sigma.to_json()),
+            ("attr_n", self.attr_n.to_json()),
+            ("initial", JsonValue::UInt(u64::from(self.initial_state))),
+            ("dict_rows", self.dict_rows.to_json()),
+            ("dict_codes", u32s_to_json(&self.dict_codes)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, PersistError> {
+        let m = v.usize_field("states")?;
+        let k = v.usize_field("symbols")?;
+        let props = v.usize_field("props")?;
+        let row_words = v.usize_field("row_words")?;
+        if m == 0 {
+            return Err(PersistError::schema("compiled model declares zero states"));
+        }
+        if k == 0 {
+            return Err(PersistError::schema("compiled model declares zero symbols"));
+        }
+
+        let at = f64s_field(v, "at")?;
+        let bt = f64s_field(v, "bt")?;
+        let pi = f64s_field(v, "pi")?;
+        let emission = f64s_field(v, "emission")?;
+        let emission_ok = bools_field(v, "emission_ok")?;
+        expect_len("at", at.len(), m * m)?;
+        expect_len("bt", bt.len(), k * m)?;
+        expect_len("pi", pi.len(), m)?;
+        expect_len("emission", emission.len(), k * m)?;
+        expect_len("emission_ok", emission_ok.len(), k)?;
+
+        // The same stochastic-row checks Hmm's persistence applies to the
+        // untransposed matrices.
+        for i in 0..m {
+            if !is_distribution((0..m).map(|j| at[j * m + i])) {
+                return Err(PersistError::schema(format!(
+                    "compiled transition row {i} is not a probability distribution"
+                )));
+            }
+        }
+        for j in 0..m {
+            if !is_distribution((0..k).map(|s| bt[s * m + j])) {
+                return Err(PersistError::schema(format!(
+                    "compiled emission row {j} is not a probability distribution"
+                )));
+            }
+        }
+        if !is_distribution(pi.iter().copied()) {
+            return Err(PersistError::schema(
+                "compiled initial distribution does not sum to 1",
+            ));
+        }
+        for s in 0..k {
+            let row = &emission[s * m..(s + 1) * m];
+            if emission_ok[s] {
+                if !is_distribution(row.iter().copied()) {
+                    return Err(PersistError::schema(format!(
+                        "compiled resync belief for symbol {s} is not a probability distribution"
+                    )));
+                }
+            } else if row.iter().any(|&p| p != 0.0) {
+                return Err(PersistError::schema(format!(
+                    "compiled resync belief for symbol {s} is flagged invalid but non-zero"
+                )));
+            }
+        }
+
+        let chain_off = u32s_field(v, "chain_off")?;
+        let part_off = u32s_field(v, "part_off")?;
+        let part_left = u32s_field(v, "part_left")?;
+        let part_right = u32s_field(v, "part_right")?;
+        let part_next = bools_field(v, "part_next")?;
+        if chain_off.len() != m + 1 {
+            return Err(PersistError::schema(format!(
+                "compiled chain offsets have {} entries for {m} declared states (want {})",
+                chain_off.len(),
+                m + 1
+            )));
+        }
+        let chains = *chain_off.last().expect("length checked") as usize;
+        expect_offsets("chain_off", &chain_off, m + 1, true, chains)?;
+        let parts = part_left.len();
+        expect_offsets("part_off", &part_off, chains + 1, true, parts)?;
+        expect_len("part_right", part_right.len(), parts)?;
+        expect_len("part_next", part_next.len(), parts)?;
+
+        let entry_off = u32s_field(v, "entry_off")?;
+        let entry_state = u32s_field(v, "entry_state")?;
+        let entry_chain = u32s_field(v, "entry_chain")?;
+        expect_offsets("entry_off", &entry_off, props + 1, false, entry_state.len())?;
+        expect_len("entry_chain", entry_chain.len(), entry_state.len())?;
+        expect_in_range("entry_state", &entry_state, m)?;
+        expect_in_range("entry_chain", &entry_chain, chains)?;
+        // The entry dictionary is an acceleration of the chain table; it
+        // must equal the one compilation derives, or resynchronisation
+        // would silently diverge from the interpreted walker.
+        {
+            let mut want_off: Vec<u32> = Vec::with_capacity(props + 1);
+            let mut want_state: Vec<u32> = Vec::with_capacity(chains);
+            let mut want_chain: Vec<u32> = Vec::with_capacity(chains);
+            let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); props];
+            for s in 0..m {
+                for c in chain_off[s]..chain_off[s + 1] {
+                    let entry = part_left[part_off[c as usize] as usize] as usize;
+                    if entry >= props {
+                        return Err(PersistError::schema(format!(
+                            "chain {c} enters on proposition {entry}, outside the declared {props}"
+                        )));
+                    }
+                    buckets[entry].push((s as u32, c));
+                }
+            }
+            want_off.push(0);
+            for bucket in &buckets {
+                for &(s, c) in bucket {
+                    want_state.push(s);
+                    want_chain.push(c);
+                }
+                want_off.push(want_state.len() as u32);
+            }
+            if entry_off != want_off || entry_state != want_state || entry_chain != want_chain {
+                return Err(PersistError::schema(
+                    "compiled entry dictionary is inconsistent with the chain table",
+                ));
+            }
+        }
+
+        let trans_off = u32s_field(v, "trans_off")?;
+        let trans_to = u32s_field(v, "trans_to")?;
+        let trans_guard = u32s_field(v, "trans_guard")?;
+        expect_offsets("trans_off", &trans_off, m + 1, false, trans_to.len())?;
+        expect_len("trans_guard", trans_guard.len(), trans_to.len())?;
+        expect_in_range("trans_to", &trans_to, m)?;
+
+        let out_kind_raw = u32s_field(v, "out_kind")?;
+        expect_len("out_kind", out_kind_raw.len(), m)?;
+        let out_kind: Vec<u8> = out_kind_raw
+            .iter()
+            .map(|&x| {
+                if x <= 1 {
+                    Ok(x as u8)
+                } else {
+                    Err(PersistError::schema(format!(
+                        "compiled output kind {x} is neither constant (0) nor regression (1)"
+                    )))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let out_slope = f64s_field(v, "out_slope")?;
+        let out_offset = f64s_field(v, "out_offset")?;
+        let attr_mu = f64s_field(v, "attr_mu")?;
+        let attr_sigma = f64s_field(v, "attr_sigma")?;
+        let attr_n = Vec::<u64>::from_json(v.field("attr_n")?)?;
+        expect_len("out_slope", out_slope.len(), m)?;
+        expect_len("out_offset", out_offset.len(), m)?;
+        expect_len("attr_mu", attr_mu.len(), m)?;
+        expect_len("attr_sigma", attr_sigma.len(), m)?;
+        expect_len("attr_n", attr_n.len(), m)?;
+
+        let initial = v.usize_field("initial")?;
+        if initial >= m {
+            return Err(PersistError::schema(format!(
+                "compiled initial state {initial} out of range ({m} states)"
+            )));
+        }
+
+        let dict_rows = Vec::<u64>::from_json(v.field("dict_rows")?)?;
+        let dict_codes = u32s_field(v, "dict_codes")?;
+        if row_words == 0 {
+            if !dict_rows.is_empty() || !dict_codes.is_empty() {
+                return Err(PersistError::schema(
+                    "compiled dictionary has rows but declares zero words per row",
+                ));
+            }
+        } else {
+            expect_len("dict_rows", dict_rows.len(), dict_codes.len() * row_words)?;
+            for i in 1..dict_codes.len() {
+                let prev = &dict_rows[(i - 1) * row_words..i * row_words];
+                let cur = &dict_rows[i * row_words..(i + 1) * row_words];
+                if prev >= cur {
+                    return Err(PersistError::schema(format!(
+                        "compiled dictionary rows are not strictly sorted at slot {i}"
+                    )));
+                }
+            }
+        }
+
+        let (log_at, log_bt, log_pi) = derive_logs(&at, &bt, &pi);
+        let max_chains = (0..m)
+            .map(|s| (chain_off[s + 1] - chain_off[s]) as usize)
+            .max()
+            .unwrap_or(0);
+        Ok(CompiledModel {
+            m,
+            k,
+            at,
+            bt,
+            pi,
+            emission,
+            emission_ok,
+            log_at,
+            log_bt,
+            log_pi,
+            props,
+            chain_off,
+            part_off,
+            part_left,
+            part_right,
+            part_next,
+            entry_off,
+            entry_state,
+            entry_chain,
+            trans_off,
+            trans_to,
+            trans_guard,
+            out_kind,
+            out_slope,
+            out_offset,
+            attr_mu,
+            attr_sigma,
+            attr_n,
+            initial_state: initial as u32,
+            max_chains,
+            row_words,
+            dict_rows,
+            dict_codes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psm_core::{generate_psm, join, MergePolicy, Psm};
+    use psm_hmm::{build_hmm, Hmm, HmmSimulator};
+    use psm_mining::{PropositionId, PropositionTrace};
+    use psm_trace::PowerTrace;
+
+    fn trained_pair() -> (Psm, Hmm) {
+        let props = [0u32, 0, 0, 1, 1, 2, 0, 0, 0, 1, 1, 2, 0, 0];
+        let power: PowerTrace = props.iter().map(|&p| 2.0 + 3.0 * p as f64).collect();
+        let psm = generate_psm(&PropositionTrace::from_indices(&props), &power, 0)
+            .expect("training trace generates a PSM");
+        let joined = join(&[psm], &MergePolicy::default());
+        let hmm = build_hmm(&joined, 3);
+        (joined, hmm)
+    }
+
+    fn obs(seq: &[u32]) -> Vec<Option<PropositionId>> {
+        seq.iter()
+            .map(|&i| Some(PropositionId::from_index(i)))
+            .collect()
+    }
+
+    #[test]
+    fn compiled_model_round_trips_bit_identically() {
+        let (psm, hmm) = trained_pair();
+        let compiled = CompiledModel::compile(&psm, &hmm).unwrap();
+        let text = compiled.to_json().render();
+        let back = CompiledModel::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().render(), text, "canonical form is stable");
+
+        let o = obs(&[0, 0, 1, 1, 2, 0, 0, 1, 2, 0]);
+        let h = vec![1u32; o.len()];
+        let a = compiled.run(&o, &h);
+        let b = back.run(&o, &h);
+        assert_eq!(a, b, "reloaded model behaves identically");
+        let interp = HmmSimulator::new(&psm, hmm).run(&o, &h);
+        for (x, y) in a.estimate.iter().zip(interp.estimate.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "compiled matches interpreted");
+        }
+    }
+
+    #[test]
+    fn length_lies_are_schema_errors_not_panics() {
+        let (psm, hmm) = trained_pair();
+        let compiled = CompiledModel::compile(&psm, &hmm).unwrap();
+
+        // Truncate one probability from the transition table.
+        let mut v = compiled.to_json();
+        if let JsonValue::Obj(fields) = &mut v {
+            for (name, value) in fields.iter_mut() {
+                if name == "at" {
+                    if let JsonValue::Arr(items) = value {
+                        items.pop();
+                    }
+                }
+            }
+        }
+        let err = CompiledModel::from_json(&v).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Schema(msg) if msg.contains("'at'")),
+            "truncated table reports a structured schema error, got: {err}"
+        );
+
+        // Lie about the state count: every per-state table length disagrees.
+        let mut v = compiled.to_json();
+        if let JsonValue::Obj(fields) = &mut v {
+            for (name, value) in fields.iter_mut() {
+                if name == "states" {
+                    *value = JsonValue::UInt(compiled.num_states() as u64 + 1);
+                }
+            }
+        }
+        assert!(
+            matches!(
+                CompiledModel::from_json(&v).unwrap_err(),
+                PersistError::Schema(_)
+            ),
+            "declared/actual state-count mismatch is a schema error"
+        );
+    }
+
+    #[test]
+    fn corrupted_entry_dictionary_is_rejected() {
+        let (psm, hmm) = trained_pair();
+        let compiled = CompiledModel::compile(&psm, &hmm).unwrap();
+        let mut v = compiled.to_json();
+        if let JsonValue::Obj(fields) = &mut v {
+            for (name, value) in fields.iter_mut() {
+                if name == "entry_state" {
+                    if let JsonValue::Arr(items) = value {
+                        items.reverse();
+                    }
+                }
+            }
+        }
+        let err = CompiledModel::from_json(&v).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Schema(msg) if msg.contains("entry dictionary")),
+            "swapped resync slots are caught, got: {err}"
+        );
+    }
+
+    #[test]
+    fn unsorted_dictionary_rows_are_rejected() {
+        let (psm, hmm) = trained_pair();
+        let compiled = CompiledModel::compile(&psm, &hmm).unwrap();
+        let mut v = compiled.to_json();
+        if let JsonValue::Obj(fields) = &mut v {
+            for (name, value) in fields.iter_mut() {
+                match name.as_str() {
+                    "row_words" => *value = JsonValue::UInt(1),
+                    "dict_rows" => {
+                        *value = JsonValue::Arr(vec![JsonValue::UInt(5), JsonValue::UInt(3)])
+                    }
+                    "dict_codes" => {
+                        *value = JsonValue::Arr(vec![JsonValue::UInt(0), JsonValue::UInt(1)])
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let err = CompiledModel::from_json(&v).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Schema(msg) if msg.contains("sorted")),
+            "unsorted dictionary rows are caught, got: {err}"
+        );
+    }
+
+    #[test]
+    fn decode_matches_interpreted_viterbi() {
+        let (psm, hmm) = trained_pair();
+        let compiled = CompiledModel::compile(&psm, &hmm).unwrap();
+        let seq = [0usize, 0, 1, 1, 2, 0, 0, 1, 1, 2, 0];
+        let a = compiled.decode(&seq).unwrap();
+        let b = hmm.viterbi(&seq).unwrap();
+        assert_eq!(a, b, "compiled Viterbi path matches the interpreter");
+        assert!(
+            compiled.decode(&[99]).is_err(),
+            "unknown symbols are errors"
+        );
+    }
+}

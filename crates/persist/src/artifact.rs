@@ -19,6 +19,13 @@
 //!   parsing — and possibly downloading — the whole body, and lets future
 //!   format changes fail with a *structured* "unsupported version" error
 //!   instead of a JSON parse error deep inside the body.
+//! * **v3** (PR 10): the v2 body plus a `"compiled"` field holding the
+//!   flat-table serving form of the model (`psm-compile`'s
+//!   `CompiledModel`). Written by `TrainedModel::save_compiled` /
+//!   `psmctl compile` via [`encode_artifact_versioned`]; the registry
+//!   prefers this section and skips recompiling at load. A v3 body minus
+//!   `"compiled"` is exactly a v2 body, so v2 readers of the future could
+//!   downgrade by stripping the field.
 //!
 //! Truncated, empty or wrong-magic files always surface as
 //! [`PersistError`] values, never as panics; the facade wraps them in
@@ -37,17 +44,41 @@ use std::path::{Path, PathBuf};
 /// The artifact magic, first bytes of every headered model file.
 pub const ARTIFACT_MAGIC: &str = "psmgen-artifact";
 
-/// The current (written) artifact format version.
+/// The artifact format version written for plain (training-side) models.
 pub const ARTIFACT_VERSION: u32 = 2;
+
+/// The artifact format version written when the body also carries the
+/// compiled serving form (a `"compiled"` top-level field).
+pub const ARTIFACT_VERSION_COMPILED: u32 = 3;
+
+/// The newest artifact format version this build reads.
+pub const ARTIFACT_VERSION_MAX: u32 = ARTIFACT_VERSION_COMPILED;
 
 /// How many bytes of a file [`probe_file_version`] reads: enough for the
 /// longest valid header line.
 const PROBE_BYTES: usize = 64;
 
-/// Wraps a rendered JSON body in the current artifact container:
+/// Wraps a rendered JSON body in the current plain artifact container:
 /// `psmgen-artifact/v2\n` + body + trailing newline.
 pub fn encode_artifact(body: &JsonValue) -> String {
-    format!("{ARTIFACT_MAGIC}/v{ARTIFACT_VERSION}\n{}\n", body.render())
+    encode_artifact_versioned(body, ARTIFACT_VERSION)
+}
+
+/// Wraps a rendered JSON body in an explicit-version artifact container —
+/// `psmgen-artifact/v<N>\n` + body + trailing newline. Use
+/// [`ARTIFACT_VERSION`] for plain bodies and [`ARTIFACT_VERSION_COMPILED`]
+/// for bodies carrying a `"compiled"` serving section.
+///
+/// # Panics
+///
+/// Panics on versions this build could not read back
+/// (`0` or beyond [`ARTIFACT_VERSION_MAX`]).
+pub fn encode_artifact_versioned(body: &JsonValue, version: u32) -> String {
+    assert!(
+        (1..=ARTIFACT_VERSION_MAX).contains(&version),
+        "cannot write artifact format version {version} (this build reads v1..=v{ARTIFACT_VERSION_MAX})"
+    );
+    format!("{ARTIFACT_MAGIC}/v{version}\n{}\n", body.render())
 }
 
 /// Splits an artifact into its format version and JSON body text.
@@ -85,10 +116,10 @@ pub fn split_artifact(text: &str) -> Result<(u32, &str), PersistError> {
             .trim()
             .parse()
             .map_err(|_| PersistError::schema(format!("malformed artifact version {digits:?}")))?;
-        if version == 0 || version > ARTIFACT_VERSION {
+        if version == 0 || version > ARTIFACT_VERSION_MAX {
             return Err(PersistError::schema(format!(
                 "unsupported artifact format version {version} \
-                 (this build reads v1..=v{ARTIFACT_VERSION})"
+                 (this build reads v1..=v{ARTIFACT_VERSION_MAX})"
             )));
         }
         if body.trim().is_empty() {
@@ -234,6 +265,29 @@ mod tests {
         let (version, back) = decode_artifact(&text).unwrap();
         assert_eq!(version, ARTIFACT_VERSION);
         assert_eq!(back, body);
+    }
+
+    #[test]
+    fn compiled_round_trip_through_the_container() {
+        let body = JsonValue::obj([("x", JsonValue::from(1u64))]);
+        let text = encode_artifact_versioned(&body, ARTIFACT_VERSION_COMPILED);
+        assert!(text.starts_with("psmgen-artifact/v3\n"));
+        let (version, back) = decode_artifact(&text).unwrap();
+        assert_eq!(version, ARTIFACT_VERSION_COMPILED);
+        assert_eq!(back, body);
+        assert_eq!(probe_version(&text).unwrap(), ARTIFACT_VERSION_COMPILED);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write artifact format version")]
+    fn unwritable_versions_panic_at_encode_time() {
+        encode_artifact_versioned(&JsonValue::Null, ARTIFACT_VERSION_MAX + 1);
+    }
+
+    #[test]
+    fn truncated_v3_body_is_a_parse_error() {
+        let err = decode_artifact("psmgen-artifact/v3\n{\"compiled\":{\"at\":[0.").unwrap_err();
+        assert!(matches!(err, PersistError::Parse { .. }), "{err}");
     }
 
     #[test]

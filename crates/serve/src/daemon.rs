@@ -32,7 +32,7 @@ use crate::pool::{
     SubmitOutcome,
 };
 use crate::protocol::{self, Frame, Opcode, Status, MIN_PROTOCOL_VERSION};
-use crate::registry::{Registry, RegistryError, Snapshot};
+use crate::registry::{Engine, Registry, RegistryError, Snapshot};
 use psm_persist::JsonValue;
 use psm_telemetry::{Stage, Telemetry, TelemetryReport};
 use psm_trace::SignalSet;
@@ -84,6 +84,8 @@ pub struct ServerConfig {
     pub pool: PoolConfig,
     /// Connection engine (readiness-driven by default).
     pub io: IoMode,
+    /// Estimation engine (compiled flat tables by default).
+    pub engine: Engine,
 }
 
 impl ServerConfig {
@@ -94,6 +96,7 @@ impl ServerConfig {
             registry_dir: registry_dir.into(),
             pool: PoolConfig::default(),
             io: IoMode::default(),
+            engine: Engine::default(),
         }
     }
 }
@@ -207,7 +210,7 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> Result<Server, ServeError> {
         let telemetry = Arc::new(Telemetry::new());
         let registry = telemetry.time(Stage::Serve, "registry load", || {
-            Registry::open(&cfg.registry_dir)
+            Registry::open_with_engine(&cfg.registry_dir, cfg.engine)
         })?;
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let local = listener.local_addr()?;

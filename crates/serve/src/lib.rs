@@ -50,5 +50,5 @@ pub use daemon::{
     IoMode, RunningServer, ServeError, Server, ServerConfig, ServerHandle, DEFAULT_ADDR,
 };
 pub use pool::PoolConfig;
-pub use registry::{Registry, RegistryError, ServedModel, Snapshot};
+pub use registry::{BatchRunner, Engine, Registry, RegistryError, ServedModel, Snapshot};
 pub use session::{ChunkOutcome, StreamSession};

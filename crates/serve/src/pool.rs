@@ -4,8 +4,10 @@
 //! Requests land in one bounded FIFO. A fixed set of workers pull from
 //! it; each pull takes the oldest job **plus every other queued job for
 //! the same model** (up to [`PoolConfig::max_batch`]), builds one
-//! [`HmmSimulator`](psm_hmm::HmmSimulator) — the forward-cache setup the
-//! batch amortises — and answers the whole batch through it. Because
+//! engine context ([`ServedModel::batch_runner`] — for the interpreted
+//! engine that is the forward-cache setup the batch amortises; the
+//! compiled engine's flat tables cost nothing to set up) — and answers
+//! the whole batch through it. Because
 //! responses carry the request id, batch reordering is invisible to
 //! clients.
 //!
@@ -59,7 +61,7 @@ pub struct PoolConfig {
     pub workers: usize,
     /// Queue slots; a submission beyond this is rejected `Busy`.
     pub queue_capacity: usize,
-    /// Most jobs one worker answers through a single simulator.
+    /// Most jobs one worker answers through a single engine context.
     pub max_batch: usize,
     /// Fault-injection: how long a worker sleeps before executing a
     /// batch. Zero in production; tests raise it to hold jobs in the
@@ -498,7 +500,7 @@ fn run_batch(shared: &Shared, batch: Vec<EstimateJob>) {
     shared.telemetry.add_named(COUNTER_BATCHES, 1);
 
     let model = batch[0].model.clone();
-    let sim = model.simulator();
+    let runner = model.batch_runner();
     for job in batch {
         let outcome = shared.telemetry.time(
             Stage::Serve,
@@ -506,7 +508,7 @@ fn run_batch(shared: &Shared, batch: Vec<EstimateJob>) {
                 "estimate {}@{} req {}",
                 model.name, model.version, job.request_id
             ),
-            || job.model.estimate_with(&sim, &job.trace),
+            || job.model.estimate_with_runner(&runner, &job.trace),
         );
         (job.respond)(outcome);
     }

@@ -13,7 +13,22 @@
 //! a model's removal from disk) never invalidates a request that already
 //! resolved its model. The old snapshot simply drops when its last
 //! request finishes.
+//!
+//! # Engines and artifact formats
+//!
+//! Every loaded model carries **both** runtimes: the interpreted
+//! `psm-hmm` walker and the flat-table [`CompiledModel`] of
+//! `psm-compile`, which [`Engine`] selects per registry (compiled by
+//! default — `psmd --engine interpreted` restores the old path). The
+//! two are bit-identical by construction, so the choice is purely a
+//! throughput knob. A `psmgen-artifact/v3` file ships its compiled
+//! section pre-built (`psmctl compile` writes these); the registry
+//! *verifies* that section against a fresh compilation of the
+//! interpreted model it rides with and refuses artifacts where the two
+//! disagree — a v3 file can never smuggle in divergent serving tables.
+//! v1/v2 artifacts are compiled on the fly at load time.
 
+use psm_compile::CompiledModel;
 use psm_core::{classify_trace, Psm};
 use psm_hmm::{ForwardCache, ForwardPass, Hmm, HmmOutcome, HmmSimulator};
 use psm_mining::{PropositionId, PropositionTable};
@@ -56,6 +71,43 @@ impl std::error::Error for RegistryError {
     }
 }
 
+/// Which estimation runtime a registry's models answer through.
+///
+/// Both runtimes are loaded for every model and produce bit-identical
+/// outcomes; the engine only decides which one executes requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The flat-table compiled runtime (`psm-compile`): allocation-free
+    /// per instant. The default.
+    #[default]
+    Compiled,
+    /// The assertion-driven interpreted walker (`psm-hmm`).
+    Interpreted,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Compiled => "compiled",
+            Engine::Interpreted => "interpreted",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "compiled" => Ok(Engine::Compiled),
+            "interpreted" => Ok(Engine::Interpreted),
+            other => Err(format!(
+                "engine must be compiled or interpreted, got `{other}`"
+            )),
+        }
+    }
+}
+
 /// One loaded model, ready to estimate: the proposition table that
 /// classifies raw cycles, the joined PSM, and its HMM.
 ///
@@ -75,18 +127,25 @@ pub struct ServedModel {
     psm: Psm,
     hmm: Hmm,
     cache: ForwardCache,
+    compiled: Arc<CompiledModel>,
+    engine: Engine,
 }
 
 impl ServedModel {
-    /// Loads one registry artifact.
+    /// Loads one registry artifact, answering requests through `engine`.
+    ///
+    /// A v3 artifact must carry a `compiled` section, which is verified
+    /// against a fresh compilation of the `table`/`psm`/`hmm` it ships
+    /// with; v1/v2 artifacts are compiled on the fly.
     ///
     /// # Errors
     ///
     /// [`RegistryError`] naming the artifact when the file cannot be
-    /// read, is truncated/wrong-magic, or its body does not hold the
+    /// read, is truncated/wrong-magic, its body does not hold the
     /// `table`/`psm`/`hmm` fields of a flat trained model (hierarchical
-    /// artifacts are not servable).
-    pub fn load(entry: &ArtifactEntry) -> Result<ServedModel, RegistryError> {
+    /// artifacts are not servable), or its compiled section is missing,
+    /// malformed, or disagrees with the interpreted model.
+    pub fn load(entry: &ArtifactEntry, engine: Engine) -> Result<ServedModel, RegistryError> {
         let text = std::fs::read_to_string(&entry.path)
             .map_err(|e| RegistryError::of(&entry.path, PersistError::Io(e)))?;
         let (format_version, doc) =
@@ -109,6 +168,27 @@ impl ServedModel {
                 )),
             ));
         }
+        let compile_fresh = || {
+            CompiledModel::compile_with_dictionary(&table, &psm, &hmm)
+                .map_err(|e| PersistError::schema(e.to_string()))
+        };
+        let compiled = if format_version >= psm_persist::ARTIFACT_VERSION_COMPILED {
+            // The shipped section must be the *exact* compilation of the
+            // model beside it — compared on the canonical render, which
+            // distinguishes even -0.0 from 0.0.
+            let verify = || -> Result<CompiledModel, PersistError> {
+                let shipped: CompiledModel = Persist::from_json(doc.field("compiled")?)?;
+                if shipped.to_json().render() != compile_fresh()?.to_json().render() {
+                    return Err(PersistError::schema(
+                        "compiled section disagrees with the model it ships with",
+                    ));
+                }
+                Ok(shipped)
+            };
+            verify().map_err(|e| RegistryError::of(&entry.path, e))?
+        } else {
+            compile_fresh().map_err(|e| RegistryError::of(&entry.path, e))?
+        };
         let cache = hmm.forward_cache();
         Ok(ServedModel {
             name: entry.name.clone(),
@@ -118,6 +198,8 @@ impl ServedModel {
             psm,
             hmm,
             cache,
+            compiled: Arc::new(compiled),
+            engine,
         })
     }
 
@@ -131,7 +213,18 @@ impl ServedModel {
         self.table.len()
     }
 
-    /// Builds a simulator for a batch of estimations against this model.
+    /// The engine this model answers requests through.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The compiled runtime, always present regardless of [`Engine`]
+    /// (v3 artifacts ship it; v1/v2 were compiled at load time).
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        &self.compiled
+    }
+
+    /// Builds a simulator for a batch of *interpreted* estimations.
     ///
     /// Construction builds the HMM forward cache — the per-model setup
     /// cost the worker pool amortises by running every queued request
@@ -140,19 +233,45 @@ impl ServedModel {
         HmmSimulator::new(&self.psm, self.hmm.clone())
     }
 
-    /// Estimates one trace through an existing simulator (the batch
-    /// path). Identical, instant for instant, to the facade's
-    /// `PsmFlow::estimate_from_trace` on the same loaded model.
+    /// The per-batch context for this model's engine: the compiled
+    /// tables (nothing to set up), or one interpreted simulator whose
+    /// forward-cache construction the batch amortises.
+    pub fn batch_runner(&self) -> BatchRunner<'_> {
+        match self.engine {
+            Engine::Compiled => BatchRunner::Compiled(&self.compiled),
+            Engine::Interpreted => BatchRunner::Interpreted(self.simulator()),
+        }
+    }
+
+    /// Estimates one trace through an existing simulator (the
+    /// interpreted batch path). Identical, instant for instant, to the
+    /// facade's `PsmFlow::estimate_from_trace` on the same loaded model.
     pub fn estimate_with(&self, sim: &HmmSimulator<'_>, trace: &FunctionalTrace) -> HmmOutcome {
         let observations = classify_trace(&self.table, trace);
         let hamming = trace.input_hamming_series();
         sim.run(&observations, &hamming)
     }
 
-    /// Estimates one trace, building a throwaway simulator (the
+    /// Estimates one trace through a prepared [`BatchRunner`] — the
+    /// worker pool's path, engine-dispatched but bit-identical either
+    /// way.
+    pub fn estimate_with_runner(
+        &self,
+        runner: &BatchRunner<'_>,
+        trace: &FunctionalTrace,
+    ) -> HmmOutcome {
+        let observations = classify_trace(&self.table, trace);
+        let hamming = trace.input_hamming_series();
+        match runner {
+            BatchRunner::Compiled(compiled) => compiled.run(&observations, &hamming),
+            BatchRunner::Interpreted(sim) => sim.run(&observations, &hamming),
+        }
+    }
+
+    /// Estimates one trace through this model's engine (the
     /// single-request path).
     pub fn estimate(&self, trace: &FunctionalTrace) -> HmmOutcome {
-        self.estimate_with(&self.simulator(), trace)
+        self.estimate_with_runner(&self.batch_runner(), trace)
     }
 
     /// Builds a resumable forward pass over the model's *owned* forward
@@ -168,6 +287,25 @@ impl ServedModel {
     /// classification equals classification of the concatenated trace.
     pub fn classify_chunk(&self, chunk: &FunctionalTrace) -> Vec<Option<PropositionId>> {
         classify_trace(&self.table, chunk)
+    }
+}
+
+/// A per-batch estimation context — the engine-specific setup a worker
+/// builds once and reuses for every request of one batch
+/// ([`ServedModel::batch_runner`]).
+pub enum BatchRunner<'m> {
+    /// The compiled flat tables; construction is free.
+    Compiled(&'m Arc<CompiledModel>),
+    /// An interpreted simulator owning its forward cache.
+    Interpreted(HmmSimulator<'m>),
+}
+
+impl std::fmt::Debug for BatchRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BatchRunner::Compiled(_) => "BatchRunner::Compiled",
+            BatchRunner::Interpreted(_) => "BatchRunner::Interpreted",
+        })
     }
 }
 
@@ -213,11 +351,13 @@ impl Snapshot {
 #[derive(Debug)]
 pub struct Registry {
     dir: PathBuf,
+    engine: Engine,
     current: Mutex<Arc<Snapshot>>,
 }
 
 impl Registry {
-    /// Opens a registry directory and loads every artifact in it.
+    /// Opens a registry directory with the default [`Engine`] and loads
+    /// every artifact in it.
     ///
     /// # Errors
     ///
@@ -225,10 +365,23 @@ impl Registry {
     /// artifact fails to load — an unreadable registry never comes up
     /// half-populated.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Registry, RegistryError> {
+        Self::open_with_engine(dir, Engine::default())
+    }
+
+    /// Opens a registry directory whose models answer through `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Registry::open`].
+    pub fn open_with_engine(
+        dir: impl Into<PathBuf>,
+        engine: Engine,
+    ) -> Result<Registry, RegistryError> {
         let dir = dir.into();
-        let snapshot = Self::scan(&dir)?;
+        let snapshot = Self::scan(&dir, engine)?;
         Ok(Registry {
             dir,
+            engine,
             current: Mutex::new(Arc::new(snapshot)),
         })
     }
@@ -236,6 +389,11 @@ impl Registry {
     /// The registry directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The engine every model of this registry answers through.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The current snapshot. Cheap: one mutex lock and an `Arc` clone.
@@ -254,17 +412,17 @@ impl Registry {
     ///
     /// Same conditions as [`Registry::open`].
     pub fn reload(&self) -> Result<Arc<Snapshot>, RegistryError> {
-        let snapshot = Arc::new(Self::scan(&self.dir)?);
+        let snapshot = Arc::new(Self::scan(&self.dir, self.engine)?);
         *self.current.lock().expect("registry lock poisoned") = snapshot.clone();
         Ok(snapshot)
     }
 
-    fn scan(dir: &Path) -> Result<Snapshot, RegistryError> {
+    fn scan(dir: &Path, engine: Engine) -> Result<Snapshot, RegistryError> {
         let entries = psm_persist::list_artifacts(dir)
             .map_err(|source| RegistryError { path: None, source })?;
         let models = entries
             .iter()
-            .map(|e| ServedModel::load(e).map(Arc::new))
+            .map(|e| ServedModel::load(e, engine).map(Arc::new))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Snapshot { models })
     }
@@ -324,6 +482,100 @@ mod tests {
         assert_eq!(single, batched, "one simulator per batch changes nothing");
         assert_eq!(batched, again, "simulator reuse is stateless across runs");
         assert_eq!(single.estimate.len(), trace.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Parses the three substrate fields back out of a rendered body.
+    fn substrate(body: &JsonValue) -> (PropositionTable, Psm, Hmm) {
+        (
+            Persist::from_json(body.field("table").unwrap()).unwrap(),
+            Persist::from_json(body.field("psm").unwrap()).unwrap(),
+            Persist::from_json(body.field("hmm").unwrap()).unwrap(),
+        )
+    }
+
+    /// Renders `body` plus a `compiled` section as a v3 artifact.
+    fn v3_text(body: JsonValue, compiled: &CompiledModel) -> String {
+        let JsonValue::Obj(mut fields) = body else {
+            unreachable!("model bodies are objects")
+        };
+        fields.push(("compiled".to_owned(), compiled.to_json()));
+        psm_persist::encode_artifact_versioned(
+            &JsonValue::Obj(fields),
+            psm_persist::ARTIFACT_VERSION_COMPILED,
+        )
+    }
+
+    #[test]
+    fn v3_artifacts_serve_identically_on_both_engines() {
+        let dir = temp_registry("v3");
+        let body = toy_model_json();
+        write_artifact(&dir, "toy@1.json", &body);
+        let (table, psm, hmm) = substrate(&body);
+        let compiled = CompiledModel::compile_with_dictionary(&table, &psm, &hmm).unwrap();
+        std::fs::write(dir.join("toy@2.json"), v3_text(body, &compiled)).unwrap();
+
+        let registry = Registry::open(&dir).unwrap();
+        assert_eq!(registry.engine(), Engine::Compiled);
+        let v2 = registry.snapshot().lookup("toy", Some(1)).unwrap();
+        let v3 = registry.snapshot().lookup("toy", Some(2)).unwrap();
+        assert_eq!(v2.format_version, 2);
+        assert_eq!(v3.format_version, 3);
+        assert_eq!(v3.compiled().num_states(), v3.state_count());
+
+        let interpreted = Registry::open_with_engine(&dir, Engine::Interpreted).unwrap();
+        let old_path = interpreted.snapshot().lookup("toy", Some(2)).unwrap();
+        assert_eq!(old_path.engine(), Engine::Interpreted);
+
+        // v2-compiled-on-the-fly, v3-shipped, and interpreted all agree
+        // to the bit.
+        let trace = toy_trace();
+        let a = v2.estimate(&trace);
+        let b = v3.estimate(&trace);
+        let c = old_path.estimate(&trace);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        for (x, y) in a.estimate.iter().zip(b.estimate.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_artifact_with_divergent_compiled_section_is_rejected() {
+        let dir = temp_registry("v3-divergent");
+        let body = toy_model_json();
+        let (_, psm, hmm) = substrate(&body);
+        // Structurally valid, but compiled without the classification
+        // dictionary the shipped table would produce.
+        let divergent = CompiledModel::compile(&psm, &hmm).unwrap();
+        std::fs::write(dir.join("toy@1.json"), v3_text(body, &divergent)).unwrap();
+        let err = Registry::open(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("toy@1.json") && msg.contains("disagrees"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_artifact_missing_its_compiled_section_is_rejected() {
+        let dir = temp_registry("v3-missing");
+        std::fs::write(
+            dir.join("toy@1.json"),
+            psm_persist::encode_artifact_versioned(
+                &toy_model_json(),
+                psm_persist::ARTIFACT_VERSION_COMPILED,
+            ),
+        )
+        .unwrap();
+        let err = Registry::open(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("toy@1.json") && msg.contains("compiled"),
+            "{msg}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,7 +12,7 @@
 //! work, flushes the telemetry report to stderr and exits 0. See
 //! `psmctl` for the client.
 
-use psmgen::serve::{IoMode, PoolConfig, Server, ServerConfig, DEFAULT_ADDR};
+use psmgen::serve::{Engine, IoMode, PoolConfig, Server, ServerConfig, DEFAULT_ADDR};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -28,6 +28,9 @@ Options:
   --batch <n>        max estimates answered through one simulator (default 8)
   --io <mode>        connection engine: readiness (poll-driven event
                      loop, the default) or threads (one per connection)
+  --engine <which>   estimation engine: compiled (flat-table runtime,
+                     the default) or interpreted (assertion walker);
+                     both produce bit-identical estimates
   --port-file <path> write the bound address to <path> once listening
   -h, --help         show this help
 
@@ -39,6 +42,7 @@ struct Options {
     addr: String,
     pool: PoolConfig,
     io: IoMode,
+    engine: Engine,
     port_file: Option<String>,
 }
 
@@ -47,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = DEFAULT_ADDR.to_owned();
     let mut pool = PoolConfig::default();
     let mut io = IoMode::default();
+    let mut engine = Engine::default();
     let mut port_file = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -73,6 +78,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     }
                 };
             }
+            "--engine" => {
+                engine = it.next().ok_or("--engine needs a mode")?.parse()?;
+            }
             "--port-file" => {
                 port_file = Some(it.next().ok_or("--port-file needs a path")?.clone());
             }
@@ -85,6 +93,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         addr,
         pool,
         io,
+        engine,
         port_file,
     })
 }
@@ -116,6 +125,7 @@ fn main() -> ExitCode {
         registry_dir: opts.registry.clone().into(),
         pool: opts.pool,
         io: opts.io,
+        engine: opts.engine,
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -136,8 +146,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     eprintln!(
-        "psmd: serving registry {} at {addr} ({workers} worker(s))",
-        opts.registry
+        "psmd: serving registry {} at {addr} ({workers} worker(s), {} engine)",
+        opts.registry, opts.engine
     );
 
     match server.run() {

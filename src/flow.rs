@@ -263,6 +263,36 @@ impl TrainedModel {
     pub fn to_json_string(&self) -> String {
         crate::persist::render_model(self)
     }
+
+    /// Lowers this model to its flat-table serving form (see
+    /// [`psm_compile::CompiledModel`]): interned observation codes, flat
+    /// transition/emission tables, precomputed log-probabilities and an
+    /// allocation-free forward pass, bit-identical to the interpreted
+    /// estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`psm_compile::CompileError`] when the PSM and HMM disagree
+    /// on the state space (impossible for models produced by
+    /// [`PsmFlow::train`], possible for hand-assembled ones).
+    pub fn compile(&self) -> Result<psm_compile::CompiledModel, psm_compile::CompileError> {
+        psm_compile::CompiledModel::compile_with_dictionary(&self.table, &self.psm, &self.hmm)
+    }
+
+    /// Saves the model as a `psmgen-artifact/v3`: the
+    /// [`save`](TrainedModel::save) body plus a `"compiled"` section
+    /// holding the serving form, so `psmd` can load the flat tables
+    /// directly instead of compiling at registry-load time. The file still
+    /// loads through [`TrainedModel::load`] (the extra section is ignored
+    /// by the training-side reader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Persistence`] on compilation, serialisation or
+    /// I/O failure.
+    pub fn save_compiled(&self, path: impl AsRef<std::path::Path>) -> Result<(), FlowError> {
+        crate::persist::save_compiled_to_path(self, path.as_ref())
+    }
 }
 
 /// A hierarchical power model: one trained PSM set per power domain of the

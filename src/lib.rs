@@ -40,8 +40,9 @@
 //! ```
 //!
 //! The layer crates are re-exported under short names: [`stats`],
-//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`], [`hmm`], [`analyze`]
-//! and [`serve`] (the `psmd` estimation daemon and its `psmctl` client).
+//! [`trace`], [`rtl`], [`ips`], [`mining`], [`psm`], [`hmm`], [`analyze`],
+//! [`compile`] (the flat-table serving runtime) and [`serve`] (the `psmd`
+//! estimation daemon and its `psmctl` client).
 //! The static lints of [`analyze`] also run inside the flow
 //! itself (the telemetry's `validate` stage, gated by
 //! [`Strictness`](flow::Strictness)) and behind the `psmlint` binary.
@@ -49,6 +50,7 @@
 #![deny(missing_docs)]
 
 pub use psm_analyze as analyze;
+pub use psm_compile as compile;
 /// The PSM core crate (`psm-core`).
 pub use psm_core as psm;
 pub use psm_hmm as hmm;
